@@ -1,0 +1,109 @@
+// P4: DP#4 ablation — the central fabric arbiter. Three hosts run bulk
+// eTrans flows into one FAM while a fourth issues latency-sensitive 64B
+// reads. With uncoordinated (unthrottled) movement the bulk flows contend
+// freely; with arbiter leases each flow is paced to its max-min share.
+// Metrics: per-flow throughput, Jain fairness, probe p99.
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/runtime.h"
+#include "src/sim/stats.h"
+
+namespace unifab {
+namespace {
+
+constexpr Tick kHorizon = FromMs(10.0);
+constexpr std::uint64_t kChunk = 16ULL << 20;  // per bulk job
+
+struct Outcome {
+  std::vector<double> flow_mbps;
+  double jain = 0.0;
+  double probe_p99_ns = 0.0;
+  double probe_mean_ns = 0.0;
+};
+
+Outcome Run(bool arbiter_on) {
+  // Two switches: hosts 0 (probe) and 2 sit next to the FAM on switch 0;
+  // hosts 1 and 3 reach it across the inter-switch trunk. Per-flit fairness
+  // at switch 0 gives the near host half the output while the two far flows
+  // split the trunk's share — the classic parking-lot unfairness a central
+  // allocator is meant to repair.
+  ClusterConfig cfg;
+  cfg.num_hosts = 4;
+  cfg.num_fams = 1;
+  cfg.num_faas = 0;
+  cfg.num_switches = 2;
+  Cluster cluster(cfg);
+  RuntimeOptions opts;
+  opts.fam_capacity_mbps = 4200.0;  // the arbiter manages FAM ingress below saturation
+  UniFabricRuntime runtime(&cluster, opts);
+
+  for (int h = 1; h < 4; ++h) {
+    auto submit = std::make_shared<std::function<void()>>();
+    *submit = [&runtime, &cluster, h, submit, arbiter_on] {
+      ETransDescriptor d;
+      d.src.push_back(Segment{cluster.host(h)->id(), 0, kChunk});
+      d.dst.push_back(
+          Segment{cluster.fam(0)->id(), static_cast<std::uint64_t>(h) << 26, kChunk});
+      d.attributes.throttled = arbiter_on;
+      d.attributes.request_mbps = 4200.0;
+      d.attributes.pipeline_depth = 8;
+      d.ownership = Ownership::kInitiator;
+      TransferFuture f = runtime.etrans()->Submit(runtime.host_agent(h), d);
+      f.Then([submit](const TransferResult&) { (*submit)(); });
+    };
+    (*submit)();
+  }
+
+  // Probe: host 0 dependent 64B reads against FAM0.
+  Summary probe;
+  auto addr = std::make_shared<std::uint64_t>(cluster.FamBase(0));
+  auto loop = std::make_shared<std::function<void()>>();
+  MemoryHierarchy* core = cluster.host(0)->core(0);
+  *loop = [&cluster, core, addr, &probe, loop] {
+    *addr = cluster.FamBase(0) + (*addr + 4160) % (16 << 20);
+    const Tick t0 = cluster.engine().Now();
+    core->Access(*addr, false, [&cluster, &probe, t0, loop] {
+      probe.Add(ToNs(cluster.engine().Now() - t0));
+      cluster.engine().Schedule(FromNs(500), *loop);
+    });
+  };
+  (*loop)();
+
+  cluster.engine().RunUntil(kHorizon);
+
+  Outcome out;
+  for (int h = 1; h < 4; ++h) {
+    out.flow_mbps.push_back(static_cast<double>(runtime.host_agent(h)->stats().bytes_moved) /
+                            ToSec(kHorizon) / 1e6);
+  }
+  out.jain = JainFairnessIndex(out.flow_mbps);
+  out.probe_p99_ns = probe.P99();
+  out.probe_mean_ns = probe.Mean();
+  return out;
+}
+
+}  // namespace
+}  // namespace unifab
+
+int main() {
+  using namespace unifab;
+  PrintHeader("P4", "DP#4 ablation (central arbiter)",
+              "3 bulk flows + 1 latency probe into one FAM: uncoordinated vs arbiter leases");
+  std::printf("%-24s %-30s %-10s %-14s %-14s\n", "mode", "flow throughput (MB/s)", "Jain",
+              "probe mean", "probe p99 (ns)");
+  for (const bool on : {false, true}) {
+    const Outcome o = Run(on);
+    std::printf("%-24s %6.0f / %6.0f / %6.0f        %-10.3f %-14.1f %-14.1f\n",
+                on ? "arbiter leases" : "uncoordinated", o.flow_mbps[0], o.flow_mbps[1],
+                o.flow_mbps[2], o.jain, o.probe_mean_ns, o.probe_p99_ns);
+  }
+  std::printf("(expected shape: leases equalize flow shares — Jain -> 1 — and cap aggregate "
+              "ingress below saturation, tightening the probe tail)\n");
+  PrintFooter();
+  return 0;
+}

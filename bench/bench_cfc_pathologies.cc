@@ -1,0 +1,266 @@
+// D3b: §3 Difference #3 — the three credit-based flow-control pathologies
+// the paper calls out for routable PCIe, each with its FCC-style mitigation:
+//   1. credit allocation: exponential ramp-up lets a heavy port squeeze a
+//      light port (vs static equal shares);
+//   2. credit-flow scheduling: credit-agnostic FIFO service causes
+//      head-of-line blocking (vs virtual output queues);
+//   3. credit coordination: starvation back-propagates across a switch
+//      cascade, spreading a congestion "victim area" (vs deeper credits).
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/fabric/link.h"
+#include "src/fabric/switch.h"
+#include "src/sim/engine.h"
+#include "src/sim/stats.h"
+
+namespace unifab {
+namespace {
+
+// Raw endpoint that sends flits and records arrivals; optionally slow to
+// return input credits (models a congested device).
+class Node : public FlitReceiver {
+ public:
+  Node(Engine* engine, Tick credit_hold) : engine_(engine), credit_hold_(credit_hold) {}
+
+  void ReceiveFlit(const Flit& flit, int /*port*/) override {
+    ++received_;
+    last_arrival_ = engine_->Now();
+    latency_ns_.Add(ToNs(engine_->Now() - flit.created_at));
+    per_src_[flit.src].Add(ToNs(engine_->Now() - flit.created_at));
+    if (credit_hold_ == 0) {
+      endpoint->ReturnCredit(flit.channel);
+    } else {
+      engine_->Schedule(credit_hold_, [this, ch = flit.channel] { endpoint->ReturnCredit(ch); });
+    }
+  }
+
+  // Sends `count` flits to `dst`, paced every `gap`.
+  void Pump(PbrId dst, int count, Tick gap, Channel channel = Channel::kMem) {
+    for (int i = 0; i < count; ++i) {
+      engine_->Schedule(gap * static_cast<Tick>(i), [this, dst, channel] {
+        Flit f;
+        f.txn_id = ++txn_;
+        f.channel = channel;
+        f.opcode = Opcode::kMemWr;
+        f.src = self;
+        f.dst = dst;
+        f.payload_bytes = 64;
+        f.created_at = engine_->Now();
+        endpoint->Send(f);  // drops on overflow, like a saturated DLLP queue
+      });
+    }
+  }
+
+  // Latency of flits from one source, as observed at this node.
+  const Summary& FromSrc(PbrId src) { return per_src_[src]; }
+
+  PbrId self = 0;
+  LinkEndpoint* endpoint = nullptr;
+  std::uint64_t received_ = 0;
+  Tick last_arrival_ = 0;
+  Summary latency_ns_;
+  std::unordered_map<PbrId, Summary> per_src_;
+
+ private:
+  Engine* engine_;
+  Tick credit_hold_;
+  std::uint64_t txn_ = 0;
+};
+
+// A configurable two-level fabric: `n_edge` nodes on switch 0, `n_far`
+// nodes on switch 1, linked by one inter-switch trunk.
+struct Cascade {
+  Cascade(int n_edge, int n_far, const SwitchConfig& sw_cfg, const LinkConfig& edge_link,
+          const LinkConfig& trunk_link, std::vector<Tick> far_holds,
+          std::vector<Tick> edge_holds = {}) {
+    edge_holds.resize(static_cast<std::size_t>(n_edge), 0);
+    sw0 = std::make_unique<FabricSwitch>(&engine, sw_cfg, "sw0");
+    sw1 = std::make_unique<FabricSwitch>(&engine, sw_cfg, "sw1");
+    trunk = std::make_unique<Link>(&engine, trunk_link, 1, "trunk");
+    const int p0 = sw0->AttachPort(&trunk->end(0));
+    const int p1 = sw1->AttachPort(&trunk->end(1));
+
+    PbrId next_id = 1;
+    auto attach = [&](FabricSwitch* sw, Tick hold) {
+      nodes.push_back(std::make_unique<Node>(&engine, hold));
+      links.push_back(std::make_unique<Link>(&engine, edge_link,
+                                             10 + static_cast<std::uint64_t>(nodes.size()),
+                                             "edge"));
+      Link* l = links.back().get();
+      const int port = sw->AttachPort(&l->end(0));
+      Node* node = nodes.back().get();
+      l->end(1).Bind(node, 0);
+      node->endpoint = &l->end(1);
+      node->self = next_id++;
+      sw->SetRoute(node->self, port);
+      return node;
+    };
+
+    for (int i = 0; i < n_edge; ++i) {
+      edge.push_back(attach(sw0.get(), edge_holds[static_cast<std::size_t>(i)]));
+    }
+    for (int i = 0; i < n_far; ++i) {
+      far.push_back(attach(sw1.get(), far_holds[static_cast<std::size_t>(i)]));
+    }
+    // Cross-switch routes go over the trunk.
+    for (Node* f : far) {
+      sw0->SetRoute(f->self, p0);
+    }
+    for (Node* e : edge) {
+      sw1->SetRoute(e->self, p1);
+    }
+  }
+
+  Engine engine;
+  std::unique_ptr<FabricSwitch> sw0;
+  std::unique_ptr<FabricSwitch> sw1;
+  std::unique_ptr<Link> trunk;
+  std::vector<std::unique_ptr<Link>> links;
+  std::vector<std::unique_ptr<Node>> nodes;
+  std::vector<Node*> edge;
+  std::vector<Node*> far;
+};
+
+LinkConfig EdgeLink() {
+  LinkConfig cfg;
+  cfg.gigatransfers_per_sec = 16.0;
+  cfg.lanes = 4;
+  cfg.propagation = FromNs(30.0);
+  cfg.credits_per_vc = 8;
+  cfg.credit_return_latency = FromNs(30.0);
+  cfg.tx_queue_depth = 32;
+  return cfg;
+}
+
+// ----------------------------------------------------------------------
+// Pathology 1: credit allocation (exponential ramp-up vs static).
+void CreditAllocation() {
+  std::printf("1) credit allocation: heavy flow vs sporadic flow sharing one output\n");
+  std::printf("%-22s %-16s %-16s %-18s %s\n", "allocator", "mean (ns)", "p99 (ns)",
+              "delivered/sent", "final weights");
+  for (const bool rampup : {false, true}) {
+    SwitchConfig sw;
+    sw.arbitration = SwitchArbitration::kWeighted;
+    sw.credit_alloc = rampup ? CreditAllocPolicy::kExponentialRampUp
+                             : CreditAllocPolicy::kStatic;
+    sw.credit_realloc_period = FromNs(500.0);
+    // Single switch: 3 edge nodes (heavy, sporadic, sink). Shallow output
+    // buffering so the arbitration choice (not queue drain order) decides
+    // who advances.
+    LinkConfig shallow = EdgeLink();
+    shallow.tx_queue_depth = 8;
+    shallow.credits_per_vc = 8;
+    // The sink drains slowly (holds credits 200 ns), so the heavy input
+    // keeps a standing backlog inside the switch.
+    Cascade c(3, 0, sw, shallow, shallow, {}, {0, 0, FromNs(200)});
+    Node* heavy = c.edge[0];
+    Node* sporadic = c.edge[1];
+    Node* sink = c.edge[2];
+
+    heavy->Pump(sink->self, 12000, FromNs(5));      // saturating
+    sporadic->Pump(sink->self, 100, FromNs(500));   // light, latency-sensitive
+    c.engine.RunUntil(FromUs(60));
+    const Summary& sp = sink->FromSrc(sporadic->self);
+    const int heavy_port = c.sw0->RouteFor(heavy->self);
+    const int sporadic_port = c.sw0->RouteFor(sporadic->self);
+    std::printf("%-22s %-16.1f %-16.1f %3zu/100            H=%.0f S=%.0f\n",
+                rampup ? "exponential ramp-up" : "static equal",
+                sp.Empty() ? 0.0 : sp.Mean(), sp.Empty() ? 0.0 : sp.P99(), sp.Count(),
+                c.sw0->InputWeight(heavy_port), c.sw0->InputWeight(sporadic_port));
+  }
+  std::printf("(ramp-up hands the heavy port an ever-growing share; the sporadic port's "
+              "flits are squeezed out — most never get through)\n\n");
+}
+
+// ----------------------------------------------------------------------
+// Pathology 2: credit-agnostic scheduling -> head-of-line blocking.
+void HolBlocking() {
+  std::printf("2) credit-flow scheduling: single-FIFO (credit-agnostic) vs virtual output "
+              "queues\n");
+  std::printf("%-22s %-20s %-20s %-16s\n", "input queueing", "victim mean (ns)",
+              "victim done (us)", "HoL events");
+  for (const bool voq : {false, true}) {
+    SwitchConfig sw;
+    sw.virtual_output_queues = voq;
+    sw.arbitration = SwitchArbitration::kFifo;
+    LinkConfig shallow = EdgeLink();
+    shallow.credits_per_vc = 2;
+    shallow.tx_queue_depth = 2;
+    // 2 senders + congested sink (holds credits 2 us) + idle sink.
+    Cascade c(4, 0, sw, shallow, shallow, {}, {0, 0, FromUs(2), 0});
+    Node* mixed = c.edge[0];  // alternates hot/idle destinations
+    Node* flood = c.edge[1];
+    Node* hot = c.edge[2];
+    Node* idle = c.edge[3];
+
+    flood->Pump(hot->self, 3000, FromNs(9));
+    for (int i = 0; i < 100; ++i) {
+      c.engine.Schedule(FromNs(100) * static_cast<Tick>(i), [&, i] {
+        mixed->Pump(hot->self, 1, FromNs(1));
+        mixed->Pump(idle->self, 1, FromNs(1));
+      });
+    }
+    c.engine.RunUntil(FromUs(80));
+    const Summary& victim = idle->FromSrc(mixed->self);
+    std::printf("%-22s %-20.1f %-20.1f %-16llu\n", voq ? "virtual output queues" : "single FIFO",
+                victim.Empty() ? 0.0 : victim.Mean(), ToUs(idle->last_arrival_),
+                static_cast<unsigned long long>(c.sw0->stats().hol_blocked_events));
+  }
+  std::printf("(FIFO pins idle-bound flits behind the congested head; VOQ releases them)\n\n");
+}
+
+// ----------------------------------------------------------------------
+// Pathology 3: starvation back-propagation across a cascade.
+void StarvationBackprop() {
+  std::printf("3) credit coordination: congestion spreading across a 2-switch cascade\n");
+  std::printf("   (victim shares only the trunk with the aggressor; its own sink is idle; "
+              "victim offered load = 4 flits/us over the run)\n");
+  std::printf("%-34s %-24s %-20s\n", "victim placement", "victim tput (flits/us)",
+              "victim p99 (ns)");
+  for (const bool own_vc : {false, true}) {
+    SwitchConfig sw;
+    sw.virtual_output_queues = true;
+    LinkConfig trunk = EdgeLink();
+    trunk.credits_per_vc = 8;
+    trunk.tx_queue_depth = 16;
+    // far[0] = hot sink (slow credit return), far[1] = victim's sink (fast).
+    Cascade c(2, 2, sw, EdgeLink(), trunk, {FromUs(2), 0});
+    Node* aggressor = c.edge[0];
+    Node* victim = c.edge[1];
+
+    aggressor->Pump(c.far[0]->self, 2000, FromNs(10), Channel::kMem);
+    victim->Pump(c.far[1]->self, 400, FromNs(100),
+                 own_vc ? Channel::kIo : Channel::kMem);
+    c.engine.RunUntil(FromUs(100));
+    const double tput = static_cast<double>(c.far[1]->received_) / 100.0;
+    const Summary& vic = c.far[1]->FromSrc(victim->self);
+    std::printf("%-34s %-24.2f %-20.1f\n",
+                own_vc ? "dedicated virtual channel" : "shared VC with aggressor", tput,
+                vic.Empty() ? 0.0 : vic.P99());
+  }
+  std::printf("(the hot sink exhausts the shared VC's trunk credits, so starvation "
+              "back-propagates into sw0 and collapses a flow that shares nothing but the "
+              "trunk — the 'victim area' spreads. A separate credit pool (virtual channel / "
+              "dedicated lane, as FCC DP#4 argues) contains it)\n");
+}
+
+}  // namespace
+}  // namespace unifab
+
+int main() {
+  unifab::PrintHeader("D3b", "§3 Difference #3 (CFC pathologies)",
+                      "credit allocation, credit-agnostic scheduling, and credit "
+                      "coordination at scale");
+  unifab::CreditAllocation();
+  unifab::HolBlocking();
+  unifab::StarvationBackprop();
+  unifab::PrintFooter();
+  return 0;
+}

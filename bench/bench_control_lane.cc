@@ -1,0 +1,163 @@
+// D4: §4 DP#4 — the dedicated control lane. The paper argues an in-band
+// centralized arbiter is viable because (1) a dedicated control channel
+// wastes little bandwidth and (2) the end-to-end RTT of a 64B flit at the
+// data link layer is up to ~200 ns unloaded. This bench measures link-layer
+// flit RTT unloaded and under data-channel load, with and without strict
+// control-lane priority, plus the full arbiter control-plane round trip.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/core/runtime.h"
+#include "src/fabric/link.h"
+#include "src/sim/engine.h"
+#include "src/sim/stats.h"
+
+namespace unifab {
+namespace {
+
+// Echo endpoint: bounces every arriving flit back to its source.
+class Echo : public FlitReceiver {
+ public:
+  explicit Echo(Engine* engine) : engine_(engine) {}
+
+  void ReceiveFlit(const Flit& flit, int /*port*/) override {
+    endpoint->ReturnCredit(flit.channel);
+    Flit back = flit;
+    back.src = flit.dst;
+    back.dst = flit.src;
+    endpoint->Send(back);
+  }
+
+  LinkEndpoint* endpoint = nullptr;
+
+ private:
+  Engine* engine_;
+};
+
+// Probe endpoint: sends flits, records RTT when the echo returns.
+class Probe : public FlitReceiver {
+ public:
+  explicit Probe(Engine* engine) : engine_(engine) {}
+
+  void ReceiveFlit(const Flit& flit, int /*port*/) override {
+    endpoint->ReturnCredit(flit.channel);
+    if (flit.channel == Channel::kControl) {
+      rtt_ns.Add(ToNs(engine_->Now() - flit.created_at));
+    }
+  }
+
+  void SendProbe() {
+    Flit f;
+    f.txn_id = ++txn_;
+    f.channel = Channel::kControl;
+    f.opcode = Opcode::kCreditQuery;
+    f.src = 1;
+    f.dst = 2;
+    f.payload_bytes = 64;
+    f.created_at = engine_->Now();
+    endpoint->Send(f);
+  }
+
+  void SendNoise(std::uint32_t n) {
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Flit f;
+      f.txn_id = ++txn_;
+      f.channel = Channel::kMem;
+      f.opcode = Opcode::kMemWr;
+      f.src = 1;
+      f.dst = 2;
+      f.payload_bytes = 64;
+      f.created_at = engine_->Now();
+      endpoint->Send(f);
+    }
+  }
+
+  LinkEndpoint* endpoint = nullptr;
+  Summary rtt_ns;
+
+ private:
+  Engine* engine_;
+  std::uint64_t txn_ = 0;
+};
+
+double MeasureRtt(bool loaded, bool control_priority) {
+  Engine engine;
+  LinkConfig cfg;  // CXL 2.0-like x16, per the Omega preset
+  cfg.gigatransfers_per_sec = 32.0;
+  cfg.lanes = 16;
+  cfg.propagation = FromNs(50.0);
+  cfg.credits_per_vc = 32;
+  cfg.tx_queue_depth = 256;
+  cfg.control_priority = control_priority;
+  Link link(&engine, cfg, 3, "probe-link");
+
+  Probe probe(&engine);
+  Echo echo(&engine);
+  link.end(0).Bind(&probe, 0);
+  link.end(1).Bind(&echo, 0);
+  probe.endpoint = &link.end(0);
+  echo.endpoint = &link.end(1);
+
+  for (int i = 0; i < 50; ++i) {
+    engine.Schedule(FromNs(500) * static_cast<Tick>(i), [&] {
+      if (loaded) {
+        probe.SendNoise(64);  // a 64-flit data burst right before the probe
+      }
+      probe.SendProbe();
+    });
+  }
+  engine.Run();
+  return probe.rtt_ns.Mean();
+}
+
+}  // namespace
+}  // namespace unifab
+
+int main() {
+  using namespace unifab;
+  PrintHeader("D4", "§4 DP#4 (dedicated control lane)",
+              "64B flit link-layer RTT and arbiter control-plane round trip");
+
+  std::printf("link-layer 64B flit RTT (direct link, CXL2.0 x16, 50 ns propagation):\n");
+  std::printf("%-44s %10.1f ns   (paper: 'up to 200 ns' unloaded)\n",
+              "unloaded", MeasureRtt(false, true));
+  std::printf("%-44s %10.1f ns\n", "loaded, control on dedicated priority lane",
+              MeasureRtt(true, true));
+  std::printf("%-44s %10.1f ns\n", "loaded, control shares data lanes (no priority)",
+              MeasureRtt(true, false));
+
+  // Full arbiter round trip over the running composable infrastructure.
+  ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  cfg.num_fams = 1;
+  cfg.num_faas = 1;
+  Cluster cluster(cfg);
+  UniFabricRuntime runtime(&cluster, RuntimeOptions{});
+
+  // Saturate the fabric with bulk eTrans traffic, then time a reservation.
+  ETransDescriptor bulk;
+  bulk.src.push_back(Segment{cluster.host(1)->id(), 0, 8 << 20});
+  bulk.dst.push_back(Segment{cluster.fam(0)->id(), 0, 8 << 20});
+  bulk.attributes.throttled = false;
+  runtime.etrans()->Submit(runtime.host_agent(1), bulk);
+
+  Summary ctrl_rtt;
+  for (int i = 0; i < 20; ++i) {
+    cluster.engine().Schedule(FromUs(20) * static_cast<Tick>(i), [&] {
+      const Tick t0 = cluster.engine().Now();
+      runtime.arbiter_client(0)->Query(cluster.fam(0)->id(), [&, t0](double) {
+        ctrl_rtt.Add(ToUs(cluster.engine().Now() - t0));
+      });
+    });
+  }
+  cluster.engine().Run();
+  std::printf("\narbiter control-plane op (query->response, loaded fabric): mean %.2f us, "
+              "p99 %.2f us over %zu ops\n",
+              ctrl_rtt.Mean(), ctrl_rtt.P99(), ctrl_rtt.Count());
+  std::printf("(adapter processing dominates; the dedicated lane keeps queueing out of the "
+              "control path, enabling compute-fabric co-design via query/reserve/reclaim)\n");
+  PrintFooter();
+  return 0;
+}

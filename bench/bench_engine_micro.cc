@@ -1,0 +1,104 @@
+// Microbenchmarks (google-benchmark) for the simulator's own hot paths:
+// these bound how large a composable-infrastructure simulation the harness
+// can sustain, independent of any paper artifact.
+
+#include <benchmark/benchmark.h>
+
+#include "src/mem/cache.h"
+#include "src/sim/engine.h"
+#include "src/sim/random.h"
+#include "src/sim/stats.h"
+
+namespace unifab {
+namespace {
+
+void BM_EngineScheduleFire(benchmark::State& state) {
+  Engine engine;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    engine.Schedule(1, [&sink] { ++sink; });
+    engine.Step(1);
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EngineScheduleFire);
+
+void BM_EngineDeepQueue(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine engine;
+    std::uint64_t sink = 0;
+    for (int i = 0; i < depth; ++i) {
+      engine.Schedule(static_cast<Tick>(i % 97), [&sink] { ++sink; });
+    }
+    state.ResumeTiming();
+    engine.Run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_EngineDeepQueue)->Arg(1024)->Arg(16384);
+
+void BM_CacheAccessHit(benchmark::State& state) {
+  SetAssocCache cache(CacheConfig{32 * 1024, 64, 8});
+  for (std::uint64_t a = 0; a < 32 * 1024; a += 64) {
+    cache.Insert(a, false);
+  }
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Access(addr, false));
+    addr = (addr + 64) % (32 * 1024);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccessHit);
+
+void BM_CacheInsertEvict(benchmark::State& state) {
+  SetAssocCache cache(CacheConfig{32 * 1024, 64, 8});
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Insert(addr, (addr & 128) != 0));
+    addr += 64;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheInsertEvict);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfNext(benchmark::State& state) {
+  ZipfGenerator zipf(42, 0.99, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ZipfNext)->Arg(1024)->Arg(65536);
+
+void BM_SummaryPercentile(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Summary s;
+    for (int i = 0; i < 4096; ++i) {
+      s.Add(rng.NextDouble());
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(s.P99());
+  }
+}
+BENCHMARK(BM_SummaryPercentile);
+
+}  // namespace
+}  // namespace unifab
+
+BENCHMARK_MAIN();

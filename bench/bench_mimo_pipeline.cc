@@ -1,0 +1,144 @@
+// M1: §5 case study — software MIMO baseband processing over UniFabric.
+// Uplink frames (symbol samples + channel-state matrices) flow through
+// FFT -> equalize/demodulate -> decode, each kernel an idempotent task on a
+// hardware cooperative function's FAA engine. We compare:
+//   a) UniFabric placement: frame objects in the fast heap tier, kernels
+//      pipelined across both FAAs (the porting recipe of §5);
+//   b) naive placement: every object lives on the remote FAM expander;
+//   c) UniFabric with a mid-run FAA power cycle (passive failure domain):
+//      idempotent re-execution keeps the pipeline alive.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/runtime.h"
+
+namespace unifab {
+namespace {
+
+constexpr int kFrames = 200;
+constexpr Tick kFrameInterval = FromUs(100.0);  // 10k frames/s offered
+constexpr Tick kHorizon = FromMs(60.0);
+
+struct StageCost {
+  const char* name;
+  Tick cost;
+  std::uint32_t output_bytes;
+};
+
+constexpr StageCost kStages[] = {
+    {"fft", FromUs(40.0), 32 * 1024},
+    {"demod", FromUs(30.0), 16 * 1024},
+    {"decode", FromUs(60.0), 8 * 1024},
+};
+
+struct Outcome {
+  std::uint64_t frames_done = 0;
+  double mean_us = 0.0;
+  double p99_us = 0.0;
+  std::uint64_t reexecutions = 0;
+};
+
+Outcome Run(bool fast_tier, bool inject_failure) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 1;
+  cfg.num_fams = 1;
+  cfg.num_faas = 2;
+  Cluster cluster(cfg);
+
+  RuntimeOptions opts;
+  opts.itask.attempt_timeout = FromMs(2.0);
+  opts.itask.max_attempts = 1000;
+  UniFabricRuntime runtime(&cluster, opts);
+  UnifiedHeap* heap = runtime.heap(0);
+  ITaskRuntime* tasks = runtime.itasks();
+
+  const int tier = fast_tier ? 0 : 1;
+  Summary frame_latency;
+
+  // Channel-state information matrix: shared input for every frame's
+  // equalization stage (kept hot by UniFabric, remote in naive mode).
+  const ObjectId csi = heap->Allocate(16 * 1024, tier);
+
+  for (int f = 0; f < kFrames; ++f) {
+    const Tick arrival = kFrameInterval * static_cast<Tick>(f);
+    cluster.engine().ScheduleAt(
+        arrival, [&cluster, heap, tasks, csi, tier, arrival, &frame_latency] {
+          // Per-frame objects: raw samples plus per-stage outputs.
+          const ObjectId samples = heap->Allocate(64 * 1024, tier);
+          std::vector<ObjectId> stage_out;
+          for (const auto& st : kStages) {
+            stage_out.push_back(heap->Allocate(st.output_bytes, tier));
+          }
+
+          TaskId prev = kInvalidTask;
+          for (std::size_t s = 0; s < 3; ++s) {
+            TaskSpec spec;
+            spec.name = kStages[s].name;
+            spec.compute_cost = kStages[s].cost;
+            spec.inputs = {s == 0 ? samples : stage_out[s - 1]};
+            if (s == 1) {
+              spec.inputs.push_back(csi);  // equalization needs channel state
+            }
+            spec.outputs = {stage_out[s]};
+            if (prev != kInvalidTask) {
+              spec.deps = {prev};
+            }
+            if (s == 2) {
+              spec.apply = [&cluster, &frame_latency, arrival] {
+                frame_latency.Add(ToUs(cluster.engine().Now() - arrival));
+              };
+            }
+            prev = tasks->Submit(spec);
+          }
+        });
+  }
+
+  if (inject_failure) {
+    cluster.engine().ScheduleAt(FromMs(8.0), [&cluster] { cluster.faa(0)->Fail(); });
+    cluster.engine().ScheduleAt(FromMs(11.0), [&cluster] { cluster.faa(0)->Recover(); });
+  }
+
+  cluster.engine().RunUntil(kHorizon);
+
+  Outcome out;
+  out.frames_done = frame_latency.Count();
+  if (!frame_latency.Empty()) {
+    out.mean_us = frame_latency.Mean();
+    out.p99_us = frame_latency.P99();
+  }
+  out.reexecutions = tasks->stats().reexecutions;
+  return out;
+}
+
+}  // namespace
+}  // namespace unifab
+
+int main() {
+  using namespace unifab;
+  PrintHeader("M1", "§5 case study (MIMO baseband)",
+              "200 uplink frames @ 10k frames/s through FFT->demod->decode on 2 FAAs");
+  std::printf("%-34s %-12s %-14s %-14s %-12s\n", "configuration", "frames", "mean (us)",
+              "p99 (us)", "re-execs");
+
+  const Outcome uni = Run(/*fast_tier=*/true, /*inject_failure=*/false);
+  const Outcome naive = Run(false, false);
+  const Outcome failure = Run(true, true);
+
+  auto row = [](const char* name, const Outcome& o) {
+    std::printf("%-34s %-12llu %-14.1f %-14.1f %-12llu\n", name,
+                static_cast<unsigned long long>(o.frames_done), o.mean_us, o.p99_us,
+                static_cast<unsigned long long>(o.reexecutions));
+  };
+  row("UniFabric (fast-tier frames)", uni);
+  row("naive (all objects on FAM)", naive);
+  row("UniFabric + FAA power cycle", failure);
+
+  std::printf("\nplacement speedup: %.2fx mean frame latency\n", naive.mean_us / uni.mean_us);
+  std::printf("(expected shape: fast-tier staging shortens every capture/writeback leg; the "
+              "power-cycled run still completes all frames via idempotent re-execution)\n");
+  PrintFooter();
+  return 0;
+}

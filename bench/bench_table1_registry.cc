@@ -1,0 +1,25 @@
+// T1: reproduces paper Table 1 — the commodity memory-fabric registry.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/fabric/registry.h"
+
+int main() {
+  unifab::PrintHeader("T1", "Table 1",
+                      "Commodity memory fabrics (static registry; CAPI/Gen-Z merged into CXL)");
+  std::printf("%s", unifab::FabricTableToString().c_str());
+
+  const auto* cxl = unifab::FindFabric("CXL");
+  std::printf("\nmainstream fabric: %s (%s), products: %s\n", cxl->interconnect.c_str(),
+              cxl->vendor.c_str(), cxl->product_demonstration.c_str());
+  int merged = 0;
+  for (const auto& spec : unifab::CommodityFabrics()) {
+    if (spec.merged_into_cxl) {
+      ++merged;
+    }
+  }
+  std::printf("fabrics absorbed by CXL: %d (Gen-Z, CAPI/OpenCAPI)\n", merged);
+  unifab::PrintFooter();
+  return 0;
+}

@@ -1,0 +1,154 @@
+// T2: reproduces paper Table 2 — cacheline (64B) read/write latency and
+// single-core throughput at each memory-hierarchy level of the Omega
+// Fabric testbed (L1, L2, local DIMM, remote DIMM through the fabric).
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/topo/cluster.h"
+
+namespace unifab {
+namespace {
+
+ClusterConfig OneHostOneFam() {
+  ClusterConfig cfg;
+  cfg.num_hosts = 1;
+  cfg.num_fams = 1;
+  cfg.num_faas = 0;
+  return cfg;
+}
+
+// Dependent-access (pointer-chase) latency in ns.
+double Latency(std::uint64_t base, std::uint64_t stride, int count, bool is_write,
+               std::uint64_t warm_set) {
+  Cluster cluster(OneHostOneFam());
+  MemoryHierarchy* core = cluster.host(0)->core(0);
+
+  // Optional warmup pass over a working set (for cache-resident rows).
+  if (warm_set != 0) {
+    for (std::uint64_t a = 0; a < warm_set; a += 64) {
+      core->Access(base + a, false, nullptr);
+    }
+    cluster.engine().Run();
+  }
+
+  auto remaining = std::make_shared<int>(count);
+  auto addr = std::make_shared<std::uint64_t>(base);
+  Summary lat;
+  std::function<void()> next = [&, remaining, addr]() {
+    if (--*remaining <= 0) {
+      return;
+    }
+    *addr = base + (*addr - base + stride) % (warm_set != 0 ? warm_set : ~0ULL);
+    const Tick t0 = cluster.engine().Now();
+    core->Access(*addr, is_write, [&lat, &cluster, t0, cont = next] {
+      lat.Add(ToNs(cluster.engine().Now() - t0));
+      cont();
+    });
+  };
+  // Kick off: measure each access individually, fully serialized.
+  const Tick t0 = cluster.engine().Now();
+  core->Access(*addr, is_write, [&lat, &cluster, t0, cont = next] {
+    lat.Add(ToNs(cluster.engine().Now() - t0));
+    cont();
+  });
+  cluster.engine().Run();
+  return lat.Mean();
+}
+
+// Saturated independent-access throughput in MOPS.
+double Throughput(std::uint64_t base, std::uint64_t stride, std::uint64_t working_set,
+                  bool is_write, Tick duration, std::uint64_t warm_set) {
+  Cluster cluster(OneHostOneFam());
+  MemoryHierarchy* core = cluster.host(0)->core(0);
+  if (warm_set != 0) {
+    for (std::uint64_t a = 0; a < warm_set; a += 64) {
+      core->Access(base + a, false, nullptr);
+    }
+    cluster.engine().Run();
+  }
+  auto completed = std::make_shared<std::uint64_t>(0);
+  auto addr = std::make_shared<std::uint64_t>(base);
+  std::function<void()> issue = [&cluster, core, completed, addr, base, stride, working_set,
+                                 is_write, &issue] {
+    ++*completed;
+    *addr = base + (*addr - base + stride) % working_set;
+    core->Access(*addr, is_write, issue);
+  };
+  for (int i = 0; i < 64; ++i) {
+    *addr = base + (*addr - base + stride) % working_set;
+    core->Access(*addr, is_write, issue);
+  }
+  cluster.engine().RunFor(duration);
+  return static_cast<double>(*completed) / ToUs(duration);
+}
+
+struct Row {
+  const char* level;
+  double paper_rd_lat, paper_wr_lat, paper_rd_mops, paper_wr_mops;
+  double rd_lat, wr_lat, rd_mops, wr_mops;
+};
+
+void Print(const Row& r) {
+  std::printf("%-26s %8.1f/%-8.1f %9.1f/%-9.1f %8.1f/%-8.1f %9.1f/%-9.1f\n", r.level,
+              r.paper_rd_lat, r.paper_wr_lat, r.paper_rd_mops, r.paper_wr_mops, r.rd_lat,
+              r.wr_lat, r.rd_mops, r.wr_mops);
+}
+
+}  // namespace
+}  // namespace unifab
+
+int main() {
+  using namespace unifab;
+  PrintHeader("T2", "Table 2",
+              "64B read/write latency (ns) and throughput (MOPS), paper vs simulated");
+  std::printf("%-26s %-18s %-20s %-18s %-20s\n", "Level", "paper lat R/W", "paper MOPS R/W",
+              "sim lat R/W", "sim MOPS R/W");
+
+  const std::uint64_t kRemoteBase = 1ULL << 40;
+
+  // L1: 4 KiB working set, warm.
+  Row l1{"L1 Cache",
+         5.4, 5.4, 357.4, 355.4,
+         Latency(0, 64, 200, false, 4096),
+         Latency(0, 64, 200, true, 4096),
+         Throughput(0, 64, 4096, false, FromUs(50), 4096),
+         Throughput(0, 64, 4096, true, FromUs(50), 4096)};
+  Print(l1);
+
+  // L2: 256 KiB working set (beyond L1, inside L2); probe lines evicted
+  // from L1 -> L2 hits.
+  Row l2{"L2 Cache",
+         13.6, 12.5, 143.4, 154.5,
+         Latency(0, 8256, 200, false, 256 * 1024),
+         Latency(0, 8256, 200, true, 256 * 1024),
+         Throughput(0, 8256, 256 * 1024, false, FromUs(50), 256 * 1024),
+         Throughput(0, 8256, 256 * 1024, true, FromUs(50), 256 * 1024)};
+  Print(l2);
+
+  // Local memory: non-power-of-two large stride defeats caches and spreads
+  // banks.
+  Row local{"Local Memory",
+            111.7, 119.3, 29.4, 16.9,
+            Latency(0, (1 << 20) + 4160, 100, false, 0),
+            Latency(0, (1 << 20) + 4160, 100, true, 0),
+            Throughput(0, 4160, 1ULL << 30, false, FromUs(100), 0),
+            Throughput(0, 4160, 1ULL << 30, true, FromUs(100), 0)};
+  Print(local);
+
+  Row remote{"Remote Memory",
+             1575.3, 1613.3, 2.5, 2.5,
+             Latency(kRemoteBase, (1 << 20) + 4160, 48, false, 0),
+             Latency(kRemoteBase, (1 << 20) + 4160, 48, true, 0),
+             Throughput(kRemoteBase, 4160, 1ULL << 30, false, FromUs(300), 0),
+             Throughput(kRemoteBase, 4160, 1ULL << 30, true, FromUs(300), 0)};
+  Print(remote);
+
+  std::printf("\nshape checks: remote/local read latency = %.1fx (paper: 14.1x, 'nearly 10x "
+              "slower than local complex')\n",
+              remote.rd_lat / local.rd_lat);
+  PrintFooter();
+  return 0;
+}

@@ -1,0 +1,193 @@
+// P2: DP#2 ablation — the host-assisted, node-type-conscious unified heap.
+// A zipf-skewed object workload runs against 16 MiB of 256 B objects that
+// start on a fabric-attached memory expander, under four placements:
+//   a) unified heap with temperature-driven migration (FCC);
+//   b) static placement (objects stay on the expander; the host caches
+//      still help — this is "CXL memory with a type-unconscious allocator");
+//   c) all-local oracle (everything fits in host DRAM — upper bound);
+//   d) AIFM-style RDMA far memory (communication-fabric baseline: whole
+//      objects swap over a NIC into a local cache).
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/baseline/policies.h"
+#include "src/baseline/rdma.h"
+#include "src/core/runtime.h"
+#include "src/sim/random.h"
+
+namespace unifab {
+namespace {
+
+constexpr Tick kHorizon = FromMs(100.0);
+
+// One workload regime: object geometry, skew, and the fast-tier budget.
+struct Regime {
+  const char* name;
+  int num_objects;
+  std::uint32_t object_bytes;
+  std::uint64_t local_tier_bytes;
+  double zipf_skew;
+  // Promotion threshold the runtime's profiler uses for this workload: mild
+  // skew needs a high bar (a single touch is noise); heavy skew rewards an
+  // eager policy. Choosing this per workload/node is DP#2's whole argument.
+  double promote_threshold;
+};
+
+constexpr Regime kRegimes[] = {
+    {"tiny objects, mild skew: 256K x 64B, zipf 0.5, 2 MiB fast tier", 262144, 64,
+     2ULL << 20, 0.5, 1.2},
+    {"small objects: 32K x 256B, zipf 0.9, 2 MiB fast tier", 32768, 256, 2ULL << 20, 0.9,
+     0.5},
+    {"large objects: 16K x 1KiB, zipf 0.9, 4 MiB fast tier", 16384, 1024, 4ULL << 20, 0.9,
+     0.5},
+};
+
+struct Outcome {
+  double mean_ns = 0.0;
+  double p99_ns = 0.0;
+  std::uint64_t ops = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t local_objects = 0;
+};
+
+Outcome RunHeapMode(const Regime& regime, bool migration, bool all_local) {
+  ClusterConfig ccfg;
+  ccfg.num_hosts = 1;
+  ccfg.num_fams = 1;
+  ccfg.num_faas = 0;
+  // A leaner L2 keeps the CPU caches from swallowing the whole hot set; the
+  // interesting regime is working set >> cache.
+  ccfg.host.hierarchy.l2 = CacheConfig{256 * 1024, 64, 8};
+  Cluster cluster(ccfg);
+
+  RuntimeOptions opts;
+  opts.heap_local_bytes = all_local ? (64ULL << 20) : regime.local_tier_bytes;
+  opts.heap.migration_enabled = migration;
+  opts.heap.epoch_length = FromMs(1.0);
+  opts.heap.migration_budget_bytes = 2 << 20;
+  opts.heap.promote_threshold = regime.promote_threshold;
+  opts.heap.demote_threshold = 0.05;
+  UniFabricRuntime runtime(&cluster, opts);
+  UnifiedHeap* heap = runtime.heap(0);
+  if (!migration) {
+    heap->SetPolicy(std::make_unique<StaticPlacementPolicy>());
+  }
+
+  std::vector<ObjectId> objects;
+  objects.reserve(static_cast<std::size_t>(regime.num_objects));
+  for (int i = 0; i < regime.num_objects; ++i) {
+    const ObjectId id = heap->Allocate(regime.object_bytes, all_local ? 0 : 1);
+    objects.push_back(id);
+  }
+
+  ZipfGenerator zipf(/*seed=*/7, regime.zipf_skew, static_cast<std::size_t>(regime.num_objects));
+  Summary lat;
+  auto loop = std::make_shared<std::function<void()>>();
+  *loop = [&cluster, heap, &objects, &zipf, &lat, loop] {
+    const ObjectId id = objects[zipf.Next()];
+    const Tick t0 = cluster.engine().Now();
+    heap->Read(id, [&cluster, &lat, t0, loop] {
+      lat.Add(ToNs(cluster.engine().Now() - t0));
+      (*loop)();
+    });
+  };
+  for (int i = 0; i < 4; ++i) {  // four application threads
+    (*loop)();
+  }
+  cluster.engine().RunUntil(kHorizon);
+
+  Outcome out;
+  out.mean_ns = lat.Mean();
+  out.p99_ns = lat.P99();
+  out.ops = lat.Count();
+  out.promotions = heap->stats().promotions;
+  for (const ObjectId id : objects) {
+    if (heap->TierOf(id) == 0) {
+      ++out.local_objects;
+    }
+  }
+  return out;
+}
+
+Outcome RunRdmaMode(const Regime& regime) {
+  Engine engine;
+  RdmaHeapConfig cfg;
+  cfg.local_cache_bytes = regime.local_tier_bytes;
+  cfg.local_hit_latency = FromNs(60.0);  // generous: local hits are cache-warm
+  RdmaObjectHeap heap(&engine, cfg);
+
+  std::vector<std::uint64_t> objects;
+  objects.reserve(static_cast<std::size_t>(regime.num_objects));
+  for (int i = 0; i < regime.num_objects; ++i) {
+    objects.push_back(heap.Allocate(regime.object_bytes));
+  }
+
+  ZipfGenerator zipf(/*seed=*/7, regime.zipf_skew, static_cast<std::size_t>(regime.num_objects));
+  Summary lat;
+  auto loop = std::make_shared<std::function<void()>>();
+  *loop = [&engine, &heap, &objects, &zipf, &lat, loop] {
+    const std::uint64_t id = objects[zipf.Next()];
+    const Tick t0 = engine.Now();
+    heap.Read(id, [&engine, &lat, t0, loop] {
+      lat.Add(ToNs(engine.Now() - t0));
+      (*loop)();
+    });
+  };
+  for (int i = 0; i < 4; ++i) {
+    (*loop)();
+  }
+  engine.RunUntil(kHorizon);
+
+  Outcome out;
+  out.mean_ns = lat.Mean();
+  out.p99_ns = lat.P99();
+  out.ops = lat.Count();
+  return out;
+}
+
+}  // namespace
+}  // namespace unifab
+
+int main() {
+  using namespace unifab;
+  PrintHeader("P2", "DP#2 ablation (unified heap)",
+              "skewed object reads, 4 app threads, 100 ms horizon, three object regimes");
+
+  for (const Regime& regime : kRegimes) {
+    std::printf("\n--- %s ---\n", regime.name);
+    std::printf("%-30s %-12s %-12s %-10s %-12s %-12s\n", "placement", "mean (ns)", "p99 (ns)",
+                "ops (k)", "promotions", "hot-tier objs");
+
+    const Outcome fcc = RunHeapMode(regime, /*migration=*/true, /*all_local=*/false);
+    const Outcome stat = RunHeapMode(regime, false, false);
+    const Outcome local = RunHeapMode(regime, false, true);
+    const Outcome rdma = RunRdmaMode(regime);
+
+    auto row = [](const char* name, const Outcome& o) {
+      std::printf("%-30s %-12.1f %-12.1f %-10.1f %-12llu %-12llu\n", name, o.mean_ns, o.p99_ns,
+                  static_cast<double>(o.ops) / 1000.0,
+                  static_cast<unsigned long long>(o.promotions),
+                  static_cast<unsigned long long>(o.local_objects));
+    };
+    row("unified heap + migration", fcc);
+    row("static on expander", stat);
+    row("all-local oracle", local);
+    row("RDMA far memory (AIFM-like)", rdma);
+
+    std::printf("migration vs static: %.2fx mean latency, %.2fx throughput; vs RDMA far "
+                "memory: %.2fx mean latency\n",
+                stat.mean_ns / fcc.mean_ns,
+                static_cast<double>(fcc.ops) / static_cast<double>(stat.ops),
+                rdma.mean_ns / fcc.mean_ns);
+  }
+  std::printf("\n(expected shape: migration closes much of the static-vs-local gap under "
+              "skew; cacheline load/store wins on small objects while whole-object RDMA "
+              "swap amortizes better on large hot objects — the type-conscious heap is "
+              "what lets the runtime pick placement per object)\n");
+  PrintFooter();
+  return 0;
+}

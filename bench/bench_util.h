@@ -1,0 +1,25 @@
+// Shared output helpers for the reproduction benches. Each bench binary
+// prints the paper artifact it regenerates (table rows / figure series)
+// with paper-reported values alongside simulated ones where applicable.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace unifab {
+
+inline void PrintHeader(const std::string& experiment, const std::string& artifact,
+                        const std::string& description) {
+  std::printf("==============================================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), artifact.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("==============================================================================\n");
+}
+
+inline void PrintFooter() { std::printf("\n"); }
+
+}  // namespace unifab
+
+#endif  // BENCH_BENCH_UTIL_H_

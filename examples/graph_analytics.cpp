@@ -1,0 +1,170 @@
+// Graph analytics over fabric-attached memory: neighborhood queries on a
+// power-law graph whose adjacency lists live on a CXL memory expander.
+//
+// The workload samples a vertex by picking a random edge endpoint (so hubs
+// are chosen in proportion to their degree — the realistic "who gets
+// queried" distribution) and scans its adjacency list plus a few
+// neighbors'. Two FCC levers matter on this irregular workload:
+//   * the stride prefetcher helps the sequential scan of a long (hub)
+//     adjacency list (DP#1: HW-assisted prefetching);
+//   * the unified heap promotes hub adjacency objects, which dominate the
+//     query mix (DP#2).
+//
+//   $ ./build/examples/graph_analytics
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/sim/random.h"
+
+using namespace unifab;
+
+namespace {
+
+struct Graph {
+  std::vector<std::vector<int>> adj;
+  std::vector<std::pair<int, int>> edges;  // for degree-biased sampling
+};
+
+// Preferential attachment: early vertices become heavy hubs.
+Graph MakeGraph(int n, int edges_per_vertex, std::uint64_t seed) {
+  Graph g;
+  g.adj.resize(static_cast<std::size_t>(n));
+  Rng rng(seed);
+  for (int v = 1; v < n; ++v) {
+    for (int e = 0; e < edges_per_vertex; ++e) {
+      const auto span = static_cast<std::uint64_t>(v);
+      const int u = static_cast<int>(
+          std::min(rng.NextBelow(span), std::min(rng.NextBelow(span), rng.NextBelow(span))));
+      g.adj[static_cast<std::size_t>(v)].push_back(u);
+      g.adj[static_cast<std::size_t>(u)].push_back(v);
+      g.edges.emplace_back(v, u);
+    }
+  }
+  return g;
+}
+
+struct QueryStats {
+  Summary query_us;
+};
+
+// Issues 2-hop neighborhood queries; each adjacency list is one heap object
+// whose size reflects its degree, so hub scans touch many cache lines.
+class QueryEngine {
+ public:
+  QueryEngine(Cluster* cluster, UnifiedHeap* heap, const Graph& graph)
+      : cluster_(cluster), heap_(heap), graph_(graph) {
+    objects_.reserve(graph.adj.size());
+    for (const auto& neighbors : graph.adj) {
+      const auto bytes =
+          static_cast<std::uint32_t>(std::max<std::size_t>(64, 8 + neighbors.size() * 4));
+      objects_.push_back(heap_->Allocate(bytes, /*tier_hint=*/1));
+    }
+  }
+
+  void Query(int v, int fanout, std::function<void()> done) {
+    // Scan v's adjacency, then the first `fanout` neighbors' lists.
+    heap_->Read(objects_[static_cast<std::size_t>(v)],
+                [this, v, fanout, done = std::move(done)]() mutable {
+                  const auto& neighbors = graph_.adj[static_cast<std::size_t>(v)];
+                  const int n = std::min<int>(fanout, static_cast<int>(neighbors.size()));
+                  if (n == 0) {
+                    done();
+                    return;
+                  }
+                  auto remaining = std::make_shared<int>(n);
+                  for (int i = 0; i < n; ++i) {
+                    heap_->Read(objects_[static_cast<std::size_t>(neighbors[
+                                    static_cast<std::size_t>(i)])],
+                                [remaining, done] {
+                                  if (--*remaining == 0) {
+                                    done();
+                                  }
+                                });
+                  }
+                });
+  }
+
+ private:
+  Cluster* cluster_;
+  UnifiedHeap* heap_;
+  const Graph& graph_;
+  std::vector<ObjectId> objects_;
+};
+
+double RunConfig(const Graph& graph, bool prefetch, bool migration) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 1;
+  cfg.num_fams = 1;
+  cfg.num_faas = 0;
+  cfg.host.hierarchy.l2 = CacheConfig{256 * 1024, 64, 8};
+  cfg.host.hierarchy.prefetch_enabled = prefetch;
+  cfg.host.hierarchy.prefetch_degree = 4;
+  Cluster cluster(cfg);
+
+  RuntimeOptions opts;
+  opts.heap_local_bytes = 2ULL << 20;
+  opts.heap.migration_enabled = migration;
+  opts.heap.epoch_length = FromMs(1.0);
+  opts.heap.promote_threshold = 0.8;
+  UniFabricRuntime runtime(&cluster, opts);
+
+  QueryEngine engine(&cluster, runtime.heap(0), graph);
+  cluster.engine().Run();  // settle allocation-time writes
+  const Tick start = cluster.engine().Now();
+
+  Rng sampler(5);
+  QueryStats stats;
+  auto loop = std::make_shared<std::function<void()>>();
+  *loop = [&cluster, &graph, &engine, &sampler, &stats, loop] {
+    // Degree-biased vertex choice: a uniformly random edge endpoint.
+    const auto& edge = graph.edges[sampler.NextBelow(graph.edges.size())];
+    const int v = sampler.NextBool(0.5) ? edge.first : edge.second;
+    const Tick t0 = cluster.engine().Now();
+    engine.Query(v, /*fanout=*/8, [&cluster, &stats, t0, loop] {
+      stats.query_us.Add(ToUs(cluster.engine().Now() - t0));
+      (*loop)();
+    });
+  };
+  for (int c = 0; c < 2; ++c) {
+    (*loop)();
+  }
+  cluster.engine().RunUntil(start + FromMs(50.0));
+  return stats.query_us.Mean();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("2-hop neighborhood queries on a 50K-vertex power-law graph stored on a CXL "
+              "memory expander\n");
+  std::printf("(degree-biased query mix, 2 client threads, 50 ms per configuration)\n\n");
+
+  const Graph graph = MakeGraph(50000, 8, 11);
+  std::size_t max_deg = 0;
+  for (const auto& a : graph.adj) {
+    max_deg = std::max(max_deg, a.size());
+  }
+  std::printf("graph: %zu vertices, %zu edges, max degree %zu\n\n", graph.adj.size(),
+              graph.edges.size(), max_deg);
+
+  std::printf("%-44s %s\n", "configuration", "mean query (us)");
+  const double base = RunConfig(graph, false, false);
+  std::printf("%-44s %.2f\n", "all-remote, no prefetch, no migration", base);
+  const double pf = RunConfig(graph, true, false);
+  std::printf("%-44s %.2f\n", "+ stride prefetcher", pf);
+  const double mig = RunConfig(graph, false, true);
+  std::printf("%-44s %.2f\n", "+ hub promotion (migration)", mig);
+  const double both = RunConfig(graph, true, true);
+  std::printf("%-44s %.2f\n", "+ both", both);
+
+  std::printf("\nspeedup from FCC mechanisms: %.2fx\n", base / both);
+  std::printf("(hub promotion carries the win: degree-biased queries concentrate on a few "
+              "hot adjacency objects. The stride prefetcher is a wash here — pointer-chasing "
+              "misses rarely repeat a stride, exactly the access class DP#1 says to keep "
+              "synchronous.)\n");
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Baseline heap policies for the DP#2 ablations.
+
+#ifndef SRC_BASELINE_POLICIES_H_
+#define SRC_BASELINE_POLICIES_H_
+
+#include <vector>
+
+#include "src/core/heap.h"
+
+namespace unifab {
+
+// Objects stay where they were allocated forever (static placement — what a
+// type-unconscious allocator over CXL memory does today).
+class StaticPlacementPolicy : public MigrationPolicy {
+ public:
+  std::vector<Move> Decide(const std::vector<ObjectInfo>& /*objects*/,
+                           const std::vector<MemTier>& /*tiers*/,
+                           const std::vector<std::uint64_t>& /*tier_used*/,
+                           const HeapConfig& /*config*/) override {
+    return {};
+  }
+};
+
+}  // namespace unifab
+
+#endif  // SRC_BASELINE_POLICIES_H_

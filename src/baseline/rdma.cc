@@ -1,0 +1,129 @@
+#include "src/baseline/rdma.h"
+
+#include <cassert>
+#include <utility>
+
+namespace unifab {
+
+RdmaFarMemory::RdmaFarMemory(Engine* engine, const RdmaConfig& config)
+    : engine_(engine), config_(config) {}
+
+void RdmaFarMemory::Get(std::uint64_t /*addr*/, std::uint32_t bytes, std::function<void()> done) {
+  queue_.push_back(Op{/*is_put=*/false, bytes, std::move(done), engine_->Now()});
+  PumpQueue();
+}
+
+void RdmaFarMemory::Put(std::uint64_t /*addr*/, std::uint32_t bytes, std::function<void()> done) {
+  queue_.push_back(Op{/*is_put=*/true, bytes, std::move(done), engine_->Now()});
+  PumpQueue();
+}
+
+void RdmaFarMemory::PumpQueue() {
+  while (!queue_.empty() && outstanding_ < config_.max_outstanding) {
+    Op op = std::move(queue_.front());
+    queue_.pop_front();
+    ++outstanding_;
+    Issue(std::move(op));
+  }
+}
+
+void RdmaFarMemory::Issue(Op op) {
+  const Tick transfer = SerializationDelay(op.bytes, config_.bandwidth_gbps);
+  const Tick total = config_.host_stack_latency + config_.network_latency +
+                     config_.remote_nic_latency + transfer + config_.network_latency +
+                     config_.completion_poll_latency;
+  const bool is_put = op.is_put;
+  const std::uint32_t bytes = op.bytes;
+  const Tick submitted = op.submitted_at;
+  engine_->Schedule(total, [this, is_put, bytes, submitted, done = std::move(op.done)] {
+    --outstanding_;
+    if (is_put) {
+      ++stats_.puts;
+    } else {
+      ++stats_.gets;
+    }
+    stats_.bytes += bytes;
+    stats_.op_latency_ns.Add(ToNs(engine_->Now() - submitted));
+    if (done) {
+      done();
+    }
+    PumpQueue();
+  });
+}
+
+RdmaObjectHeap::RdmaObjectHeap(Engine* engine, const RdmaHeapConfig& config)
+    : engine_(engine), config_(config), rdma_(engine, config.rdma) {}
+
+std::uint64_t RdmaObjectHeap::Allocate(std::uint32_t size) {
+  const std::uint64_t id = next_id_++;
+  Object obj;
+  obj.size = size;
+  obj.local = false;  // objects are born remote (far-memory model)
+  objects_.emplace(id, obj);
+  return id;
+}
+
+void RdmaObjectHeap::TouchLru(std::uint64_t id) {
+  Object& obj = objects_.at(id);
+  lru_.erase(obj.lru_it);
+  lru_.push_front(id);
+  obj.lru_it = lru_.begin();
+}
+
+void RdmaObjectHeap::EvictIfNeeded(std::uint32_t incoming) {
+  while (local_bytes_ + incoming > config_.local_cache_bytes && !lru_.empty()) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    Object& obj = objects_.at(victim);
+    obj.local = false;
+    local_bytes_ -= obj.size;
+    if (obj.dirty) {
+      obj.dirty = false;
+      ++stats_.writebacks;
+      rdma_.Put(victim, obj.size, nullptr);
+    }
+  }
+}
+
+void RdmaObjectHeap::Access(std::uint64_t id, bool is_write, std::function<void()> done) {
+  auto it = objects_.find(id);
+  assert(it != objects_.end());
+  Object& obj = it->second;
+
+  if (obj.local) {
+    ++stats_.hits;
+    TouchLru(id);
+    if (is_write) {
+      obj.dirty = true;
+    }
+    engine_->Schedule(config_.local_hit_latency, std::move(done));
+    return;
+  }
+
+  ++stats_.misses;
+  const std::uint32_t size = obj.size;
+  rdma_.Get(id, size, [this, id, is_write, done = std::move(done)] {
+    Object& o = objects_.at(id);
+    EvictIfNeeded(o.size);
+    o.local = true;
+    o.dirty = is_write;
+    local_bytes_ += o.size;
+    lru_.push_front(id);
+    o.lru_it = lru_.begin();
+    if (done) {
+      done();
+    }
+  });
+}
+
+void RdmaObjectHeap::Read(std::uint64_t id, std::function<void()> done) {
+  ++stats_.reads;
+  Access(id, /*is_write=*/false, std::move(done));
+}
+
+void RdmaObjectHeap::Write(std::uint64_t id, std::function<void()> done) {
+  ++stats_.writes;
+  Access(id, /*is_write=*/true, std::move(done));
+}
+
+}  // namespace unifab

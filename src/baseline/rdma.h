@@ -1,0 +1,121 @@
+// Communication-fabric baseline: RDMA-style far memory.
+//
+// The paper's motivation (§2.1 #2, §3) contrasts memory fabrics with
+// networking stacks: an RDMA access pays send-side kernel/driver/NIC cost,
+// wire time, and remote NIC processing, and is asynchronous
+// (submission/completion) rather than synchronous load/store. This module
+// implements that baseline so the unified-heap benchmarks can compare FCC
+// against an AIFM-like object far memory over a commodity NIC.
+
+#ifndef SRC_BASELINE_RDMA_H_
+#define SRC_BASELINE_RDMA_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <list>
+#include <unordered_map>
+
+#include "src/sim/engine.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace unifab {
+
+struct RdmaConfig {
+  Tick host_stack_latency = FromNs(900.0);    // verbs post + doorbell + NIC DMA
+  Tick remote_nic_latency = FromNs(400.0);    // one-sided target processing
+  Tick network_latency = FromNs(600.0);       // wire + ToR switch, one way
+  Tick completion_poll_latency = FromNs(250.0);  // CQ polling at the initiator
+  double bandwidth_gbps = 12.5;               // 100 Gb/s
+  std::uint32_t max_outstanding = 32;
+};
+
+struct RdmaStats {
+  std::uint64_t gets = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t bytes = 0;
+  Summary op_latency_ns;
+};
+
+// One-sided verbs to a remote memory server.
+class RdmaFarMemory {
+ public:
+  RdmaFarMemory(Engine* engine, const RdmaConfig& config);
+
+  void Get(std::uint64_t addr, std::uint32_t bytes, std::function<void()> done);
+  void Put(std::uint64_t addr, std::uint32_t bytes, std::function<void()> done);
+
+  std::size_t Outstanding() const { return outstanding_; }
+  const RdmaStats& stats() const { return stats_; }
+
+ private:
+  struct Op {
+    bool is_put;
+    std::uint32_t bytes;
+    std::function<void()> done;
+    Tick submitted_at;
+  };
+
+  void Issue(Op op);
+  void PumpQueue();
+
+  Engine* engine_;
+  RdmaConfig config_;
+  std::deque<Op> queue_;
+  std::size_t outstanding_ = 0;
+  RdmaStats stats_;
+};
+
+struct RdmaHeapConfig {
+  RdmaConfig rdma;
+  std::uint64_t local_cache_bytes = 1ULL << 30;  // host-DRAM object cache
+  Tick local_hit_latency = FromNs(130.0);        // DRAM + software lookup
+};
+
+struct RdmaHeapStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+};
+
+// AIFM-like object far memory: whole objects swap between a local DRAM
+// cache and the remote memory server over RDMA.
+class RdmaObjectHeap {
+ public:
+  RdmaObjectHeap(Engine* engine, const RdmaHeapConfig& config);
+
+  std::uint64_t Allocate(std::uint32_t size);  // returns object id
+  void Read(std::uint64_t id, std::function<void()> done);
+  void Write(std::uint64_t id, std::function<void()> done);
+
+  const RdmaHeapStats& stats() const { return stats_; }
+  std::uint64_t LocalBytes() const { return local_bytes_; }
+
+ private:
+  struct Object {
+    std::uint32_t size;
+    bool local = false;
+    bool dirty = false;
+    std::list<std::uint64_t>::iterator lru_it;
+  };
+
+  void Access(std::uint64_t id, bool is_write, std::function<void()> done);
+  void EvictIfNeeded(std::uint32_t incoming);
+  void TouchLru(std::uint64_t id);
+
+  Engine* engine_;
+  RdmaHeapConfig config_;
+  RdmaFarMemory rdma_;
+  std::unordered_map<std::uint64_t, Object> objects_;
+  std::list<std::uint64_t> lru_;  // front = most recent, local objects only
+  std::uint64_t local_bytes_ = 0;
+  std::uint64_t next_id_ = 1;
+  RdmaHeapStats stats_;
+};
+
+}  // namespace unifab
+
+#endif  // SRC_BASELINE_RDMA_H_

@@ -1,0 +1,192 @@
+#include "src/core/arbiter.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace unifab {
+
+FabricArbiter::FabricArbiter(Engine* engine, const ArbiterConfig& config,
+                             MessageDispatcher* dispatcher)
+    : engine_(engine), config_(config), dispatcher_(dispatcher) {
+  dispatcher_->RegisterService(kSvcArbiter,
+                               [this](const FabricMessage& msg) { HandleMessage(msg); });
+}
+
+void FabricArbiter::RegisterResource(PbrId node, double capacity_mbps) {
+  resources_[node].capacity_mbps = capacity_mbps;
+}
+
+void FabricArbiter::SetFlowPriority(PbrId src, int priority) {
+  for (FabricSwitch* sw : switches_) {
+    sw->SetSourcePriority(src, priority);
+  }
+}
+
+double FabricArbiter::CapacityOf(PbrId node) const {
+  auto it = resources_.find(node);
+  return it == resources_.end() ? 0.0 : it->second.capacity_mbps;
+}
+
+double FabricArbiter::ReservedOf(PbrId node) const {
+  auto it = resources_.find(node);
+  return it == resources_.end() ? 0.0 : it->second.Reserved();
+}
+
+void FabricArbiter::ExpireLeases(Resource& res) {
+  const Tick now = engine_->Now();
+  for (auto it = res.leases.begin(); it != res.leases.end();) {
+    if (it->second.expires_at <= now) {
+      ++stats_.expirations;
+      it = res.leases.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+double FabricArbiter::FairGrant(Resource& res, PbrId holder, double want) {
+  // The requester's fair share is capacity / (active flows incl. itself);
+  // it may take more if capacity is otherwise uncommitted (work-conserving
+  // max-min), and never less than what fairness entitles it to — existing
+  // over-share leases will shrink when they renew.
+  const bool already = res.leases.count(holder) != 0;
+  const double flows = static_cast<double>(res.leases.size() + (already ? 0 : 1));
+  const double fair_share = res.capacity_mbps / flows;
+
+  double reserved_by_others = 0.0;
+  for (const auto& [h, l] : res.leases) {
+    if (h != holder) {
+      reserved_by_others += l.mbps;
+    }
+  }
+  const double uncommitted = std::max(0.0, res.capacity_mbps - reserved_by_others);
+  // Work-conserving: take whatever is uncommitted, up to the ask — but a
+  // flow is always entitled to its fair share even when earlier flows hold
+  // over-share leases (the transient overcommit dissolves as those leases
+  // expire or renew at the new, smaller share).
+  return std::min(want, std::max(uncommitted, fair_share));
+}
+
+void FabricArbiter::HandleMessage(const FabricMessage& msg) {
+  const auto req = std::static_pointer_cast<ArbiterMsg>(msg.body);
+  assert(req != nullptr);
+  engine_->Schedule(config_.decision_latency, [this, m = *req, src = msg.src] {
+    auto it = resources_.find(m.resource);
+    if (it == resources_.end()) {
+      ArbiterMsg resp = m;
+      resp.kind = m.kind == ArbiterMsg::Kind::kQuery ? ArbiterMsg::Kind::kQueryResp
+                                                     : ArbiterMsg::Kind::kGrant;
+      resp.mbps = 0.0;
+      resp.available_mbps = 0.0;
+      ++stats_.rejections;
+      Reply(src, resp);
+      return;
+    }
+    Resource& res = it->second;
+    ExpireLeases(res);
+
+    switch (m.kind) {
+      case ArbiterMsg::Kind::kQuery: {
+        ++stats_.queries;
+        ArbiterMsg resp = m;
+        resp.kind = ArbiterMsg::Kind::kQueryResp;
+        resp.available_mbps = std::max(0.0, res.capacity_mbps - res.Reserved());
+        Reply(src, resp);
+        return;
+      }
+      case ArbiterMsg::Kind::kReserve: {
+        ++stats_.reservations;
+        const double granted = FairGrant(res, src, m.mbps);
+        if (granted <= 0.0) {
+          ++stats_.rejections;
+        } else {
+          res.leases[src] =
+              Lease{src, granted, engine_->Now() + config_.lease_duration};
+        }
+        ArbiterMsg resp = m;
+        resp.kind = ArbiterMsg::Kind::kGrant;
+        resp.mbps = granted;
+        Reply(src, resp);
+        return;
+      }
+      case ArbiterMsg::Kind::kRelease: {
+        ++stats_.releases;
+        auto lease = res.leases.find(src);
+        if (lease != res.leases.end()) {
+          lease->second.mbps -= m.mbps;
+          if (lease->second.mbps <= 0.0) {
+            res.leases.erase(lease);
+          }
+        }
+        return;  // releases are not acknowledged
+      }
+      default:
+        return;
+    }
+  });
+}
+
+void FabricArbiter::Reply(PbrId dst, const ArbiterMsg& msg) {
+  dispatcher_->adapter()->SendMessage(dst, Channel::kControl, Opcode::kCreditGrant,
+                                      MakeTag(kSvcArbiter, msg.request_id),
+                                      config_.ctrl_msg_bytes,
+                                      std::make_shared<ArbiterMsg>(msg));
+}
+
+ArbiterClient::ArbiterClient(Engine* engine, const ArbiterConfig& config,
+                             MessageDispatcher* dispatcher, PbrId arbiter_node)
+    : engine_(engine), config_(config), dispatcher_(dispatcher), arbiter_node_(arbiter_node) {
+  dispatcher_->RegisterService(kSvcArbiter,
+                               [this](const FabricMessage& msg) { HandleMessage(msg); });
+}
+
+void ArbiterClient::Send(ArbiterMsg msg) {
+  dispatcher_->adapter()->SendMessage(arbiter_node_, Channel::kControl, Opcode::kCreditQuery,
+                                      MakeTag(kSvcArbiter, msg.request_id),
+                                      config_.ctrl_msg_bytes,
+                                      std::make_shared<ArbiterMsg>(msg));
+}
+
+void ArbiterClient::Reserve(PbrId resource, double mbps, std::function<void(double)> cb) {
+  ArbiterMsg msg;
+  msg.kind = ArbiterMsg::Kind::kReserve;
+  msg.request_id = next_request_++;
+  msg.resource = resource;
+  msg.mbps = mbps;
+  callbacks_[msg.request_id] = std::move(cb);
+  Send(msg);
+}
+
+void ArbiterClient::Release(PbrId resource, double mbps) {
+  ArbiterMsg msg;
+  msg.kind = ArbiterMsg::Kind::kRelease;
+  msg.request_id = next_request_++;
+  msg.resource = resource;
+  msg.mbps = mbps;
+  Send(msg);
+}
+
+void ArbiterClient::Query(PbrId resource, std::function<void(double)> cb) {
+  ArbiterMsg msg;
+  msg.kind = ArbiterMsg::Kind::kQuery;
+  msg.request_id = next_request_++;
+  msg.resource = resource;
+  callbacks_[msg.request_id] = std::move(cb);
+  Send(msg);
+}
+
+void ArbiterClient::HandleMessage(const FabricMessage& msg) {
+  const auto resp = std::static_pointer_cast<ArbiterMsg>(msg.body);
+  assert(resp != nullptr);
+  auto it = callbacks_.find(resp->request_id);
+  if (it == callbacks_.end()) {
+    return;
+  }
+  auto cb = std::move(it->second);
+  callbacks_.erase(it);
+  if (cb) {
+    cb(resp->kind == ArbiterMsg::Kind::kQueryResp ? resp->available_mbps : resp->mbps);
+  }
+}
+
+}  // namespace unifab

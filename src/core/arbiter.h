@@ -1,0 +1,145 @@
+// Central fabric arbiter over a dedicated control lane (FCC DP#4).
+//
+// One arbiter instance serves a fabric. Clients (hosts, FAAs, eTrans
+// agents) reach it over the Channel::kControl virtual channel, which links
+// serve with strict priority — the "dedicated lane" that keeps control RTT
+// low even when data channels are saturated. The arbiter:
+//   * tracks per-resource (destination node) bandwidth capacity;
+//   * grants leases via max-min fair allocation across active flows;
+//   * exposes the programmable query/reserve/reclaim interface the paper
+//     calls for, which eTrans uses to throttle bulk transfers;
+//   * optionally programs switch arbitration priorities (arbiter-directed
+//     flow scheduling) through the fabric manager's configuration plane.
+
+#ifndef SRC_CORE_ARBITER_H_
+#define SRC_CORE_ARBITER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fabric/dispatch.h"
+#include "src/fabric/switch.h"
+#include "src/sim/engine.h"
+#include "src/sim/stats.h"
+
+namespace unifab {
+
+// Wire format for arbiter control messages (rides Channel::kControl).
+struct ArbiterMsg {
+  enum class Kind : std::uint8_t { kQuery, kReserve, kRelease, kGrant, kQueryResp };
+  Kind kind = Kind::kQuery;
+  std::uint64_t request_id = 0;
+  PbrId resource = kInvalidPbrId;  // destination node whose bandwidth is managed
+  double mbps = 0.0;               // requested / granted / released bandwidth
+  double available_mbps = 0.0;     // kQueryResp
+};
+
+struct ArbiterConfig {
+  std::uint32_t ctrl_msg_bytes = 64;  // one flit
+  Tick decision_latency = FromNs(40.0);
+  Tick lease_duration = FromUs(100.0);  // grants expire unless renewed
+};
+
+struct ArbiterStats {
+  std::uint64_t queries = 0;
+  std::uint64_t reservations = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t rejections = 0;   // zero-bandwidth grants
+  std::uint64_t expirations = 0;  // leases reclaimed on expiry
+};
+
+// Server side. Attach to a MessageDispatcher whose adapter sits on the
+// fabric (the runtime provisions a dedicated lightweight adapter).
+class FabricArbiter {
+ public:
+  FabricArbiter(Engine* engine, const ArbiterConfig& config, MessageDispatcher* dispatcher);
+
+  // Declares a managed resource (typically a FAM/FAA node's ingress
+  // bandwidth).
+  void RegisterResource(PbrId node, double capacity_mbps);
+
+  // Lets the arbiter program switch priorities (arbiter-directed
+  // scheduling). Priorities apply to kPriority-arbitration switches.
+  void AttachSwitch(FabricSwitch* sw) { switches_.push_back(sw); }
+  void SetFlowPriority(PbrId src, int priority);
+
+  double CapacityOf(PbrId node) const;
+  double ReservedOf(PbrId node) const;
+  const ArbiterStats& stats() const { return stats_; }
+  PbrId fabric_id() const { return dispatcher_->adapter()->id(); }
+
+ private:
+  struct Lease {
+    PbrId holder;
+    double mbps;
+    Tick expires_at;
+  };
+
+  struct Resource {
+    double capacity_mbps = 0.0;
+    // flow (holder) -> lease
+    std::map<PbrId, Lease> leases;
+    double Reserved() const {
+      double sum = 0.0;
+      for (const auto& [h, l] : leases) {
+        sum += l.mbps;
+      }
+      return sum;
+    }
+  };
+
+  void HandleMessage(const FabricMessage& msg);
+  void ExpireLeases(Resource& res);
+  // Max-min fair share for a new/renewing request of `want` from `holder`.
+  double FairGrant(Resource& res, PbrId holder, double want);
+  void Reply(PbrId dst, const ArbiterMsg& msg);
+
+  Engine* engine_;
+  ArbiterConfig config_;
+  MessageDispatcher* dispatcher_;
+  std::unordered_map<PbrId, Resource> resources_;
+  std::vector<FabricSwitch*> switches_;
+  ArbiterStats stats_;
+};
+
+// Client side: issues control-lane requests and delivers async replies.
+class ArbiterClient {
+ public:
+  ArbiterClient(Engine* engine, const ArbiterConfig& config, MessageDispatcher* dispatcher,
+                PbrId arbiter_node);
+
+  // Asks for `mbps` toward `resource`; `cb` receives the granted bandwidth
+  // (possibly 0).
+  void Reserve(PbrId resource, double mbps, std::function<void(double granted)> cb);
+
+  // Returns bandwidth early (otherwise the lease expires on its own).
+  void Release(PbrId resource, double mbps);
+
+  // Reads the resource's uncommitted capacity.
+  void Query(PbrId resource, std::function<void(double available)> cb);
+
+  // Lease lifetime agreed with the arbiter; holders renew at this cadence.
+  Tick lease_duration() const { return config_.lease_duration; }
+
+  std::uint64_t outstanding() const { return callbacks_.size(); }
+
+ private:
+  void HandleMessage(const FabricMessage& msg);
+  void Send(ArbiterMsg msg);
+
+  Engine* engine_;
+  ArbiterConfig config_;
+  MessageDispatcher* dispatcher_;
+  PbrId arbiter_node_;
+  std::uint64_t next_request_ = 1;
+  std::unordered_map<std::uint64_t, std::function<void(double)>> callbacks_;
+};
+
+}  // namespace unifab
+
+#endif  // SRC_CORE_ARBITER_H_

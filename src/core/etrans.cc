@@ -1,0 +1,324 @@
+#include "src/core/etrans.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace unifab {
+namespace {
+
+// Tag payloads distinguishing eTrans message kinds.
+constexpr std::uint64_t kTagJob = 1;
+constexpr std::uint64_t kTagDone = 2;
+
+struct DoneMsg {
+  std::uint64_t job_id;
+  TransferResult result;
+};
+
+}  // namespace
+
+MigrationAgent::MigrationAgent(Engine* engine, MessageDispatcher* dispatcher,
+                               DramDevice* local_mem, ArbiterClient* arbiter, std::string name)
+    : engine_(engine),
+      dispatcher_(dispatcher),
+      local_mem_(local_mem),
+      arbiter_(arbiter),
+      name_(std::move(name)) {}
+
+std::pair<const Segment*, std::uint64_t> MigrationAgent::Locate(
+    const std::vector<Segment>& segs, std::uint64_t offset) {
+  for (const auto& seg : segs) {
+    if (offset < seg.bytes) {
+      return {&seg, offset};
+    }
+    offset -= seg.bytes;
+  }
+  return {nullptr, 0};
+}
+
+void MigrationAgent::ExecuteTransfer(const TransferJob& job,
+                                     std::function<void(TransferResult)> done) {
+  auto active = std::make_shared<ActiveJob>();
+  active->job = job;
+  active->done = std::move(done);
+  active->started_at = engine_->Now();
+  active->total = ETransEngine::ValidateAndSize(job.desc);
+  StartJob(active);
+}
+
+void MigrationAgent::StartJob(std::shared_ptr<ActiveJob> job) {
+  const ETransAttributes& attrs = job->job.desc.attributes;
+  // Immediate transfers are the synchronous urgent path and bypass the
+  // lease machinery; delegated bulk traffic is what the arbiter paces.
+  if (!job->job.desc.immediate && attrs.throttled && arbiter_ != nullptr &&
+      !job->job.desc.dst.empty()) {
+    // Lease bandwidth toward the (first) destination node; pace chunks at
+    // the granted rate.
+    job->lease_resource = job->job.desc.dst.front().node;
+    arbiter_->Reserve(job->lease_resource, attrs.request_mbps, [this, job](double granted) {
+      if (granted <= 0.0) {
+        ++stats_.lease_denials;
+        if (++job->lease_retries <= kMaxLeaseRetries) {
+          // Congestion: exponential backoff before asking again.
+          const Tick backoff = FromUs(5.0) << job->lease_retries;
+          engine_->Schedule(backoff, [this, job] { StartJob(job); });
+          return;
+        }
+        // The resource is unmanaged or persistently saturated; fall through
+        // unthrottled rather than stalling the transfer forever.
+        job->granted_mbps = 0.0;
+        PumpChunks(job);
+        return;
+      }
+      job->granted_mbps = granted;
+      job->next_issue_at = engine_->Now();
+      job->lease_renew_at = engine_->Now() + arbiter_->lease_duration();
+      PumpChunks(job);
+    });
+    return;
+  }
+  job->granted_mbps = 0.0;  // unthrottled
+  PumpChunks(job);
+}
+
+void MigrationAgent::MaybeRenewLease(const std::shared_ptr<ActiveJob>& job) {
+  if (job->granted_mbps <= 0.0 || arbiter_ == nullptr || job->renew_pending ||
+      engine_->Now() < job->lease_renew_at) {
+    return;
+  }
+  // Renew at the lease cadence; the arbiter re-runs max-min over the
+  // currently active flows, so long transfers converge to their fair share
+  // as contention changes.
+  job->renew_pending = true;
+  arbiter_->Reserve(job->lease_resource, job->job.desc.attributes.request_mbps,
+                    [this, job](double granted) {
+                      job->renew_pending = false;
+                      if (granted > 0.0) {
+                        job->granted_mbps = granted;
+                      }
+                      job->lease_renew_at = engine_->Now() + arbiter_->lease_duration();
+                      PumpChunks(job);
+                    });
+}
+
+void MigrationAgent::PumpChunks(const std::shared_ptr<ActiveJob>& job) {
+  const ETransAttributes& attrs = job->job.desc.attributes;
+  MaybeRenewLease(job);
+  while (job->offset < job->total && job->in_flight < attrs.pipeline_depth) {
+    if (job->granted_mbps > 0.0 && engine_->Now() < job->next_issue_at) {
+      // Rate limited: resume when the lease's token clock catches up.
+      ++stats_.throttle_waits;
+      engine_->ScheduleAt(job->next_issue_at, [this, job] { PumpChunks(job); });
+      return;
+    }
+    const std::uint32_t bytes = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(attrs.chunk_bytes, job->total - job->offset));
+    if (job->granted_mbps > 0.0) {
+      // Advance the token clock: bytes / (MB/s) = us.
+      const Tick pace = static_cast<Tick>(static_cast<double>(bytes) / job->granted_mbps *
+                                          static_cast<double>(kTicksPerUs));
+      const Tick base = std::max(job->next_issue_at, engine_->Now());
+      job->next_issue_at = base + pace;
+    }
+    IssueChunk(job, job->offset, bytes);
+    job->offset += bytes;
+    ++job->in_flight;
+  }
+}
+
+void MigrationAgent::IssueChunk(const std::shared_ptr<ActiveJob>& job, std::uint64_t offset,
+                                std::uint32_t bytes) {
+  const auto [src, src_off] = Locate(job->job.desc.src, offset);
+  assert(src != nullptr);
+  // Chunks never straddle segment boundaries in well-formed descriptors
+  // produced by the engine; clamp defensively.
+  const std::uint32_t n =
+      static_cast<std::uint32_t>(std::min<std::uint64_t>(bytes, src->bytes - src_off));
+
+  ReadSegment(*src, src_off, n, [this, job, offset, n] {
+    const auto [dst, dst_off] = Locate(job->job.desc.dst, offset);
+    assert(dst != nullptr);
+    const std::uint32_t w =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(n, dst->bytes - dst_off));
+    WriteSegment(*dst, dst_off, w, [this, job, w] {
+      job->completed += w;
+      --job->in_flight;
+      stats_.bytes_moved += w;
+      if (job->completed >= job->total) {
+        ++stats_.jobs_executed;
+        stats_.job_latency_us.Add(ToUs(engine_->Now() - job->started_at));
+        if (job->granted_mbps > 0.0 && arbiter_ != nullptr) {
+          arbiter_->Release(job->lease_resource, job->granted_mbps);
+        }
+        if (job->done) {
+          job->done(TransferResult{true, engine_->Now(), job->total});
+        }
+        return;
+      }
+      PumpChunks(job);
+    });
+  });
+}
+
+void MigrationAgent::ReadSegment(const Segment& seg, std::uint64_t offset, std::uint32_t bytes,
+                                 std::function<void()> done) {
+  if (seg.node == fabric_id() && local_mem_ != nullptr) {
+    local_mem_->Access(seg.addr + offset, bytes, /*is_write=*/false, std::move(done));
+    return;
+  }
+  auto* host = dynamic_cast<HostAdapter*>(dispatcher_->adapter());
+  assert(host != nullptr && "remote segment but agent has no host adapter");
+  MemRequest req;
+  req.type = MemRequest::Type::kRead;
+  req.addr = seg.addr + offset;
+  req.bytes = bytes;
+  req.channel = Channel::kMem;
+  host->Submit(seg.node, req, std::move(done));
+}
+
+void MigrationAgent::WriteSegment(const Segment& seg, std::uint64_t offset, std::uint32_t bytes,
+                                  std::function<void()> done) {
+  if (seg.node == fabric_id() && local_mem_ != nullptr) {
+    local_mem_->Access(seg.addr + offset, bytes, /*is_write=*/true, std::move(done));
+    return;
+  }
+  auto* host = dynamic_cast<HostAdapter*>(dispatcher_->adapter());
+  assert(host != nullptr && "remote segment but agent has no host adapter");
+  MemRequest req;
+  req.type = MemRequest::Type::kWrite;
+  req.addr = seg.addr + offset;
+  req.bytes = bytes;
+  req.channel = Channel::kMem;
+  host->Submit(seg.node, req, std::move(done));
+}
+
+ETransEngine::ETransEngine(Engine* engine) : engine_(engine) {}
+
+void ETransEngine::RegisterAgent(PbrId domain_node, MigrationAgent* agent) {
+  agents_[domain_node] = agent;
+  agents_by_self_[agent->fabric_id()] = agent;
+  agent->dispatcher()->RegisterService(
+      kSvcETrans, [this, agent](const FabricMessage& msg) { HandleAgentMessage(agent, msg); });
+}
+
+std::uint64_t ETransEngine::ValidateAndSize(const ETransDescriptor& desc) {
+  std::uint64_t src_bytes = 0;
+  std::uint64_t dst_bytes = 0;
+  for (const auto& s : desc.src) {
+    src_bytes += s.bytes;
+  }
+  for (const auto& d : desc.dst) {
+    dst_bytes += d.bytes;
+  }
+  assert(src_bytes == dst_bytes && "eTrans descriptor src/dst size mismatch");
+  return src_bytes;
+}
+
+bool MigrationAgent::CanExecute(const ETransDescriptor& desc) const {
+  if (dynamic_cast<HostAdapter*>(dispatcher_->adapter()) != nullptr) {
+    return true;
+  }
+  for (const auto& s : desc.src) {
+    if (s.node != fabric_id()) {
+      return false;
+    }
+  }
+  for (const auto& d : desc.dst) {
+    if (d.node != fabric_id()) {
+      return false;
+    }
+  }
+  return local_mem_ != nullptr;
+}
+
+MigrationAgent* ETransEngine::PickExecutor(MigrationAgent* initiator,
+                                           const ETransDescriptor& desc) const {
+  // Prefer an agent in the source data's memory domain, then the
+  // destination's, then fall back to the initiator.
+  if (!desc.src.empty()) {
+    if (auto it = agents_.find(desc.src.front().node);
+        it != agents_.end() && it->second->CanExecute(desc)) {
+      return it->second;
+    }
+  }
+  if (!desc.dst.empty()) {
+    if (auto it = agents_.find(desc.dst.front().node);
+        it != agents_.end() && it->second->CanExecute(desc)) {
+      return it->second;
+    }
+  }
+  return initiator;
+}
+
+TransferFuture ETransEngine::Submit(MigrationAgent* initiator, const ETransDescriptor& desc) {
+  const std::uint64_t total = ValidateAndSize(desc);
+  stats_.bytes_requested += total;
+
+  TransferFuture future;
+  future.set_ownership(desc.ownership);
+  future.set_owner(initiator->fabric_id());
+
+  if (desc.immediate) {
+    // Synchronous urgent path: the initiator moves the data itself.
+    ++stats_.immediate_transfers;
+    TransferJob job;
+    job.job_id = next_job_++;
+    job.desc = desc;
+    initiator->ExecuteTransfer(job, [future](TransferResult r) mutable { future.Fulfill(r); });
+    return future;
+  }
+
+  ++stats_.delegated_transfers;
+  MigrationAgent* executor = PickExecutor(initiator, desc);
+  TransferJob job;
+  job.job_id = next_job_++;
+  job.desc = desc;
+  job.reply_to = desc.ownership == Ownership::kInitiator ? initiator->fabric_id() : kInvalidPbrId;
+
+  if (executor == initiator) {
+    executor->ExecuteTransfer(job, [future](TransferResult r) mutable { future.Fulfill(r); });
+    return future;
+  }
+
+  // Delegate over the fabric: small control message carries the descriptor.
+  if (desc.ownership == Ownership::kInitiator) {
+    pending_[job.job_id] = future;
+  }
+  initiator->dispatcher()->Send(executor->fabric_id(), kSvcETrans, kTagJob, 64,
+                                std::make_shared<TransferJob>(job), desc.attributes.channel);
+  return future;
+}
+
+void ETransEngine::HandleAgentMessage(MigrationAgent* agent, const FabricMessage& msg) {
+  switch (TagPayload(msg.tag)) {
+    case kTagJob: {
+      const auto job = std::static_pointer_cast<TransferJob>(msg.body);
+      assert(job != nullptr);
+      agent->ExecuteTransfer(*job, [this, agent, job](TransferResult result) {
+        if (job->reply_to == kInvalidPbrId) {
+          return;  // executor/detached ownership: no notification
+        }
+        auto done = std::make_shared<DoneMsg>(DoneMsg{job->job_id, result});
+        agent->dispatcher()->Send(job->reply_to, kSvcETrans, kTagDone, 64, std::move(done),
+                                  Channel::kMem);
+      });
+      return;
+    }
+    case kTagDone: {
+      const auto done = std::static_pointer_cast<DoneMsg>(msg.body);
+      assert(done != nullptr);
+      auto it = pending_.find(done->job_id);
+      if (it != pending_.end()) {
+        TransferFuture f = it->second;
+        pending_.erase(it);
+        f.Fulfill(done->result);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace unifab

@@ -1,0 +1,177 @@
+// Elastic transaction engine: data movement as a managed service (FCC DP#1).
+//
+// eTrans(src_addr_list, dst_addr_list, immediate_bit, attributes, ownership)
+// decouples the movement *initiator* from the *executor*:
+//   * immediate transfers run synchronously on the initiator (for
+//     latency-sensitive, execution-coupled movement);
+//   * everything else is delegated to a migration agent in the same memory
+//     domain as the data (host agents for host DRAM, FAM-controller agents
+//     for chassis DRAM), chosen by the engine;
+//   * delegated transfers are paced by bandwidth leases from the central
+//     arbiter (remote-memory bandwidth throttling, the control-plane policy
+//     the paper names).
+//
+// Completion handling follows the descriptor's ownership field (distributed
+// futures, DP#4).
+
+#ifndef SRC_CORE_ETRANS_H_
+#define SRC_CORE_ETRANS_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/arbiter.h"
+#include "src/core/future.h"
+#include "src/fabric/dispatch.h"
+#include "src/mem/dram.h"
+#include "src/sim/engine.h"
+#include "src/sim/stats.h"
+
+namespace unifab {
+
+// One contiguous piece of data on one node.
+struct Segment {
+  PbrId node = kInvalidPbrId;  // fabric id of the memory's owner (FAM or host)
+  std::uint64_t addr = 0;
+  std::uint64_t bytes = 0;
+};
+
+struct ETransAttributes {
+  std::uint32_t chunk_bytes = 4096;
+  int pipeline_depth = 4;       // chunks in flight per transfer
+  bool throttled = true;        // ask the arbiter for a bandwidth lease
+  double request_mbps = 8000.0; // lease ask when throttled
+  Channel channel = Channel::kMem;
+};
+
+struct ETransDescriptor {
+  std::vector<Segment> src;
+  std::vector<Segment> dst;  // total dst bytes must equal total src bytes
+  bool immediate = false;
+  ETransAttributes attributes;
+  Ownership ownership = Ownership::kInitiator;
+};
+
+// A flattened unit of work executed by one agent.
+struct TransferJob {
+  std::uint64_t job_id = 0;
+  ETransDescriptor desc;
+  PbrId reply_to = kInvalidPbrId;  // initiator (for kInitiator ownership)
+};
+
+struct AgentStats {
+  std::uint64_t jobs_executed = 0;
+  std::uint64_t bytes_moved = 0;
+  std::uint64_t throttle_waits = 0;  // chunks delayed by the bandwidth lease
+  std::uint64_t lease_denials = 0;
+  Summary job_latency_us;
+};
+
+// Executes transfer jobs near one memory domain. `local_mem`, when given,
+// is accessed directly (same-domain DMA); all other segments go through the
+// agent's fabric adapter.
+class MigrationAgent {
+ public:
+  MigrationAgent(Engine* engine, MessageDispatcher* dispatcher, DramDevice* local_mem,
+                 ArbiterClient* arbiter, std::string name);
+
+  // Runs a job; `done` fires when every dst byte is durable.
+  void ExecuteTransfer(const TransferJob& job, std::function<void(TransferResult)> done);
+
+  // Whether this agent can touch every segment of `desc`: either the
+  // segment is in the agent's own memory domain, or the agent fronts a host
+  // adapter that can issue fabric transactions. FAM-controller agents can
+  // only execute jobs local to their chassis.
+  bool CanExecute(const ETransDescriptor& desc) const;
+
+  PbrId fabric_id() const { return dispatcher_->adapter()->id(); }
+  const AgentStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+  MessageDispatcher* dispatcher() const { return dispatcher_; }
+
+ private:
+  friend class ETransEngine;
+
+  struct ActiveJob {
+    TransferJob job;
+    std::function<void(TransferResult)> done;
+    Tick started_at = 0;
+    std::uint64_t offset = 0;       // bytes fully issued
+    std::uint64_t completed = 0;    // bytes durable
+    std::uint64_t total = 0;
+    int in_flight = 0;
+    double granted_mbps = 0.0;
+    Tick next_issue_at = 0;
+    PbrId lease_resource = kInvalidPbrId;
+    int lease_retries = 0;
+    Tick lease_renew_at = 0;
+    bool renew_pending = false;
+  };
+
+  static constexpr int kMaxLeaseRetries = 4;
+
+  void StartJob(std::shared_ptr<ActiveJob> job);
+  void MaybeRenewLease(const std::shared_ptr<ActiveJob>& job);
+  void PumpChunks(const std::shared_ptr<ActiveJob>& job);
+  void IssueChunk(const std::shared_ptr<ActiveJob>& job, std::uint64_t offset,
+                  std::uint32_t bytes);
+  void ReadSegment(const Segment& seg, std::uint64_t offset, std::uint32_t bytes,
+                   std::function<void()> done);
+  void WriteSegment(const Segment& seg, std::uint64_t offset, std::uint32_t bytes,
+                    std::function<void()> done);
+  // Maps a job-relative offset to (segment, in-segment offset).
+  static std::pair<const Segment*, std::uint64_t> Locate(const std::vector<Segment>& segs,
+                                                         std::uint64_t offset);
+
+  Engine* engine_;
+  MessageDispatcher* dispatcher_;
+  DramDevice* local_mem_;
+  ArbiterClient* arbiter_;
+  std::string name_;
+  AgentStats stats_;
+};
+
+struct ETransStats {
+  std::uint64_t immediate_transfers = 0;
+  std::uint64_t delegated_transfers = 0;
+  std::uint64_t bytes_requested = 0;
+};
+
+// The engine: validates descriptors, picks executors, and tracks futures.
+class ETransEngine {
+ public:
+  explicit ETransEngine(Engine* engine);
+
+  // Registers an agent; `domain_node` is the memory node whose data this
+  // agent can touch directly (its own host's DRAM / its chassis rDIMMs).
+  void RegisterAgent(PbrId domain_node, MigrationAgent* agent);
+
+  // Submits a descriptor on behalf of `initiator` (the agent co-located
+  // with the submitting host). Returns a future per the ownership field.
+  TransferFuture Submit(MigrationAgent* initiator, const ETransDescriptor& desc);
+
+  // Total bytes a descriptor moves; asserts src/dst symmetry.
+  static std::uint64_t ValidateAndSize(const ETransDescriptor& desc);
+
+  const ETransStats& stats() const { return stats_; }
+
+ private:
+  MigrationAgent* PickExecutor(MigrationAgent* initiator, const ETransDescriptor& desc) const;
+  void HandleAgentMessage(MigrationAgent* agent, const FabricMessage& msg);
+
+  Engine* engine_;
+  std::unordered_map<PbrId, MigrationAgent*> agents_;           // by memory domain
+  std::unordered_map<PbrId, MigrationAgent*> agents_by_self_;   // by adapter id
+  std::unordered_map<std::uint64_t, TransferFuture> pending_;   // job -> future
+  std::uint64_t next_job_ = 1;
+  ETransStats stats_;
+};
+
+}  // namespace unifab
+
+#endif  // SRC_CORE_ETRANS_H_

@@ -1,0 +1,87 @@
+// Distributed futures with ownership (paper DP#4 points at Ray-style
+// ownership as the application-facing abstraction for compute-fabric
+// co-design). A future is fulfilled inside the simulation; the `owner`
+// field records which fabric component is responsible for observing
+// completion — the initiator, the delegated executor, or nobody
+// (fire-and-forget), mirroring the eTrans ownership attribute.
+
+#ifndef SRC_CORE_FUTURE_H_
+#define SRC_CORE_FUTURE_H_
+
+#include <cassert>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/fabric/flit.h"
+#include "src/sim/time.h"
+
+namespace unifab {
+
+enum class Ownership {
+  kInitiator,  // the submitting entity waits on completion
+  kExecutor,   // the delegated agent owns completion (initiator fire-and-forget)
+  kDetached,   // nobody observes; errors surface only in stats
+};
+
+template <typename T>
+class DistFuture {
+ public:
+  DistFuture() : state_(std::make_shared<State>()) {}
+
+  bool Ready() const { return state_->value.has_value(); }
+
+  const T& Value() const {
+    assert(Ready());
+    return *state_->value;
+  }
+
+  // Registers a continuation; fires immediately if already fulfilled.
+  void Then(std::function<void(const T&)> fn) {
+    if (state_->value.has_value()) {
+      fn(*state_->value);
+      return;
+    }
+    state_->continuations.push_back(std::move(fn));
+  }
+
+  void Fulfill(T value) {
+    assert(!state_->value.has_value() && "future fulfilled twice");
+    state_->value = std::move(value);
+    auto pending = std::move(state_->continuations);
+    state_->continuations.clear();
+    for (auto& fn : pending) {
+      fn(*state_->value);
+    }
+  }
+
+  void set_owner(PbrId owner) { state_->owner = owner; }
+  PbrId owner() const { return state_->owner; }
+  void set_ownership(Ownership o) { state_->ownership = o; }
+  Ownership ownership() const { return state_->ownership; }
+
+ private:
+  struct State {
+    std::optional<T> value;
+    std::vector<std::function<void(const T&)>> continuations;
+    PbrId owner = kInvalidPbrId;
+    Ownership ownership = Ownership::kInitiator;
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+// The payload most runtime futures carry: completion time plus a status.
+struct TransferResult {
+  bool ok = true;
+  Tick completed_at = 0;
+  std::uint64_t bytes = 0;
+};
+
+using TransferFuture = DistFuture<TransferResult>;
+
+}  // namespace unifab
+
+#endif  // SRC_CORE_FUTURE_H_

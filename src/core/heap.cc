@@ -1,0 +1,331 @@
+#include "src/core/heap.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace unifab {
+
+std::vector<MigrationPolicy::Move> TemperaturePolicy::Decide(
+    const std::vector<ObjectInfo>& objects, const std::vector<MemTier>& tiers,
+    const std::vector<std::uint64_t>& tier_used, const HeapConfig& config) {
+  std::vector<Move> moves;
+  std::uint64_t budget = config.migration_budget_bytes;
+
+  // Promotion: hottest first.
+  std::vector<const ObjectInfo*> hot;
+  for (const auto& obj : objects) {
+    if (obj.tier > 0 && !obj.migrating && obj.temperature >= config.promote_threshold) {
+      hot.push_back(&obj);
+    }
+  }
+  std::sort(hot.begin(), hot.end(), [](const ObjectInfo* a, const ObjectInfo* b) {
+    return a->temperature > b->temperature;
+  });
+
+  // Track hypothetical occupancy so one epoch doesn't overshoot a tier.
+  std::vector<std::uint64_t> used = tier_used;
+  for (const ObjectInfo* obj : hot) {
+    if (budget < obj->size) {
+      break;
+    }
+    const int dst = obj->tier - 1;
+    const auto dsti = static_cast<std::size_t>(dst);
+    if (used[dsti] + obj->size > tiers[dsti].capacity) {
+      continue;  // destination full; demotion below may free space for later epochs
+    }
+    moves.push_back(Move{obj->id, dst});
+    used[dsti] += obj->size;
+    budget -= obj->size;
+  }
+
+  // Demotion: coldest first, only from tiers above the high watermark.
+  std::vector<const ObjectInfo*> cold;
+  for (const auto& obj : objects) {
+    if (obj.tier + 1 < static_cast<int>(tiers.size()) && !obj.migrating &&
+        obj.temperature <= config.demote_threshold) {
+      cold.push_back(&obj);
+    }
+  }
+  std::sort(cold.begin(), cold.end(), [](const ObjectInfo* a, const ObjectInfo* b) {
+    return a->temperature < b->temperature;
+  });
+  for (const ObjectInfo* obj : cold) {
+    const auto srci = static_cast<std::size_t>(obj->tier);
+    const double occupancy =
+        static_cast<double>(used[srci]) / static_cast<double>(tiers[srci].capacity);
+    if (occupancy < config.high_watermark) {
+      continue;
+    }
+    if (budget < obj->size) {
+      break;
+    }
+    const int dst = obj->tier + 1;
+    const auto dsti = static_cast<std::size_t>(dst);
+    if (used[dsti] + obj->size > tiers[dsti].capacity) {
+      continue;
+    }
+    moves.push_back(Move{obj->id, dst});
+    used[dsti] += obj->size;
+    used[srci] -= obj->size;
+    budget -= obj->size;
+  }
+  return moves;
+}
+
+UnifiedHeap::UnifiedHeap(Engine* engine, const HeapConfig& config, MemoryHierarchy* core,
+                         MigrationAgent* agent, ETransEngine* etrans)
+    : engine_(engine),
+      config_(config),
+      core_(core),
+      agent_(agent),
+      etrans_(etrans),
+      policy_(std::make_unique<TemperaturePolicy>()) {
+  next_epoch_at_ = engine_->Now() + config_.epoch_length;
+}
+
+int UnifiedHeap::AddTier(const MemTier& tier) {
+  tiers_.push_back(tier);
+  TierState state;
+  for (std::uint32_t sc : config_.size_classes) {
+    state.bins.push_back(Bin{sc, {}});
+  }
+  tier_state_.push_back(std::move(state));
+  tier_used_.push_back(0);
+  return static_cast<int>(tiers_.size()) - 1;
+}
+
+std::uint32_t UnifiedHeap::ClassFor(std::uint32_t size) const {
+  for (std::uint32_t sc : config_.size_classes) {
+    if (size <= sc) {
+      return sc;
+    }
+  }
+  return 0;  // larger than the largest class: unsupported
+}
+
+std::uint64_t UnifiedHeap::CarveBlock(int tier, std::uint32_t size_class) {
+  const auto ti = static_cast<std::size_t>(tier);
+  TierState& state = tier_state_[ti];
+  for (auto& bin : state.bins) {
+    if (bin.size_class == size_class && !bin.free_list.empty()) {
+      const std::uint64_t addr = bin.free_list.back();
+      bin.free_list.pop_back();
+      return addr;
+    }
+  }
+  if (state.bump + size_class > tiers_[ti].capacity) {
+    return 0;
+  }
+  const std::uint64_t addr = tiers_[ti].base + state.bump;
+  state.bump += size_class;
+  return addr;
+}
+
+void UnifiedHeap::ReleaseBlock(int tier, std::uint32_t size_class, std::uint64_t addr) {
+  for (auto& bin : tier_state_[static_cast<std::size_t>(tier)].bins) {
+    if (bin.size_class == size_class) {
+      bin.free_list.push_back(addr);
+      return;
+    }
+  }
+}
+
+ObjectId UnifiedHeap::Allocate(std::uint32_t size, int tier_hint) {
+  assert(!tiers_.empty() && "no tiers configured");
+  const std::uint32_t sc = ClassFor(size);
+  if (sc == 0) {
+    ++stats_.failed_allocations;
+    return kInvalidObject;
+  }
+
+  std::vector<int> candidates;
+  if (tier_hint >= 0) {
+    candidates.push_back(tier_hint);
+  } else {
+    for (int t = 0; t < num_tiers(); ++t) {
+      candidates.push_back(t);
+    }
+  }
+
+  for (int tier : candidates) {
+    const std::uint64_t addr = CarveBlock(tier, sc);
+    if (addr == 0) {
+      continue;
+    }
+    const ObjectId id = next_id_++;
+    Object obj;
+    obj.info.id = id;
+    obj.info.addr = addr;
+    obj.info.size = size;
+    obj.info.tier = tier;
+    obj.shadow.resize(size);
+    objects_.emplace(id, std::move(obj));
+    tier_used_[static_cast<std::size_t>(tier)] += sc;
+    ++stats_.allocations;
+    return id;
+  }
+  ++stats_.failed_allocations;
+  return kInvalidObject;
+}
+
+void UnifiedHeap::Free(ObjectId id) {
+  auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    return;
+  }
+  const ObjectInfo& info = it->second.info;
+  const std::uint32_t sc = ClassFor(info.size);
+  ReleaseBlock(info.tier, sc, info.addr);
+  tier_used_[static_cast<std::size_t>(info.tier)] -= sc;
+  ++stats_.frees;
+  objects_.erase(it);
+}
+
+void UnifiedHeap::Touch(Object& obj) {
+  ++obj.info.epoch_accesses;
+  MaybeRunEpoch();
+}
+
+void UnifiedHeap::Read(ObjectId id, std::function<void()> done) {
+  auto it = objects_.find(id);
+  assert(it != objects_.end() && "read of freed object");
+  ++stats_.reads;
+  Touch(it->second);
+  core_->AccessRange(it->second.info.addr, it->second.info.size, /*is_write=*/false,
+                     std::move(done));
+}
+
+void UnifiedHeap::Write(ObjectId id, std::function<void()> done) {
+  auto it = objects_.find(id);
+  assert(it != objects_.end() && "write of freed object");
+  ++stats_.writes;
+  Touch(it->second);
+  core_->AccessRange(it->second.info.addr, it->second.info.size, /*is_write=*/true,
+                     std::move(done));
+}
+
+std::vector<std::byte>& UnifiedHeap::Shadow(ObjectId id) {
+  auto it = objects_.find(id);
+  assert(it != objects_.end());
+  return it->second.shadow;
+}
+
+Segment UnifiedHeap::SegmentFor(const Object& obj) const {
+  Segment seg;
+  seg.node = tiers_[static_cast<std::size_t>(obj.info.tier)].caps.node;
+  seg.addr = obj.info.addr;
+  seg.bytes = obj.info.size;
+  return seg;
+}
+
+void UnifiedHeap::Migrate(ObjectId id, int dst_tier, std::function<void(bool)> done) {
+  auto it = objects_.find(id);
+  if (it == objects_.end() || it->second.info.migrating || dst_tier == it->second.info.tier) {
+    if (done) {
+      done(false);
+    }
+    return;
+  }
+  Object& obj = it->second;
+  const std::uint32_t sc = ClassFor(obj.info.size);
+  const std::uint64_t dst_addr = CarveBlock(dst_tier, sc);
+  if (dst_addr == 0) {
+    if (done) {
+      done(false);
+    }
+    return;
+  }
+
+  obj.info.migrating = true;
+  const int src_tier = obj.info.tier;
+  const std::uint64_t src_addr = obj.info.addr;
+
+  ETransDescriptor desc;
+  desc.src.push_back(SegmentFor(obj));
+  Segment dst;
+  dst.node = tiers_[static_cast<std::size_t>(dst_tier)].caps.node;
+  dst.addr = dst_addr;
+  dst.bytes = obj.info.size;
+  desc.dst.push_back(dst);
+  desc.ownership = Ownership::kInitiator;
+
+  if (dst_tier < src_tier) {
+    ++stats_.promotions;
+  } else {
+    ++stats_.demotions;
+  }
+
+  // Record the new placement eagerly so allocation bookkeeping stays
+  // consistent even if the object is freed mid-migration; the copy's cost
+  // is still fully simulated before `done` fires.
+  obj.info.addr = dst_addr;
+  obj.info.tier = dst_tier;
+  tier_used_[static_cast<std::size_t>(dst_tier)] += sc;
+
+  const std::uint32_t size = obj.info.size;
+  TransferFuture f = etrans_->Submit(agent_, desc);
+  f.Then([this, id, src_tier, src_addr, sc, size, done](const TransferResult& r) {
+    // The source block is only reusable once the copy finished.
+    for (std::uint64_t a = src_addr; a < src_addr + size; a += 64) {
+      // Stale cached lines of the old location are dropped (a real system
+      // would remap; we keep the hierarchy honest about where bytes live).
+      core_->InvalidateLine(a);
+    }
+    ReleaseBlock(src_tier, sc, src_addr);
+    tier_used_[static_cast<std::size_t>(src_tier)] -= sc;
+    stats_.bytes_migrated += r.bytes;
+
+    auto it2 = objects_.find(id);
+    if (it2 == objects_.end()) {
+      if (done) {
+        done(false);  // freed mid-migration
+      }
+      return;
+    }
+    it2->second.info.migrating = false;
+    if (done) {
+      done(true);
+    }
+  });
+}
+
+void UnifiedHeap::MaybeRunEpoch() {
+  if (engine_->Now() >= next_epoch_at_) {
+    RunEpoch();
+  }
+}
+
+void UnifiedHeap::RunEpoch() {
+  next_epoch_at_ = engine_->Now() + config_.epoch_length;
+  ++stats_.epochs;
+
+  // Profile: fold this epoch's access counts into the EWMA temperature.
+  std::vector<ObjectInfo> snapshot;
+  snapshot.reserve(objects_.size());
+  for (auto& [id, obj] : objects_) {
+    obj.info.temperature = config_.ewma_alpha * static_cast<double>(obj.info.epoch_accesses) +
+                           (1.0 - config_.ewma_alpha) * obj.info.temperature;
+    obj.info.epoch_accesses = 0;
+    snapshot.push_back(obj.info);
+  }
+
+  if (!config_.migration_enabled || policy_ == nullptr) {
+    return;
+  }
+  const auto moves = policy_->Decide(snapshot, tiers_, tier_used_, config_);
+  for (const auto& move : moves) {
+    Migrate(move.object, move.dst_tier, nullptr);
+  }
+}
+
+ObjectInfo UnifiedHeap::Info(ObjectId id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? ObjectInfo{} : it->second.info;
+}
+
+int UnifiedHeap::TierOf(ObjectId id) const {
+  auto it = objects_.find(id);
+  return it == objects_.end() ? -1 : it->second.info.tier;
+}
+
+}  // namespace unifab

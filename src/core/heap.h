@@ -1,0 +1,186 @@
+// Unified active heap: host-assisted, memory-node-type-conscious data
+// placement (FCC DP#2).
+//
+// The heap instantiates memory bins from every reachable tier (host-local
+// DRAM plus each fabric-attached node), allocates objects into size-class
+// bins, profiles per-object access temperature, and transparently migrates
+// objects between tiers — hot objects climb toward host DRAM (where the
+// processor's caches accelerate them further), cold objects sink to fabric
+// memory. Data movement uses eTrans, so migrations consume real fabric
+// bandwidth and respect the central arbiter's throttling.
+//
+// Object *contents* are shadowed host-side so applications (examples/) can
+// exchange real values while all timing flows through the simulated memory
+// hierarchy.
+
+#ifndef SRC_CORE_HEAP_H_
+#define SRC_CORE_HEAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/etrans.h"
+#include "src/mem/hierarchy.h"
+#include "src/mem/memnode.h"
+#include "src/sim/engine.h"
+#include "src/sim/stats.h"
+
+namespace unifab {
+
+using ObjectId = std::uint64_t;
+inline constexpr ObjectId kInvalidObject = 0;
+
+// One memory tier the heap can place objects in.
+struct MemTier {
+  std::string name;
+  MemoryNodeCaps caps;
+  std::uint64_t base = 0;      // address-map base (as seen by host cores)
+  std::uint64_t capacity = 0;  // bytes available to the heap
+  int rank = 0;                // 0 = fastest; migration moves along ranks
+};
+
+struct HeapConfig {
+  std::vector<std::uint32_t> size_classes = {64,    128,   256,    512,   1024,
+                                             4096,  16384, 65536,  262144};
+  Tick epoch_length = FromUs(100.0);
+  double ewma_alpha = 0.5;            // temperature <- alpha*new + (1-alpha)*old
+  double promote_threshold = 4.0;     // temperature that earns promotion
+  double demote_threshold = 0.5;      // temperature that risks demotion
+  double high_watermark = 0.9;        // tier occupancy that triggers demotion
+  std::uint64_t migration_budget_bytes = 1 << 20;  // per epoch
+  bool migration_enabled = true;
+};
+
+struct ObjectInfo {
+  ObjectId id = kInvalidObject;
+  std::uint64_t addr = 0;
+  std::uint32_t size = 0;
+  int tier = -1;
+  double temperature = 0.0;
+  std::uint64_t epoch_accesses = 0;
+  bool migrating = false;
+};
+
+struct HeapStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t failed_allocations = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t demotions = 0;
+  std::uint64_t bytes_migrated = 0;
+  std::uint64_t epochs = 0;
+};
+
+// Pluggable epoch policy: returns objects to move this epoch.
+class MigrationPolicy {
+ public:
+  struct Move {
+    ObjectId object;
+    int dst_tier;
+  };
+
+  virtual ~MigrationPolicy() = default;
+  virtual std::vector<Move> Decide(const std::vector<ObjectInfo>& objects,
+                                   const std::vector<MemTier>& tiers,
+                                   const std::vector<std::uint64_t>& tier_used,
+                                   const HeapConfig& config) = 0;
+};
+
+// Default: temperature-driven promote/demote along tier ranks.
+class TemperaturePolicy : public MigrationPolicy {
+ public:
+  std::vector<Move> Decide(const std::vector<ObjectInfo>& objects,
+                           const std::vector<MemTier>& tiers,
+                           const std::vector<std::uint64_t>& tier_used,
+                           const HeapConfig& config) override;
+};
+
+class UnifiedHeap {
+ public:
+  // `core` performs the timed load/store path; `agent`/`etrans` move data.
+  UnifiedHeap(Engine* engine, const HeapConfig& config, MemoryHierarchy* core,
+              MigrationAgent* agent, ETransEngine* etrans);
+
+  // Tiers must be added before the first allocation; rank 0 first.
+  int AddTier(const MemTier& tier);
+
+  // Allocates `size` bytes; `tier_hint` < 0 picks the fastest tier with
+  // space. Returns kInvalidObject when every allowed tier is full.
+  ObjectId Allocate(std::uint32_t size, int tier_hint = -1);
+  void Free(ObjectId id);
+
+  // Timed whole-object access. Completion fires when the object's bytes are
+  // readable/durable in the current placement.
+  void Read(ObjectId id, std::function<void()> done);
+  void Write(ObjectId id, std::function<void()> done);
+
+  // Shadow content access (untimed; pair with Read/Write for timing).
+  std::vector<std::byte>& Shadow(ObjectId id);
+
+  // Explicit migration (the epoch policy calls this too).
+  void Migrate(ObjectId id, int dst_tier, std::function<void(bool ok)> done);
+
+  // Runs one profiling/migration epoch now. Normally invoked lazily when
+  // epoch_length has elapsed, checked on each access.
+  void RunEpoch();
+
+  void SetPolicy(std::unique_ptr<MigrationPolicy> policy) { policy_ = std::move(policy); }
+
+  ObjectInfo Info(ObjectId id) const;
+  int TierOf(ObjectId id) const;
+  std::uint64_t TierUsed(int tier) const { return tier_used_[static_cast<std::size_t>(tier)]; }
+  const MemTier& Tier(int tier) const { return tiers_[static_cast<std::size_t>(tier)]; }
+  int num_tiers() const { return static_cast<int>(tiers_.size()); }
+  const HeapStats& stats() const { return stats_; }
+  std::size_t live_objects() const { return objects_.size(); }
+
+ private:
+  struct Bin {
+    std::uint32_t size_class;
+    std::vector<std::uint64_t> free_list;
+  };
+
+  struct TierState {
+    std::vector<Bin> bins;      // one per size class
+    std::uint64_t bump = 0;     // bytes carved from the tier so far
+  };
+
+  struct Object {
+    ObjectInfo info;
+    std::vector<std::byte> shadow;
+  };
+
+  std::uint32_t ClassFor(std::uint32_t size) const;
+  std::uint64_t CarveBlock(int tier, std::uint32_t size_class);  // 0 on failure
+  void ReleaseBlock(int tier, std::uint32_t size_class, std::uint64_t addr);
+  void Touch(Object& obj);
+  void MaybeRunEpoch();
+  Segment SegmentFor(const Object& obj) const;
+
+  Engine* engine_;
+  HeapConfig config_;
+  MemoryHierarchy* core_;
+  MigrationAgent* agent_;
+  ETransEngine* etrans_;
+  std::vector<MemTier> tiers_;
+  std::vector<TierState> tier_state_;
+  std::vector<std::uint64_t> tier_used_;
+  std::unordered_map<ObjectId, Object> objects_;
+  std::unique_ptr<MigrationPolicy> policy_;
+  ObjectId next_id_ = 1;
+  Tick next_epoch_at_ = 0;
+  HeapStats stats_;
+};
+
+}  // namespace unifab
+
+#endif  // SRC_CORE_HEAP_H_

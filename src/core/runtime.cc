@@ -1,0 +1,118 @@
+#include "src/core/runtime.h"
+
+namespace unifab {
+namespace {
+
+// The arbiter's control logic sits on-die next to a switch: cheap
+// processing, one dedicated port.
+AdapterConfig ArbiterAdapterConfig() {
+  AdapterConfig cfg;
+  cfg.request_proc_latency = FromNs(25.0);
+  cfg.response_proc_latency = FromNs(25.0);
+  cfg.max_outstanding = 256;
+  return cfg;
+}
+
+}  // namespace
+
+UniFabricRuntime::UniFabricRuntime(Cluster* cluster, const RuntimeOptions& options)
+    : cluster_(cluster), options_(options) {
+  Engine* engine = &cluster->engine();
+  FabricInterconnect& fabric = cluster->fabric();
+
+  // --- Central arbiter on its own lightweight adapter (DP#4). -----------
+  HostAdapter* arb_adapter = fabric.AddHostAdapter(ArbiterAdapterConfig(), "arbiter/adapter");
+  fabric.Connect(cluster->fabric_switch(0), arb_adapter, cluster->config().link);
+  fabric.ConfigureRouting();
+  arbiter_dispatcher_storage_ = std::make_unique<MessageDispatcher>(arb_adapter);
+  arbiter_dispatcher_ = arbiter_dispatcher_storage_.get();
+  arbiter_ = std::make_unique<FabricArbiter>(engine, options.arbiter, arbiter_dispatcher_);
+  for (const auto& sw : fabric.switches()) {
+    arbiter_->AttachSwitch(sw.get());
+  }
+  for (int f = 0; f < cluster->num_fams(); ++f) {
+    arbiter_->RegisterResource(cluster->fam(f)->id(), options.fam_capacity_mbps);
+  }
+  for (int a = 0; a < cluster->num_faas(); ++a) {
+    arbiter_->RegisterResource(cluster->faa(a)->id(), options.faa_capacity_mbps);
+  }
+  // Host DRAM ingress is also a managed resource: promotions from fabric
+  // memory toward hosts are throttled like any other bulk movement.
+  for (int h = 0; h < cluster->num_hosts(); ++h) {
+    arbiter_->RegisterResource(cluster->host(h)->id(), options.host_capacity_mbps);
+  }
+
+  // --- eTrans engine with agents at every host and FAM controller. ------
+  etrans_ = std::make_unique<ETransEngine>(engine);
+  for (int h = 0; h < cluster->num_hosts(); ++h) {
+    HostServer* host = cluster->host(h);
+    arbiter_clients_.push_back(std::make_unique<ArbiterClient>(
+        engine, options.arbiter, host->dispatcher(), arbiter_->fabric_id()));
+    host_agents_.push_back(std::make_unique<MigrationAgent>(
+        engine, host->dispatcher(), host->local_dram(), arbiter_clients_.back().get(),
+        host->name() + "/agent"));
+    etrans_->RegisterAgent(host->id(), host_agents_.back().get());
+  }
+  for (int f = 0; f < cluster->num_fams(); ++f) {
+    FamChassis* fam = cluster->fam(f);
+    fam_arbiter_clients_.push_back(std::make_unique<ArbiterClient>(
+        engine, options.arbiter, fam->dispatcher(), arbiter_->fabric_id()));
+    fam_agents_.push_back(std::make_unique<MigrationAgent>(
+        engine, fam->dispatcher(), fam->dram(), fam_arbiter_clients_.back().get(),
+        fam->name() + "/agent"));
+    etrans_->RegisterAgent(fam->id(), fam_agents_.back().get());
+  }
+
+  // --- Unified heap per host (DP#2). -------------------------------------
+  for (int h = 0; h < cluster->num_hosts(); ++h) {
+    HostServer* host = cluster->host(h);
+    auto heap = std::make_unique<UnifiedHeap>(engine, options.heap, host->core(0),
+                                              host_agents_[static_cast<std::size_t>(h)].get(),
+                                              etrans_.get());
+    // Tier 0: a slice of host-local DRAM. Heaps carve disjoint slices per
+    // host implicitly because each heap only talks to its own host DRAM.
+    MemTier local;
+    local.name = host->name() + "/dram";
+    local.caps.type = MemoryNodeType::kHostLocal;
+    local.caps.node = host->id();
+    local.caps.capacity_bytes = options.heap_local_bytes;
+    local.caps.typical_read_latency = FromNs(111.7);
+    local.caps.typical_write_latency = FromNs(119.3);
+    local.base = 1ULL << 28;  // above workload scratch, inside local range
+    local.capacity = options.heap_local_bytes;
+    local.rank = 0;
+    heap->AddTier(local);
+
+    // One tier per FAM chassis (CPU-less NUMA expanders).
+    for (int f = 0; f < cluster->num_fams(); ++f) {
+      FamChassis* fam = cluster->fam(f);
+      MemTier tier;
+      tier.name = fam->name();
+      tier.caps = fam->expander()->Caps(fam->id());
+      tier.base = cluster->FamBase(f);
+      tier.capacity = options.heap_fam_bytes;
+      tier.rank = f + 1;
+      heap->AddTier(tier);
+    }
+    heaps_.push_back(std::move(heap));
+  }
+
+  // --- Idempotent tasks over all FAAs (DP#3a). ---------------------------
+  if (cluster->num_faas() > 0 && cluster->num_hosts() > 0) {
+    itasks_ = std::make_unique<ITaskRuntime>(engine, heaps_[0].get(), etrans_.get(),
+                                             host_agents_[0].get(), options.itask);
+    for (int a = 0; a < cluster->num_faas(); ++a) {
+      itasks_->AddWorker(cluster->faa(a));
+    }
+  }
+
+  // --- Scalable functions (DP#3b). ---------------------------------------
+  for (int a = 0; a < cluster->num_faas(); ++a) {
+    sfuncs_.push_back(std::make_unique<ScalableFunctionRuntime>(engine, cluster->faa(a)));
+  }
+  for (int h = 0; h < cluster->num_hosts(); ++h) {
+    sfunc_clients_.push_back(std::make_unique<SFuncClient>(cluster->host(h)->dispatcher()));
+  }
+}
+
+}  // namespace unifab

@@ -1,0 +1,84 @@
+// UniFabric: the intermediate system stack of paper §5, assembled.
+//
+// Given a Cluster (hosts + FAM/FAA chassis on a fabric), the runtime
+// provisions:
+//   * a central fabric arbiter on a dedicated lightweight adapter, with
+//     every FAM/FAA registered as a managed bandwidth resource (DP#4);
+//   * an arbiter client and a migration agent per host, plus one agent per
+//     FAM chassis controller (DP#1 executors);
+//   * the elastic transaction engine wiring them together (DP#1);
+//   * a unified heap per host, with tier 0 = host DRAM and one tier per FAM
+//     chassis (DP#2);
+//   * the idempotent-task runtime over all FAAs (DP#3a);
+//   * a scalable-function runtime per FAA and a client per host (DP#3b).
+
+#ifndef SRC_CORE_RUNTIME_H_
+#define SRC_CORE_RUNTIME_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/arbiter.h"
+#include "src/core/etrans.h"
+#include "src/core/heap.h"
+#include "src/core/itask.h"
+#include "src/core/sfunc.h"
+#include "src/topo/cluster.h"
+
+namespace unifab {
+
+struct RuntimeOptions {
+  ArbiterConfig arbiter;
+  HeapConfig heap;
+  ITaskConfig itask;
+  double fam_capacity_mbps = 8000.0;  // arbiter-managed ingress per FAM
+  double faa_capacity_mbps = 8000.0;
+  double host_capacity_mbps = 16000.0;
+  std::uint64_t heap_local_bytes = 1ULL << 30;   // host-DRAM carve per heap
+  std::uint64_t heap_fam_bytes = 4ULL << 30;     // per-FAM carve per heap
+};
+
+class UniFabricRuntime {
+ public:
+  UniFabricRuntime(Cluster* cluster, const RuntimeOptions& options);
+
+  UniFabricRuntime(const UniFabricRuntime&) = delete;
+  UniFabricRuntime& operator=(const UniFabricRuntime&) = delete;
+
+  Cluster* cluster() { return cluster_; }
+  FabricArbiter* arbiter() { return arbiter_.get(); }
+  ArbiterClient* arbiter_client(int host) {
+    return arbiter_clients_[static_cast<std::size_t>(host)].get();
+  }
+  ETransEngine* etrans() { return etrans_.get(); }
+  MigrationAgent* host_agent(int host) {
+    return host_agents_[static_cast<std::size_t>(host)].get();
+  }
+  MigrationAgent* fam_agent(int fam) { return fam_agents_[static_cast<std::size_t>(fam)].get(); }
+  UnifiedHeap* heap(int host) { return heaps_[static_cast<std::size_t>(host)].get(); }
+  ITaskRuntime* itasks() { return itasks_.get(); }
+  ScalableFunctionRuntime* sfunc(int faa) { return sfuncs_[static_cast<std::size_t>(faa)].get(); }
+  SFuncClient* sfunc_client(int host) {
+    return sfunc_clients_[static_cast<std::size_t>(host)].get();
+  }
+
+ private:
+  Cluster* cluster_;
+  RuntimeOptions options_;
+  MessageDispatcher* arbiter_dispatcher_ = nullptr;  // owned via adapter below
+  std::unique_ptr<MessageDispatcher> arbiter_dispatcher_storage_;
+  std::unique_ptr<FabricArbiter> arbiter_;
+  std::vector<std::unique_ptr<ArbiterClient>> arbiter_clients_;
+  std::vector<std::unique_ptr<ArbiterClient>> fam_arbiter_clients_;
+  std::unique_ptr<ETransEngine> etrans_;
+  std::vector<std::unique_ptr<MigrationAgent>> host_agents_;
+  std::vector<std::unique_ptr<MigrationAgent>> fam_agents_;
+  std::vector<std::unique_ptr<UnifiedHeap>> heaps_;
+  std::unique_ptr<ITaskRuntime> itasks_;
+  std::vector<std::unique_ptr<ScalableFunctionRuntime>> sfuncs_;
+  std::vector<std::unique_ptr<SFuncClient>> sfunc_clients_;
+};
+
+}  // namespace unifab
+
+#endif  // SRC_CORE_RUNTIME_H_

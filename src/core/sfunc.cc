@@ -1,0 +1,141 @@
+#include "src/core/sfunc.h"
+
+#include <cassert>
+#include <utility>
+
+namespace unifab {
+
+ScalableFunctionRuntime::ScalableFunctionRuntime(Engine* engine, FaaChassis* faa,
+                                                 Tick local_coordination_latency)
+    : engine_(engine), faa_(faa), local_latency_(local_coordination_latency) {
+  faa_->dispatcher()->RegisterService(
+      kSvcScalableFunc, [this](const FabricMessage& msg) { HandleFabricMessage(msg); });
+}
+
+FunctionId ScalableFunctionRuntime::Install(SFuncSpec spec) {
+  const FunctionId id = next_fn_++;
+  Function fn;
+  fn.spec = std::move(spec);
+  functions_.emplace(id, std::move(fn));
+  return id;
+}
+
+void ScalableFunctionRuntime::HandleFabricMessage(const FabricMessage& msg) {
+  const auto m = std::static_pointer_cast<SFuncMsg>(msg.body);
+  if (m == nullptr) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  SFuncMsg delivered = *m;
+  delivered.reply_to = msg.src;
+  Deliver(std::move(delivered));
+}
+
+void ScalableFunctionRuntime::Deliver(SFuncMsg msg) {
+  if (faa_->failed()) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  auto it = functions_.find(msg.fn);
+  if (it == functions_.end() || it->second.spec.handlers.count(msg.type) == 0) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  it->second.mailbox.emplace_back(std::move(msg), engine_->Now());
+  PumpMailbox(it->first);
+}
+
+void ScalableFunctionRuntime::PumpMailbox(FunctionId fn) {
+  auto it = functions_.find(fn);
+  if (it == functions_.end()) {
+    return;
+  }
+  Function& f = it->second;
+  if (f.running || f.mailbox.empty() || faa_->failed()) {
+    return;
+  }
+  f.running = true;
+  auto [msg, arrived] = std::move(f.mailbox.front());
+  f.mailbox.pop_front();
+  stats_.mailbox_wait_us.Add(ToUs(engine_->Now() - arrived));
+
+  const SFuncHandler& handler = f.spec.handlers.at(msg.type);
+  faa_->accelerator()->Execute(
+      handler.cost, [this, fn, msg = std::move(msg), effect = handler.effect]() mutable {
+        ++stats_.messages_handled;
+        if (effect) {
+          SFuncContext ctx(this, fn, msg);
+          effect(ctx);
+        }
+        auto it2 = functions_.find(fn);
+        if (it2 != functions_.end()) {
+          it2->second.running = false;
+        }
+        PumpMailbox(fn);
+      });
+  // If the accelerator drops the kernel (failure / full queue), the function
+  // stays `running` until Recover(); messages pile up in the mailbox, which
+  // is exactly what a passive failure domain looks like from outside.
+}
+
+void ScalableFunctionRuntime::ResetAfterRecovery() {
+  for (auto& [fn, f] : functions_) {
+    f.running = false;
+    PumpMailbox(fn);
+  }
+}
+
+std::size_t ScalableFunctionRuntime::MailboxDepth(FunctionId fn) const {
+  auto it = functions_.find(fn);
+  return it == functions_.end() ? 0 : it->second.mailbox.size();
+}
+
+void SFuncContext::SendLocal(FunctionId fn, std::uint32_t type, std::uint32_t bytes,
+                             std::shared_ptr<void> body) {
+  ++runtime_->stats_.local_sends;
+  SFuncMsg msg;
+  msg.fn = fn;
+  msg.type = type;
+  msg.bytes = bytes;
+  msg.body = std::move(body);
+  msg.reply_to = runtime_->fabric_id();
+  runtime_->engine_->Schedule(runtime_->local_latency_,
+                              [rt = runtime_, msg = std::move(msg)]() mutable {
+                                rt->Deliver(std::move(msg));
+                              });
+}
+
+void SFuncContext::SendRemote(PbrId faa, FunctionId fn, std::uint32_t type, std::uint32_t bytes,
+                              std::shared_ptr<void> body) {
+  ++runtime_->stats_.remote_sends;
+  auto msg = std::make_shared<SFuncMsg>();
+  msg->fn = fn;
+  msg->type = type;
+  msg->bytes = bytes;
+  msg->body = std::move(body);
+  runtime_->faa_->dispatcher()->Send(faa, kSvcScalableFunc, type, bytes, std::move(msg),
+                                     Channel::kMem);
+}
+
+void SFuncContext::Reply(std::uint32_t type, std::uint32_t bytes, std::shared_ptr<void> body) {
+  assert(msg_.reply_to != kInvalidPbrId);
+  auto msg = std::make_shared<SFuncMsg>();
+  msg->fn = msg_.fn;
+  msg->type = type;
+  msg->bytes = bytes;
+  msg->body = std::move(body);
+  runtime_->faa_->dispatcher()->Send(msg_.reply_to, kSvcScalableFunc, type, bytes,
+                                     std::move(msg), Channel::kMem);
+}
+
+void SFuncClient::Invoke(PbrId faa, FunctionId fn, std::uint32_t type, std::uint32_t bytes,
+                         std::shared_ptr<void> body) {
+  auto msg = std::make_shared<SFuncMsg>();
+  msg->fn = fn;
+  msg->type = type;
+  msg->bytes = bytes;
+  msg->body = std::move(body);
+  dispatcher_->Send(faa, kSvcScalableFunc, type, bytes, std::move(msg), Channel::kMem);
+}
+
+}  // namespace unifab

@@ -1,0 +1,157 @@
+// Hardware cooperative scalable functions (FCC DP#3, second half).
+//
+// Extends SR-IOV-style scalable functions with an *active execution
+// context*: each installed function owns (1) a share of the FAA's
+// domain-specific processing cores, (2) a table of message handlers (actor
+// model), and (3) a coordination sublayer describing how it interacts with
+// co-located functions — local sends traverse the chassis scratch fabric at
+// nanosecond cost, remote sends ride the memory fabric. The design follows
+// TAM / active messages: arriving messages name their handler and run to
+// completion on an execution engine.
+//
+// This is the hardware execution substrate idempotent tasks and the MIMO
+// case study compile onto.
+
+#ifndef SRC_CORE_SFUNC_H_
+#define SRC_CORE_SFUNC_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fabric/dispatch.h"
+#include "src/sim/engine.h"
+#include "src/sim/stats.h"
+#include "src/topo/chassis.h"
+
+namespace unifab {
+
+using FunctionId = std::uint32_t;
+
+struct SFuncMsg {
+  FunctionId fn = 0;        // destination function on the target FAA
+  std::uint32_t type = 0;   // selects the handler
+  std::uint32_t bytes = 0;  // payload size (timed on the wire)
+  std::shared_ptr<void> body;
+  PbrId reply_to = kInvalidPbrId;  // adapter that sent the message
+};
+
+class ScalableFunctionRuntime;
+
+// Handed to handlers; lets them send messages and read identity.
+class SFuncContext {
+ public:
+  SFuncContext(ScalableFunctionRuntime* runtime, FunctionId self, const SFuncMsg& msg)
+      : runtime_(runtime), self_(self), msg_(msg) {}
+
+  const SFuncMsg& msg() const { return msg_; }
+  FunctionId self() const { return self_; }
+
+  // Coordination sublayer: co-located function send (scratch-memory path).
+  void SendLocal(FunctionId fn, std::uint32_t type, std::uint32_t bytes,
+                 std::shared_ptr<void> body);
+
+  // Cross-chassis send over the memory fabric.
+  void SendRemote(PbrId faa, FunctionId fn, std::uint32_t type, std::uint32_t bytes,
+                  std::shared_ptr<void> body);
+
+  // Reply to the message's origin (host adapter or FAA).
+  void Reply(std::uint32_t type, std::uint32_t bytes, std::shared_ptr<void> body);
+
+ private:
+  ScalableFunctionRuntime* runtime_;
+  FunctionId self_;
+  const SFuncMsg& msg_;
+};
+
+// One handler: a kernel cost (runs on an accelerator engine) plus a
+// host-visible effect executed at completion.
+struct SFuncHandler {
+  Tick cost = FromUs(1.0);
+  std::function<void(SFuncContext&)> effect;
+};
+
+struct SFuncSpec {
+  std::string name;
+  std::unordered_map<std::uint32_t, SFuncHandler> handlers;
+};
+
+struct SFuncStats {
+  std::uint64_t messages_handled = 0;
+  std::uint64_t messages_dropped = 0;  // unknown fn/type, or chassis failed
+  std::uint64_t local_sends = 0;
+  std::uint64_t remote_sends = 0;
+  Summary mailbox_wait_us;
+};
+
+// The per-FAA runtime: installs functions, dispatches arriving messages to
+// their mailboxes, and executes handlers on the accelerator engines.
+class ScalableFunctionRuntime {
+ public:
+  ScalableFunctionRuntime(Engine* engine, FaaChassis* faa,
+                          Tick local_coordination_latency = FromNs(100.0));
+
+  FunctionId Install(SFuncSpec spec);
+
+  // Entry point for locally generated messages (tests / co-located sends).
+  void Deliver(SFuncMsg msg);
+
+  // Call after FaaChassis::Recover(): clears stuck actor state (kernels lost
+  // to the failure) and resumes mailbox processing.
+  void ResetAfterRecovery();
+
+  PbrId fabric_id() const { return faa_->id(); }
+  FaaChassis* faa() const { return faa_; }
+  const SFuncStats& stats() const { return stats_; }
+  std::size_t MailboxDepth(FunctionId fn) const;
+
+ private:
+  friend class SFuncContext;
+
+  struct Function {
+    SFuncSpec spec;
+    std::deque<std::pair<SFuncMsg, Tick>> mailbox;  // message + arrival time
+    bool running = false;  // actor semantics: one handler at a time
+  };
+
+  void HandleFabricMessage(const FabricMessage& msg);
+  void PumpMailbox(FunctionId fn);
+
+  Engine* engine_;
+  FaaChassis* faa_;
+  Tick local_latency_;
+  std::unordered_map<FunctionId, Function> functions_;
+  FunctionId next_fn_ = 1;
+  SFuncStats stats_;
+};
+
+// Host-side invoker.
+class SFuncClient {
+ public:
+  SFuncClient(MessageDispatcher* dispatcher) : dispatcher_(dispatcher) {
+    dispatcher_->RegisterService(kSvcScalableFunc, [this](const FabricMessage& msg) {
+      const auto m = std::static_pointer_cast<SFuncMsg>(msg.body);
+      if (m != nullptr && on_reply_) {
+        on_reply_(*m);
+      }
+    });
+  }
+
+  void Invoke(PbrId faa, FunctionId fn, std::uint32_t type, std::uint32_t bytes,
+              std::shared_ptr<void> body);
+
+  // Receives replies from handlers that call SFuncContext::Reply.
+  void OnReply(std::function<void(const SFuncMsg&)> cb) { on_reply_ = std::move(cb); }
+
+ private:
+  MessageDispatcher* dispatcher_;
+  std::function<void(const SFuncMsg&)> on_reply_;
+};
+
+}  // namespace unifab
+
+#endif  // SRC_CORE_SFUNC_H_

@@ -1,0 +1,106 @@
+// UniPtr<T>: the backward-compatible smart-pointer programming interface of
+// the unified heap (DP#2: "Developers use backward-compatible programming
+// interfaces (like Smart Pointer) to port or build data structures").
+//
+// A UniPtr owns one heap object holding a T. Timed accessors (Read / Write /
+// Update) drive the simulated memory hierarchy and feed the temperature
+// profiler; Peek/Poke touch the shadow value without timing (for test
+// assertions and debugging only).
+
+#ifndef SRC_CORE_UNIPTR_H_
+#define SRC_CORE_UNIPTR_H_
+
+#include <cassert>
+#include <cstring>
+#include <functional>
+#include <type_traits>
+#include <utility>
+
+#include "src/core/heap.h"
+
+namespace unifab {
+
+template <typename T>
+class UniPtr {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "UniPtr requires trivially copyable payloads (they shadow raw bytes)");
+
+ public:
+  UniPtr() = default;
+
+  // Allocates and value-initializes a T on `heap`.
+  static UniPtr Make(UnifiedHeap* heap, const T& init = T{}, int tier_hint = -1) {
+    UniPtr p;
+    p.heap_ = heap;
+    p.id_ = heap->Allocate(sizeof(T), tier_hint);
+    if (p.id_ != kInvalidObject) {
+      std::memcpy(heap->Shadow(p.id_).data(), &init, sizeof(T));
+    }
+    return p;
+  }
+
+  bool valid() const { return heap_ != nullptr && id_ != kInvalidObject; }
+  ObjectId id() const { return id_; }
+  UnifiedHeap* heap() const { return heap_; }
+
+  // Timed read: `cb` receives the value when the load completes.
+  void Read(std::function<void(const T&)> cb) const {
+    assert(valid());
+    UnifiedHeap* heap = heap_;
+    const ObjectId id = id_;
+    heap->Read(id, [heap, id, cb = std::move(cb)] {
+      T value;
+      std::memcpy(&value, heap->Shadow(id).data(), sizeof(T));
+      cb(value);
+    });
+  }
+
+  // Timed write of a new value.
+  void Write(const T& value, std::function<void()> cb = nullptr) const {
+    assert(valid());
+    std::memcpy(heap_->Shadow(id_).data(), &value, sizeof(T));
+    heap_->Write(id_, std::move(cb));
+  }
+
+  // Timed read-modify-write.
+  void Update(std::function<void(T&)> mutate, std::function<void()> cb = nullptr) const {
+    assert(valid());
+    UnifiedHeap* heap = heap_;
+    const ObjectId id = id_;
+    heap->Read(id, [heap, id, mutate = std::move(mutate), cb = std::move(cb)] {
+      T value;
+      std::memcpy(&value, heap->Shadow(id).data(), sizeof(T));
+      mutate(value);
+      std::memcpy(heap->Shadow(id).data(), &value, sizeof(T));
+      heap->Write(id, cb);
+    });
+  }
+
+  // Untimed shadow peek/poke — test/debug only.
+  T Peek() const {
+    assert(valid());
+    T value;
+    std::memcpy(&value, heap_->Shadow(id_).data(), sizeof(T));
+    return value;
+  }
+  void Poke(const T& value) const {
+    assert(valid());
+    std::memcpy(heap_->Shadow(id_).data(), &value, sizeof(T));
+  }
+
+  void Reset() {
+    if (valid()) {
+      heap_->Free(id_);
+    }
+    heap_ = nullptr;
+    id_ = kInvalidObject;
+  }
+
+ private:
+  UnifiedHeap* heap_ = nullptr;
+  ObjectId id_ = kInvalidObject;
+};
+
+}  // namespace unifab
+
+#endif  // SRC_CORE_UNIPTR_H_

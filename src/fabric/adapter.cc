@@ -1,0 +1,256 @@
+#include "src/fabric/adapter.h"
+
+#include <cassert>
+
+namespace unifab {
+
+AdapterBase::AdapterBase(Engine* engine, const AdapterConfig& config, PbrId id, std::string name)
+    : engine_(engine), config_(config), id_(id), name_(std::move(name)) {}
+
+void AdapterBase::AttachLink(LinkEndpoint* endpoint) {
+  link_ = endpoint;
+  endpoint->Bind(this, 0);
+  endpoint->SetDrainCallback([this] { PumpEgress(); });
+}
+
+void AdapterBase::Egress(Flit flit) {
+  egress_.push_back(std::move(flit));
+  PumpEgress();
+}
+
+void AdapterBase::PumpEgress() {
+  assert(link_ != nullptr && "adapter has no link attached");
+  while (!egress_.empty() && link_->Send(egress_.front())) {
+    egress_.pop_front();
+  }
+}
+
+bool AdapterBase::Reassemble(const Flit& flit) {
+  if (flit.total <= 1) {
+    return true;
+  }
+  // Transactions from different source adapters carry independent txn-id
+  // spaces, so the reassembly key must include the source.
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(flit.src) << 48) | (flit.txn_id & 0xFFFFFFFFFFFFULL);
+  const std::uint32_t seen = ++rx_progress_[key];
+  if (seen < flit.total) {
+    return false;
+  }
+  rx_progress_.erase(key);
+  return true;
+}
+
+void AdapterBase::SendMessage(PbrId dst, Channel channel, Opcode opcode, std::uint64_t tag,
+                              std::uint32_t bytes, std::shared_ptr<void> body) {
+  const std::uint32_t cap = PayloadCap();
+  const std::uint32_t nflits = bytes == 0 ? 1 : (bytes + cap - 1) / cap;
+  const std::uint64_t txn = NextTxnId();
+  ++stats_.messages_sent;
+  engine_->Schedule(config_.request_proc_latency, [=, this] {
+    std::uint32_t remaining = bytes;
+    for (std::uint32_t i = 0; i < nflits; ++i) {
+      Flit f;
+      f.txn_id = txn;
+      f.seq = i;
+      f.total = nflits;
+      f.channel = channel;
+      f.opcode = opcode;
+      f.src = id_;
+      f.dst = dst;
+      f.payload_bytes = remaining > cap ? cap : remaining;
+      remaining -= f.payload_bytes;
+      f.request_bytes = bytes;
+      f.created_at = engine_->Now();
+      f.tag = tag;
+      if (i + 1 == nflits) {
+        f.body = body;  // body rides the last flit
+      }
+      Egress(std::move(f));
+    }
+  });
+}
+
+void AdapterBase::DeliverMessage(const Flit& last_flit) {
+  ++stats_.messages_delivered;
+  if (!message_handler_) {
+    return;
+  }
+  FabricMessage msg;
+  msg.src = last_flit.src;
+  msg.opcode = last_flit.opcode;
+  msg.tag = last_flit.tag;
+  msg.bytes = last_flit.request_bytes;
+  msg.body = last_flit.body;
+  engine_->Schedule(config_.response_proc_latency,
+                    [this, msg = std::move(msg)] { message_handler_(msg); });
+}
+
+void HostAdapter::Submit(PbrId dst, const MemRequest& request, MemCompletion on_complete) {
+  pending_.push_back(PendingRequest{dst, request, std::move(on_complete)});
+  IssueReady();
+}
+
+void HostAdapter::IssueReady() {
+  while (!pending_.empty() && outstanding_.size() < config_.max_outstanding) {
+    PendingRequest pr = std::move(pending_.front());
+    pending_.pop_front();
+    IssueNow(std::move(pr));
+  }
+}
+
+void HostAdapter::IssueNow(PendingRequest pr) {
+  const std::uint64_t txn = NextTxnId();
+  outstanding_.emplace(txn, OutstandingTxn{pr.request, std::move(pr.on_complete), engine_->Now()});
+
+  const std::uint32_t cap = PayloadCap();
+  const bool is_write = pr.request.type == MemRequest::Type::kWrite;
+  // Reads go out as a single header flit; writes carry their payload.
+  const std::uint32_t nflits = is_write ? (pr.request.bytes + cap - 1) / cap : 1;
+
+  engine_->Schedule(config_.request_proc_latency, [this, txn, pr, nflits, cap, is_write] {
+    std::uint32_t remaining = pr.request.bytes;
+    for (std::uint32_t i = 0; i < nflits; ++i) {
+      Flit f;
+      f.txn_id = txn;
+      f.seq = i;
+      f.total = nflits;
+      f.channel = pr.request.channel;
+      f.opcode = is_write ? Opcode::kMemWr : Opcode::kMemRd;
+      f.src = id_;
+      f.dst = pr.dst;
+      f.addr = pr.request.addr;
+      f.payload_bytes = is_write ? (remaining > cap ? cap : remaining) : 0;
+      if (is_write) {
+        remaining -= f.payload_bytes;
+      }
+      f.request_bytes = pr.request.bytes;
+      f.created_at = engine_->Now();
+      Egress(std::move(f));
+    }
+  });
+}
+
+void HostAdapter::ReceiveFlit(const Flit& flit, int /*port*/) {
+  // Host-side input buffers are sized generously; the slot frees as soon as
+  // the flit is absorbed.
+  link_->ReturnCredit(flit.channel);
+
+  switch (flit.opcode) {
+    case Opcode::kMemRdData:
+    case Opcode::kMemWrAck:
+      if (Reassemble(flit)) {
+        const std::uint64_t txn = flit.txn_id;
+        engine_->Schedule(config_.response_proc_latency, [this, txn] { CompleteTxn(txn); });
+      }
+      break;
+    case Opcode::kMsg:
+    case Opcode::kCreditQuery:
+    case Opcode::kCreditGrant:
+    case Opcode::kSnpInv:
+    case Opcode::kSnpData:
+    case Opcode::kSnpResp:
+      if (Reassemble(flit)) {
+        DeliverMessage(flit);
+      }
+      break;
+    default:
+      // Requests never arrive at a host adapter in this model.
+      break;
+  }
+}
+
+void HostAdapter::CompleteTxn(std::uint64_t txn_id) {
+  auto it = outstanding_.find(txn_id);
+  if (it == outstanding_.end()) {
+    return;
+  }
+  OutstandingTxn txn = std::move(it->second);
+  outstanding_.erase(it);
+
+  stats_.txn_latency_ns.Add(ToNs(engine_->Now() - txn.submitted_at));
+  if (txn.request.type == MemRequest::Type::kRead) {
+    ++stats_.reads_completed;
+  } else {
+    ++stats_.writes_completed;
+  }
+  if (txn.on_complete) {
+    txn.on_complete();
+  }
+  IssueReady();
+}
+
+EndpointAdapter::EndpointAdapter(Engine* engine, const AdapterConfig& config, PbrId id,
+                                 std::string name, FabricTarget* target)
+    : AdapterBase(engine, config, id, std::move(name)), target_(target) {}
+
+void EndpointAdapter::ReceiveFlit(const Flit& flit, int /*port*/) {
+  link_->ReturnCredit(flit.channel);
+
+  switch (flit.opcode) {
+    case Opcode::kMemRd:
+      ServeRead(flit);
+      break;
+    case Opcode::kMemWr:
+      if (Reassemble(flit)) {
+        ServeWrite(flit);
+      }
+      break;
+    case Opcode::kMsg:
+    case Opcode::kCreditQuery:
+    case Opcode::kCreditGrant:
+    case Opcode::kSnpInv:
+    case Opcode::kSnpData:
+    case Opcode::kSnpResp:
+      if (Reassemble(flit)) {
+        DeliverMessage(flit);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void EndpointAdapter::ServeRead(const Flit& request) {
+  engine_->Schedule(config_.request_proc_latency, [this, request] {
+    assert(target_ != nullptr && "endpoint adapter has no device");
+    target_->HandleRead(request.addr, request.request_bytes, [this, request] {
+      ++stats_.reads_completed;
+      SendResponse(request, Opcode::kMemRdData, request.request_bytes);
+    });
+  });
+}
+
+void EndpointAdapter::ServeWrite(const Flit& last_flit) {
+  engine_->Schedule(config_.request_proc_latency, [this, last_flit] {
+    assert(target_ != nullptr && "endpoint adapter has no device");
+    target_->HandleWrite(last_flit.addr, last_flit.request_bytes, [this, last_flit] {
+      ++stats_.writes_completed;
+      SendResponse(last_flit, Opcode::kMemWrAck, 0);
+    });
+  });
+}
+
+void EndpointAdapter::SendResponse(const Flit& request, Opcode opcode, std::uint32_t bytes) {
+  const std::uint32_t cap = PayloadCap();
+  const std::uint32_t nflits = bytes == 0 ? 1 : (bytes + cap - 1) / cap;
+  std::uint32_t remaining = bytes;
+  for (std::uint32_t i = 0; i < nflits; ++i) {
+    Flit f;
+    f.txn_id = request.txn_id;
+    f.seq = i;
+    f.total = nflits;
+    f.channel = request.channel;
+    f.opcode = opcode;
+    f.src = id_;
+    f.dst = request.src;
+    f.addr = request.addr;
+    f.payload_bytes = remaining > cap ? cap : remaining;
+    remaining -= f.payload_bytes;
+    f.request_bytes = request.request_bytes;
+    f.created_at = engine_->Now();
+    Egress(std::move(f));
+  }
+}
+
+}  // namespace unifab

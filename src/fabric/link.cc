@@ -1,0 +1,212 @@
+#include "src/fabric/link.h"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace unifab {
+
+bool LinkEndpoint::Send(const Flit& flit) { return link_->Send(side_, flit); }
+
+bool LinkEndpoint::CanSend(Channel channel) const { return link_->CanSend(side_, channel); }
+
+void LinkEndpoint::ReturnCredit(Channel channel) { link_->ReturnCredit(side_, channel); }
+
+void LinkEndpoint::Bind(FlitReceiver* receiver, int port) {
+  // This endpoint belongs to the component on side_; flits *sent by the
+  // other side* are delivered to it.
+  Link::Direction& dir = link_->dirs_[1 - side_];
+  dir.receiver = receiver;
+  dir.receiver_port = port;
+}
+
+void LinkEndpoint::SetDrainCallback(std::function<void()> cb) {
+  link_->dirs_[side_].drain_cb = std::move(cb);
+}
+
+std::uint32_t LinkEndpoint::CreditsAvailable(Channel channel) const {
+  return link_->dirs_[side_].credits[static_cast<int>(channel)];
+}
+
+std::size_t LinkEndpoint::QueueDepth(Channel channel) const {
+  return link_->dirs_[side_].tx_queues[static_cast<int>(channel)].size();
+}
+
+const LinkStats& LinkEndpoint::stats() const { return link_->dirs_[side_].stats; }
+
+const LinkConfig& LinkEndpoint::config() const { return link_->config_; }
+
+FlitReceiver* LinkEndpoint::receiver() const { return link_->dirs_[1 - side_].receiver; }
+
+int LinkEndpoint::port() const { return link_->dirs_[1 - side_].receiver_port; }
+
+Link::Link(Engine* engine, const LinkConfig& config, std::uint64_t seed, std::string name)
+    : engine_(engine), config_(config), name_(std::move(name)), rng_(seed) {
+  const auto advertised = static_cast<std::uint32_t>(
+      std::llround(static_cast<double>(config_.credits_per_vc) * config_.credit_overcommit));
+  for (auto& dir : dirs_) {
+    dir.credits.fill(advertised == 0 ? 1 : advertised);
+  }
+}
+
+bool Link::CanSend(int side, Channel channel) const {
+  const Direction& dir = dirs_[side];
+  return dir.tx_queues[static_cast<int>(channel)].size() < config_.tx_queue_depth;
+}
+
+bool Link::Send(int side, const Flit& flit) {
+  if (failed_) {
+    return false;
+  }
+  Direction& dir = dirs_[side];
+  auto& q = dir.tx_queues[static_cast<int>(flit.channel)];
+  if (q.size() >= config_.tx_queue_depth) {
+    return false;
+  }
+  q.push_back(flit);
+  TryTransmit(side);
+  return true;
+}
+
+int Link::PickVc(const Direction& dir) const {
+  // Strict priority for the dedicated control lane when configured.
+  if (config_.control_priority) {
+    const int ctrl = static_cast<int>(Channel::kControl);
+    if (!dir.tx_queues[ctrl].empty() && dir.credits[ctrl] > 0) {
+      return ctrl;
+    }
+  }
+  // Round-robin across remaining VCs that have both a flit and a credit.
+  for (int i = 0; i < kNumChannels; ++i) {
+    const int vc = (dir.rr_next_vc + i) % kNumChannels;
+    if (!dir.tx_queues[vc].empty() && dir.credits[vc] > 0) {
+      return vc;
+    }
+  }
+  return -1;
+}
+
+void Link::TryTransmit(int side) {
+  Direction& dir = dirs_[side];
+  if (failed_ || dir.wire_busy) {
+    return;
+  }
+  const int vc = PickVc(dir);
+  if (vc < 0) {
+    // Record a stall only if a flit was waiting without credits.
+    for (int i = 0; i < kNumChannels; ++i) {
+      if (!dir.tx_queues[i].empty()) {
+        ++dir.stats.credit_stalls;
+        break;
+      }
+    }
+    return;
+  }
+
+  Flit flit = dir.tx_queues[vc].front();
+  dir.tx_queues[vc].pop_front();
+  --dir.credits[vc];
+  dir.wire_busy = true;
+  ++dir.stats.flits_sent;
+
+  const Tick serialize = config_.SerializeTime();
+  dir.stats.busy_time += serialize;
+
+  // Wire frees after serialization; delivery happens after propagation on
+  // top of that. Everything in flight dies if the link fails first.
+  const std::uint64_t epoch = epoch_;
+  engine_->Schedule(serialize, [this, side, epoch] {
+    if (epoch != epoch_) {
+      return;
+    }
+    dirs_[side].wire_busy = false;
+    TryTransmit(side);
+    NotifyDrain(side);
+  });
+
+  const bool corrupted = rng_.NextBool(config_.flit_error_rate);
+  if (corrupted) {
+    // Receiver naks; sender replays the flit from its replay buffer after
+    // the timeout. The consumed credit stays consumed (the receiver slot is
+    // reserved for the replayed copy).
+    ++dir.stats.replays;
+    engine_->Schedule(serialize + config_.replay_timeout, [this, side, flit, epoch] {
+      if (epoch != epoch_) {
+        return;
+      }
+      Direction& d = dirs_[side];
+      // Replay bypasses the credit gate: the slot is already reserved.
+      d.tx_queues[static_cast<int>(flit.channel)].push_front(flit);
+      ++d.credits[static_cast<int>(flit.channel)];
+      TryTransmit(side);
+    });
+    return;
+  }
+
+  engine_->Schedule(serialize + config_.propagation, [this, side, flit, epoch]() mutable {
+    if (epoch != epoch_) {
+      return;
+    }
+    Direction& dir2 = dirs_[side];
+    ++dir2.stats.flits_delivered;
+    dir2.stats.bytes_delivered += flit.payload_bytes;
+    assert(dir2.receiver != nullptr && "link endpoint not bound");
+    ++flit.hops;
+    dir2.receiver->ReceiveFlit(flit, dir2.receiver_port);
+  });
+}
+
+void Link::FinishTransmit(int /*side*/, const Flit& /*flit*/) {}
+
+void Link::ReturnCredit(int receiver_side, Channel channel) {
+  // The receiver on `receiver_side` frees a slot; the credit travels back to
+  // the sender on the other side.
+  const int sender_side = 1 - receiver_side;
+  const std::uint64_t epoch = epoch_;
+  engine_->Schedule(config_.credit_return_latency, [this, sender_side, channel, epoch] {
+    if (epoch != epoch_) {
+      return;
+    }
+    ++dirs_[sender_side].credits[static_cast<int>(channel)];
+    TryTransmit(sender_side);
+    NotifyDrain(sender_side);
+  });
+}
+
+void Link::Fail() {
+  if (failed_) {
+    return;
+  }
+  failed_ = true;
+  ++epoch_;  // orphan in-flight deliveries, replays, and credit returns
+  for (auto& dir : dirs_) {
+    for (auto& q : dir.tx_queues) {
+      q.clear();
+    }
+    dir.wire_busy = false;
+  }
+}
+
+void Link::Recover() {
+  if (!failed_) {
+    return;
+  }
+  failed_ = false;
+  ++epoch_;
+  const auto advertised = static_cast<std::uint32_t>(
+      std::llround(static_cast<double>(config_.credits_per_vc) * config_.credit_overcommit));
+  for (auto& dir : dirs_) {
+    dir.credits.fill(advertised == 0 ? 1 : advertised);
+  }
+  // Wake both senders so any retained upper-layer egress drains again.
+  NotifyDrain(0);
+  NotifyDrain(1);
+}
+
+void Link::NotifyDrain(int side) {
+  if (dirs_[side].drain_cb) {
+    dirs_[side].drain_cb();
+  }
+}
+
+}  // namespace unifab

@@ -1,0 +1,44 @@
+#include "src/fabric/registry.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace unifab {
+
+const std::vector<FabricSpec>& CommodityFabrics() {
+  static const std::vector<FabricSpec> kFabrics = {
+      {"Gen-Z", "HPE/Gen-Z Consortium", "2016-2021", "Gen-Z 1.0/1.1",
+       "Gen-Z Media Kit; Gen-Z ChipSet for ExtraScale Fabric", true},
+      {"CAPI/OpenCAPI", "IBM/OpenCAPI Consortium", "2014-2022",
+       "CAPI 1.0/2.0, OpenCAPI 3.0/4.0", "BlueLink in POWER9", true},
+      {"CCIX", "Xilinx/CCIX Consortium", "2016-now", "CCIX 1.0/1.1/2.0",
+       "CMN-700 Coherent Mesh Network", false},
+      {"CXL", "Intel/CXL Consortium", "2019-now", "CXL 1.0/1.1/2.0/3.0",
+       "Omega Fabric; Leo Memory Platform", false},
+  };
+  return kFabrics;
+}
+
+const FabricSpec* FindFabric(const std::string& interconnect) {
+  for (const auto& spec : CommodityFabrics()) {
+    if (spec.interconnect == interconnect) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+std::string FabricTableToString() {
+  std::ostringstream out;
+  out << std::left << std::setw(16) << "Interconnect" << std::setw(28) << "Vendor" << std::setw(12)
+      << "Active" << std::setw(32) << "Specification" << "Product Demonstration\n";
+  out << std::string(124, '-') << "\n";
+  for (const auto& spec : CommodityFabrics()) {
+    out << std::left << std::setw(16) << spec.interconnect << std::setw(28) << spec.vendor
+        << std::setw(12) << spec.active_development << std::setw(32) << spec.specifications
+        << spec.product_demonstration << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace unifab

@@ -1,0 +1,32 @@
+// Commodity memory-fabric registry: the data behind paper Table 1, exposed
+// programmatically so examples and benches can print and query it.
+
+#ifndef SRC_FABRIC_REGISTRY_H_
+#define SRC_FABRIC_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+namespace unifab {
+
+struct FabricSpec {
+  std::string interconnect;
+  std::string vendor;
+  std::string active_development;  // year range
+  std::string specifications;
+  std::string product_demonstration;
+  bool merged_into_cxl;  // Gen-Z and OpenCAPI were absorbed by CXL
+};
+
+// The Table 1 rows, in paper order.
+const std::vector<FabricSpec>& CommodityFabrics();
+
+// Looks up a fabric by interconnect name; nullptr when unknown.
+const FabricSpec* FindFabric(const std::string& interconnect);
+
+// Renders Table 1 as fixed-width text.
+std::string FabricTableToString();
+
+}  // namespace unifab
+
+#endif  // SRC_FABRIC_REGISTRY_H_

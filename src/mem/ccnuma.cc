@@ -1,0 +1,428 @@
+#include "src/mem/ccnuma.h"
+
+#include <cassert>
+#include <utility>
+
+namespace unifab {
+
+const char* CohOpName(CohOp op) {
+  switch (op) {
+    case CohOp::kGetS:
+      return "GetS";
+    case CohOp::kGetM:
+      return "GetM";
+    case CohOp::kPutM:
+      return "PutM";
+    case CohOp::kPutS:
+      return "PutS";
+    case CohOp::kData:
+      return "Data";
+    case CohOp::kDataM:
+      return "DataM";
+    case CohOp::kInv:
+      return "Inv";
+    case CohOp::kInvAck:
+      return "InvAck";
+    case CohOp::kRecall:
+      return "Recall";
+    case CohOp::kRecallResp:
+      return "RecallResp";
+  }
+  return "?";
+}
+
+// --------------------------- CcNumaPort ----------------------------------
+
+CcNumaPort::CcNumaPort(Engine* engine, const CcNumaConfig& config, MessageDispatcher* dispatcher,
+                       DirectoryController* home, std::string name)
+    : engine_(engine),
+      config_(config),
+      dispatcher_(dispatcher),
+      home_(home),
+      name_(std::move(name)),
+      cache_(config.port_cache) {
+  dispatcher_->RegisterService(kSvcCcNuma,
+                               [this](const FabricMessage& msg) { HandleMessage(msg); });
+  host_index_ = home_->RegisterPort(this);
+}
+
+void CcNumaPort::SendToHome(CohOp op, std::uint64_t block, bool with_data) {
+  auto msg = std::make_shared<CohMsg>();
+  msg->op = op;
+  msg->block = block;
+  msg->requester = host_index_;
+  const std::uint32_t bytes =
+      config_.ctrl_msg_bytes + (with_data ? config_.block_bytes : 0);
+  dispatcher_->Send(home_->fabric_id(), kSvcCcNuma, static_cast<std::uint64_t>(op), bytes,
+                    std::move(msg), Channel::kCache);
+}
+
+void CcNumaPort::Read(std::uint64_t addr, std::function<void()> done) {
+  const std::uint64_t block = cache_.LineBase(addr);
+  if (cache_.Access(block, /*is_write=*/false)) {
+    ++stats_.read_hits;
+    engine_->Schedule(config_.port_hit_latency, std::move(done));
+    return;
+  }
+  ++stats_.read_misses;
+  StartMiss(block, /*wants_m=*/false, std::move(done));
+}
+
+void CcNumaPort::Write(std::uint64_t addr, std::function<void()> done) {
+  const std::uint64_t block = cache_.LineBase(addr);
+  if (cache_.Contains(block)) {
+    if (cache_.IsDirty(block)) {
+      // Already M: write locally.
+      cache_.Access(block, /*is_write=*/true);
+      ++stats_.write_hits;
+      engine_->Schedule(config_.port_hit_latency, std::move(done));
+      return;
+    }
+    // S -> M upgrade.
+    ++stats_.upgrades;
+    StartMiss(block, /*wants_m=*/true, std::move(done));
+    return;
+  }
+  ++stats_.write_misses;
+  StartMiss(block, /*wants_m=*/true, std::move(done));
+}
+
+void CcNumaPort::StartMiss(std::uint64_t block, bool wants_m, std::function<void()> done) {
+  auto [it, inserted] = pending_.try_emplace(block);
+  PendingTxn& txn = it->second;
+  txn.waiters.push_back(std::move(done));
+  if (!inserted) {
+    // A transaction for this block is already outstanding; escalate S->M
+    // demand if needed (the grant handler re-requests when insufficient).
+    txn.wants_m = txn.wants_m || wants_m;
+    return;
+  }
+  txn.wants_m = wants_m;
+  txn.started_at = engine_->Now();
+  txn.in_flight = true;
+  SendToHome(wants_m ? CohOp::kGetM : CohOp::kGetS, block, /*with_data=*/false);
+}
+
+void CcNumaPort::HandleMessage(const FabricMessage& msg) {
+  const auto coh = std::static_pointer_cast<CohMsg>(msg.body);
+  assert(coh != nullptr);
+  switch (coh->op) {
+    case CohOp::kData:
+    case CohOp::kDataM:
+      OnGrant(*coh);
+      break;
+    case CohOp::kInv:
+      OnInv(*coh);
+      break;
+    case CohOp::kRecall:
+      OnRecall(*coh);
+      break;
+    default:
+      assert(false && "unexpected message at port");
+  }
+}
+
+void CcNumaPort::OnGrant(const CohMsg& msg) {
+  auto it = pending_.find(msg.block);
+  if (it == pending_.end()) {
+    return;  // stale grant (cannot normally happen with a blocking home)
+  }
+  PendingTxn txn = std::move(it->second);
+  pending_.erase(it);
+
+  const bool exclusive = msg.op == CohOp::kDataM;
+  if (txn.wants_m && !exclusive) {
+    // The transaction was escalated to a write after the GetS left; issue
+    // the upgrade now, re-queueing the waiters.
+    auto [it2, inserted] = pending_.try_emplace(msg.block);
+    (void)inserted;
+    PendingTxn& up = it2->second;
+    up.wants_m = true;
+    up.started_at = txn.started_at;
+    up.waiters = std::move(txn.waiters);
+    up.in_flight = true;
+    SendToHome(CohOp::kGetM, msg.block, /*with_data=*/false);
+    return;
+  }
+
+  EvictIfNeeded(msg.block, exclusive);
+  stats_.miss_latency_ns.Add(ToNs(engine_->Now() - txn.started_at));
+  for (auto& w : txn.waiters) {
+    if (w) {
+      w();
+    }
+  }
+}
+
+void CcNumaPort::EvictIfNeeded(std::uint64_t block, bool dirty) {
+  if (auto ev = cache_.Insert(block, dirty); ev.has_value()) {
+    if (ev->dirty) {
+      SendToHome(CohOp::kPutM, ev->line_addr, /*with_data=*/true);
+    } else {
+      SendToHome(CohOp::kPutS, ev->line_addr, /*with_data=*/false);
+    }
+  }
+}
+
+void CcNumaPort::OnInv(const CohMsg& msg) {
+  ++stats_.invalidations_received;
+  cache_.Invalidate(msg.block);
+  auto resp = std::make_shared<CohMsg>();
+  resp->op = CohOp::kInvAck;
+  resp->block = msg.block;
+  resp->requester = host_index_;
+  dispatcher_->Send(home_->fabric_id(), kSvcCcNuma,
+                    static_cast<std::uint64_t>(CohOp::kInvAck), config_.ctrl_msg_bytes,
+                    std::move(resp), Channel::kCache);
+}
+
+void CcNumaPort::OnRecall(const CohMsg& msg) {
+  ++stats_.recalls_received;
+  auto resp = std::make_shared<CohMsg>();
+  resp->op = CohOp::kRecallResp;
+  resp->block = msg.block;
+  resp->requester = host_index_;
+  bool dirty = false;
+  resp->was_present = cache_.Contains(msg.block);
+  if (resp->was_present) {
+    dirty = cache_.IsDirty(msg.block);
+    if (msg.downgrade) {
+      cache_.CleanLine(msg.block);  // keep an S copy
+    } else {
+      cache_.Invalidate(msg.block);
+    }
+  }
+  resp->was_dirty = dirty;
+  const std::uint32_t bytes = config_.ctrl_msg_bytes + (dirty ? config_.block_bytes : 0);
+  dispatcher_->Send(home_->fabric_id(), kSvcCcNuma,
+                    static_cast<std::uint64_t>(CohOp::kRecallResp), bytes, std::move(resp),
+                    Channel::kCache);
+}
+
+// ------------------------ DirectoryController ----------------------------
+
+DirectoryController::DirectoryController(Engine* engine, const CcNumaConfig& config,
+                                         MessageDispatcher* dispatcher, DramDevice* dram,
+                                         std::string name)
+    : engine_(engine),
+      config_(config),
+      dispatcher_(dispatcher),
+      dram_(dram),
+      name_(std::move(name)) {
+  dispatcher_->RegisterService(kSvcCcNuma,
+                               [this](const FabricMessage& msg) { HandleMessage(msg); });
+}
+
+int DirectoryController::RegisterPort(CcNumaPort* port) {
+  ports_.push_back(port);
+  return static_cast<int>(ports_.size()) - 1;
+}
+
+void DirectoryController::SendToPort(int host, CohOp op, std::uint64_t block, bool with_data,
+                                     bool downgrade) {
+  assert(host >= 0 && host < static_cast<int>(ports_.size()));
+  auto msg = std::make_shared<CohMsg>();
+  msg->op = op;
+  msg->block = block;
+  msg->downgrade = downgrade;
+  const std::uint32_t bytes =
+      config_.ctrl_msg_bytes + (with_data ? config_.block_bytes : 0);
+  dispatcher_->Send(ports_[host]->fabric_id(), kSvcCcNuma, static_cast<std::uint64_t>(op),
+                    bytes, std::move(msg), Channel::kCache);
+}
+
+void DirectoryController::HandleMessage(const FabricMessage& msg) {
+  const auto coh = std::static_pointer_cast<CohMsg>(msg.body);
+  assert(coh != nullptr);
+  // Every message pays one directory lookup.
+  engine_->Schedule(config_.directory_latency, [this, m = *coh] { Process(m); });
+}
+
+void DirectoryController::Process(const CohMsg& msg) {
+  BlockEntry& e = blocks_[msg.block];
+  switch (msg.op) {
+    case CohOp::kGetS:
+    case CohOp::kGetM:
+      if (e.busy) {
+        ++stats_.queued_requests;
+        e.pending.push_back(msg);
+        return;
+      }
+      e.busy = true;
+      e.active = msg;
+      if (msg.op == CohOp::kGetS) {
+        ++stats_.gets;
+        ServeGetS(e, msg);
+      } else {
+        ++stats_.getm;
+        ServeGetM(e, msg);
+      }
+      return;
+
+    case CohOp::kPutM: {
+      ++stats_.putm;
+      // Race: the owner's eviction can cross a Recall we sent it. Treat the
+      // PutM as the recall response so the blocked transaction completes;
+      // the eventual RecallResp(not-present) is then ignored below.
+      if (e.busy && e.state == BlockState::kModified && e.owner == msg.requester) {
+        dram_->Access(msg.block, config_.block_bytes, /*is_write=*/true, nullptr);
+        e.owner = -1;
+        GrantAndUnblock(e, msg.block, e.active.requester,
+                        /*exclusive=*/e.active.op == CohOp::kGetM);
+        return;
+      }
+      // Owner washes its hands of the block; data returns to DRAM.
+      if (e.owner == msg.requester) {
+        e.owner = -1;
+        e.state = e.sharers.empty() ? BlockState::kUncached : BlockState::kShared;
+      }
+      e.sharers.erase(msg.requester);
+      if (e.state == BlockState::kShared && e.sharers.empty()) {
+        e.state = BlockState::kUncached;
+      }
+      dram_->Access(msg.block, config_.block_bytes, /*is_write=*/true, nullptr);
+      return;
+    }
+
+    case CohOp::kPutS:
+      ++stats_.puts;
+      e.sharers.erase(msg.requester);
+      if (e.state == BlockState::kShared && e.sharers.empty()) {
+        e.state = BlockState::kUncached;
+      }
+      return;
+
+    case CohOp::kInvAck: {
+      if (!e.busy) {
+        return;  // the transaction already completed via a crossing PutM/PutS
+      }
+      if (--e.acks_outstanding == 0) {
+        // All sharers gone; grant exclusive to the active requester.
+        GrantAndUnblock(e, msg.block, e.active.requester, /*exclusive=*/true);
+      }
+      return;
+    }
+
+    case CohOp::kRecallResp: {
+      if (!e.busy) {
+        return;  // resolved earlier by a crossing PutM
+      }
+      const CohMsg active = e.active;
+      if (msg.was_dirty) {
+        dram_->Access(msg.block, config_.block_bytes, /*is_write=*/true, nullptr);
+      }
+      if (active.op == CohOp::kGetS) {
+        // Old owner downgraded to S; both it and the requester share.
+        if (msg.was_present && e.owner >= 0) {
+          e.sharers.insert(e.owner);
+        }
+        e.owner = -1;
+        GrantAndUnblock(e, msg.block, active.requester, /*exclusive=*/false);
+      } else {
+        e.owner = -1;
+        GrantAndUnblock(e, msg.block, active.requester, /*exclusive=*/true);
+      }
+      return;
+    }
+
+    default:
+      assert(false && "unexpected message at directory");
+  }
+}
+
+void DirectoryController::ServeGetS(BlockEntry& e, const CohMsg& msg) {
+  switch (e.state) {
+    case BlockState::kUncached:
+    case BlockState::kShared:
+      GrantAndUnblock(e, msg.block, msg.requester, /*exclusive=*/false);
+      return;
+    case BlockState::kModified:
+      ++stats_.recalls;
+      SendToPort(e.owner, CohOp::kRecall, msg.block, /*with_data=*/false, /*downgrade=*/true);
+      return;  // completion continues at kRecallResp
+  }
+}
+
+void DirectoryController::ServeGetM(BlockEntry& e, const CohMsg& msg) {
+  switch (e.state) {
+    case BlockState::kUncached:
+      GrantAndUnblock(e, msg.block, msg.requester, /*exclusive=*/true);
+      return;
+    case BlockState::kShared: {
+      int invs = 0;
+      for (int s : e.sharers) {
+        if (s != msg.requester) {
+          ++stats_.invalidations;
+          SendToPort(s, CohOp::kInv, msg.block, /*with_data=*/false);
+          ++invs;
+        }
+      }
+      if (invs == 0) {
+        GrantAndUnblock(e, msg.block, msg.requester, /*exclusive=*/true);
+        return;
+      }
+      e.acks_outstanding = invs;
+      return;  // completion continues at kInvAck
+    }
+    case BlockState::kModified:
+      ++stats_.recalls;
+      SendToPort(e.owner, CohOp::kRecall, msg.block, /*with_data=*/false, /*downgrade=*/false);
+      return;  // completion continues at kRecallResp
+  }
+}
+
+void DirectoryController::GrantAndUnblock(BlockEntry& /*entry*/, std::uint64_t block,
+                                          int requester, bool exclusive) {
+  // Fetch the data from chassis DRAM, then grant.
+  dram_->Access(block, config_.block_bytes, /*is_write=*/false,
+                [this, block, requester, exclusive] {
+                  BlockEntry& entry = blocks_[block];
+                  if (exclusive) {
+                    entry.state = BlockState::kModified;
+                    entry.sharers.clear();
+                    entry.owner = requester;
+                    SendToPort(requester, CohOp::kDataM, block, /*with_data=*/true);
+                  } else {
+                    entry.state = BlockState::kShared;
+                    entry.sharers.insert(requester);
+                    SendToPort(requester, CohOp::kData, block, /*with_data=*/true);
+                  }
+                  FinishTxn(entry, block);
+                });
+}
+
+void DirectoryController::FinishTxn(BlockEntry& e, std::uint64_t /*block*/) {
+  e.busy = false;
+  e.acks_outstanding = 0;
+  if (e.pending.empty()) {
+    return;
+  }
+  const CohMsg next = e.pending.front();
+  e.pending.pop_front();
+  engine_->Schedule(config_.directory_latency, [this, next] { Process(next); });
+}
+
+DirectoryController::BlockState DirectoryController::StateOf(std::uint64_t block) const {
+  auto it = blocks_.find(block);
+  return it == blocks_.end() ? BlockState::kUncached : it->second.state;
+}
+
+std::size_t DirectoryController::SharerCount(std::uint64_t block) const {
+  auto it = blocks_.find(block);
+  return it == blocks_.end() ? 0 : it->second.sharers.size();
+}
+
+MemoryNodeCaps DirectoryController::Caps() const {
+  MemoryNodeCaps caps;
+  caps.type = MemoryNodeType::kCcNuma;
+  caps.node = fabric_id();
+  caps.capacity_bytes = dram_->config().capacity_bytes;
+  caps.hardware_coherent = true;
+  caps.has_processing = false;
+  caps.supports_sharing = true;
+  caps.typical_read_latency = FromNs(1800.0);
+  caps.typical_write_latency = FromNs(2100.0);
+  return caps;
+}
+
+}  // namespace unifab

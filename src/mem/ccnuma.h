@@ -1,0 +1,193 @@
+// Fabric-attached CC-NUMA memory node (paper §3 Difference #2).
+//
+// Implements a cross-node, directory-based, write-invalidate coherence
+// protocol in the style of DASH/FLASH, realized inside the FHA/FEA pair:
+// every host owns a CcNumaPort (a hardware block cache in its FHA) and the
+// home node runs a DirectoryController behind its FEA. All protocol traffic
+// travels as CXL.cache-channel messages over the simulated fabric, so
+// coherence costs are real fabric costs.
+//
+// Protocol: MSI with a blocking home directory. The home serializes
+// transactions per block; requesters never communicate directly (home
+// forwarding keeps the protocol simple and race-free at the cost of an
+// extra hop, which we accept and document).
+
+#ifndef SRC_MEM_CCNUMA_H_
+#define SRC_MEM_CCNUMA_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fabric/dispatch.h"
+#include "src/mem/cache.h"
+#include "src/mem/dram.h"
+#include "src/mem/memnode.h"
+#include "src/sim/engine.h"
+#include "src/sim/stats.h"
+
+namespace unifab {
+
+// Coherence message opcodes.
+enum class CohOp : std::uint8_t {
+  kGetS,        // port -> home: read miss
+  kGetM,        // port -> home: write miss or S->M upgrade
+  kPutM,        // port -> home: dirty eviction writeback
+  kPutS,        // port -> home: clean eviction notice
+  kData,        // home -> port: shared data grant
+  kDataM,       // home -> port: exclusive data grant
+  kInv,         // home -> port: invalidate your copy
+  kInvAck,      // port -> home
+  kRecall,      // home -> owner: give the block back (downgrade or invalidate)
+  kRecallResp,  // owner -> home
+};
+
+const char* CohOpName(CohOp op);
+
+struct CohMsg {
+  CohOp op = CohOp::kGetS;
+  std::uint64_t block = 0;
+  int requester = -1;      // host index at the directory
+  bool downgrade = false;  // kRecall: true = owner keeps an S copy
+  bool was_dirty = false;  // kRecallResp: owner had modified data
+  bool was_present = false;
+};
+
+struct DirectoryStats {
+  std::uint64_t gets = 0;
+  std::uint64_t getm = 0;
+  std::uint64_t putm = 0;
+  std::uint64_t puts = 0;
+  std::uint64_t recalls = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t queued_requests = 0;  // arrived while the block was busy
+};
+
+struct PortStats {
+  std::uint64_t read_hits = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_hits = 0;    // hit in M
+  std::uint64_t upgrades = 0;      // S -> M
+  std::uint64_t write_misses = 0;
+  std::uint64_t invalidations_received = 0;
+  std::uint64_t recalls_received = 0;
+  Summary miss_latency_ns;
+};
+
+struct CcNumaConfig {
+  std::uint32_t block_bytes = 64;
+  CacheConfig port_cache{256 * 1024, 64, 8};
+  Tick port_hit_latency = FromNs(15.0);
+  Tick directory_latency = FromNs(25.0);  // per directory lookup/update
+  std::uint32_t ctrl_msg_bytes = 16;      // wire size of a control message
+};
+
+class DirectoryController;
+
+// Host-side coherent port. Read/Write complete when the block is usable in
+// the required state in the port cache.
+class CcNumaPort {
+ public:
+  CcNumaPort(Engine* engine, const CcNumaConfig& config, MessageDispatcher* dispatcher,
+             DirectoryController* home, std::string name);
+
+  void Read(std::uint64_t addr, std::function<void()> done);
+  void Write(std::uint64_t addr, std::function<void()> done);
+
+  bool HoldsBlock(std::uint64_t addr) const { return cache_.Contains(addr); }
+  bool HoldsModified(std::uint64_t addr) const { return cache_.IsDirty(addr); }
+
+  const PortStats& stats() const { return stats_; }
+  int host_index() const { return host_index_; }
+  PbrId fabric_id() const { return dispatcher_->adapter()->id(); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class DirectoryController;
+
+  struct PendingTxn {
+    bool wants_m;
+    Tick started_at;
+    std::vector<std::function<void()>> waiters;
+    bool in_flight = false;
+  };
+
+  void HandleMessage(const FabricMessage& msg);
+  void OnGrant(const CohMsg& msg);
+  void OnInv(const CohMsg& msg);
+  void OnRecall(const CohMsg& msg);
+  void SendToHome(CohOp op, std::uint64_t block, bool with_data);
+  void StartMiss(std::uint64_t block, bool wants_m, std::function<void()> done);
+  void EvictIfNeeded(std::uint64_t block, bool dirty);
+
+  Engine* engine_;
+  CcNumaConfig config_;
+  MessageDispatcher* dispatcher_;
+  DirectoryController* home_;
+  std::string name_;
+  int host_index_ = -1;
+  SetAssocCache cache_;
+  std::unordered_map<std::uint64_t, PendingTxn> pending_;
+  PortStats stats_;
+};
+
+// Home-node directory, attached to a FAM chassis FEA. Data lives in the
+// chassis DRAM.
+class DirectoryController {
+ public:
+  DirectoryController(Engine* engine, const CcNumaConfig& config, MessageDispatcher* dispatcher,
+                      DramDevice* dram, std::string name);
+
+  // Registers a port; the returned host index identifies it in directory
+  // state. Must be called before the port issues traffic.
+  int RegisterPort(CcNumaPort* port);
+
+  MemoryNodeCaps Caps() const;
+
+  const DirectoryStats& stats() const { return stats_; }
+  PbrId fabric_id() const { return dispatcher_->adapter()->id(); }
+
+  // Introspection for tests: directory state of one block.
+  enum class BlockState { kUncached, kShared, kModified };
+  BlockState StateOf(std::uint64_t block) const;
+  std::size_t SharerCount(std::uint64_t block) const;
+
+ private:
+  friend class CcNumaPort;
+
+  struct BlockEntry {
+    BlockState state = BlockState::kUncached;
+    std::set<int> sharers;
+    int owner = -1;
+    bool busy = false;
+    std::deque<CohMsg> pending;
+    int acks_outstanding = 0;
+    CohMsg active;  // the transaction being served
+  };
+
+  void HandleMessage(const FabricMessage& msg);
+  void Process(const CohMsg& msg);
+  void ServeGetS(BlockEntry& e, const CohMsg& msg);
+  void ServeGetM(BlockEntry& e, const CohMsg& msg);
+  void GrantAndUnblock(BlockEntry& e, std::uint64_t block, int requester, bool exclusive);
+  void FinishTxn(BlockEntry& e, std::uint64_t block);
+  void SendToPort(int host, CohOp op, std::uint64_t block, bool with_data, bool downgrade = false);
+
+  Engine* engine_;
+  CcNumaConfig config_;
+  MessageDispatcher* dispatcher_;
+  DramDevice* dram_;
+  std::string name_;
+  std::vector<CcNumaPort*> ports_;
+  std::unordered_map<std::uint64_t, BlockEntry> blocks_;
+  DirectoryStats stats_;
+};
+
+}  // namespace unifab
+
+#endif  // SRC_MEM_CCNUMA_H_

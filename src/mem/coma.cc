@@ -1,0 +1,302 @@
+#include "src/mem/coma.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace unifab {
+namespace {
+
+int CeilLog2(int v) {
+  int levels = 0;
+  int span = 1;
+  while (span < v) {
+    span <<= 1;
+    ++levels;
+  }
+  return levels;
+}
+
+}  // namespace
+
+ComaSystem::ComaSystem(Engine* engine, const ComaConfig& config)
+    : engine_(engine), config_(config) {
+  assert(config_.num_nodes >= 1);
+  nodes_.resize(static_cast<std::size_t>(config_.num_nodes));
+  levels_ = CeilLog2(config_.num_nodes);
+}
+
+std::uint64_t ComaSystem::BlockOf(std::uint64_t addr) const {
+  return addr / config_.block_bytes * config_.block_bytes;
+}
+
+int ComaSystem::TreeDistance(int a, int b) const {
+  if (a == b) {
+    return 0;
+  }
+  // Levels climbed until both land in the same subtree, then the same count
+  // back down.
+  int up = 0;
+  int xa = a;
+  int xb = b;
+  while (xa != xb) {
+    xa >>= 1;
+    xb >>= 1;
+    ++up;
+  }
+  return 2 * up;
+}
+
+int ComaSystem::NearestHolder(int from, std::uint64_t block) const {
+  auto it = holders_.find(block);
+  if (it == holders_.end()) {
+    return -1;
+  }
+  int best = -1;
+  int best_dist = 0;
+  for (int node : it->second) {
+    if (node == from) {
+      continue;
+    }
+    const int d = TreeDistance(from, node);
+    if (best < 0 || d < best_dist) {
+      best = node;
+      best_dist = d;
+    }
+  }
+  return best;
+}
+
+void ComaSystem::SeedBlock(int node, std::uint64_t block) {
+  block = BlockOf(block);
+  if (nodes_[node].present.count(block) != 0) {
+    return;
+  }
+  InsertCopy(node, block);
+}
+
+void ComaSystem::Touch(int node, std::uint64_t block) {
+  Node& n = nodes_[node];
+  auto it = n.present.find(block);
+  assert(it != n.present.end());
+  n.lru.erase(it->second);
+  n.lru.push_front(block);
+  it->second = n.lru.begin();
+}
+
+bool ComaSystem::InsertCopy(int node, std::uint64_t block, Tick* extra_latency) {
+  Node& n = nodes_[node];
+  if (auto it = n.present.find(block); it != n.present.end()) {
+    Touch(node, block);
+    return true;
+  }
+
+  Tick extra = 0;
+  if (n.present.size() >= config_.blocks_per_node) {
+    // Make room. Eviction ladder, cheapest first:
+    //   1. drop a local replica (another node still holds the data);
+    //   2. inject the LRU last-copy into a node with free space;
+    //   3. drop a replica at the least-occupied other node and inject there;
+    //   4. refuse the insert (the incoming block is itself replicated
+    //      elsewhere, so serving without caching is safe).
+    std::uint64_t replica_victim = 0;
+    bool found_replica = false;
+    for (auto it = n.lru.rbegin(); it != n.lru.rend(); ++it) {
+      if (CopyCount(*it) > 1) {
+        replica_victim = *it;
+        found_replica = true;
+        break;
+      }
+    }
+    if (found_replica) {
+      ++stats_.evictions;
+      RemoveCopy(node, replica_victim);
+    } else {
+      // Everything local is a last copy; relocate the LRU one.
+      const std::uint64_t victim = n.lru.back();
+      int target = -1;
+      std::uint64_t best_free = 0;
+      for (int i = 0; i < num_nodes(); ++i) {
+        if (i == node) {
+          continue;
+        }
+        const std::uint64_t free = config_.blocks_per_node - nodes_[i].present.size();
+        if (free > 0 && (target < 0 || free > best_free)) {
+          target = i;
+          best_free = free;
+        }
+      }
+      if (target < 0) {
+        // No free slot anywhere: drop a replica at some other node to make
+        // a hole for the injection.
+        for (int i = 0; i < num_nodes() && target < 0; ++i) {
+          if (i == node) {
+            continue;
+          }
+          for (auto it = nodes_[i].lru.rbegin(); it != nodes_[i].lru.rend(); ++it) {
+            if (CopyCount(*it) > 1) {
+              ++stats_.evictions;
+              RemoveCopy(i, *it);
+              target = i;
+              break;
+            }
+          }
+        }
+      }
+      if (target < 0) {
+        // The fabric is completely full of last copies. The incoming block
+        // must itself exist elsewhere (we are inserting a *copy*), so the
+        // only safe move is to not cache it here.
+        if (extra_latency != nullptr) {
+          *extra_latency += extra;
+        }
+        return false;
+      }
+      ++stats_.evictions;
+      ++stats_.injections;
+      RemoveCopy(node, victim);
+      extra += config_.transfer_latency +
+               static_cast<Tick>(TreeDistance(node, target)) * config_.directory_hop_latency;
+      Node& t = nodes_[target];
+      t.lru.push_front(victim);
+      t.present[victim] = t.lru.begin();
+      holders_[victim].push_back(target);
+    }
+  }
+
+  n.lru.push_front(block);
+  n.present[block] = n.lru.begin();
+  holders_[block].push_back(node);
+  if (extra_latency != nullptr) {
+    *extra_latency += extra;
+  }
+  return true;
+}
+
+void ComaSystem::RemoveCopy(int node, std::uint64_t block) {
+  Node& n = nodes_[node];
+  auto it = n.present.find(block);
+  if (it == n.present.end()) {
+    return;
+  }
+  n.lru.erase(it->second);
+  n.present.erase(it);
+  auto& h = holders_[block];
+  h.erase(std::remove(h.begin(), h.end(), node), h.end());
+  if (h.empty()) {
+    holders_.erase(block);
+  }
+}
+
+void ComaSystem::Finish(Tick start, Tick latency, std::function<void()> done) {
+  engine_->ScheduleAt(start + latency, [this, start, done = std::move(done)] {
+    stats_.access_latency_ns.Add(ToNs(engine_->Now() - start));
+    if (done) {
+      done();
+    }
+  });
+}
+
+void ComaSystem::Read(int node, std::uint64_t addr, std::function<void()> done) {
+  const std::uint64_t block = BlockOf(addr);
+  const Tick start = engine_->Now();
+
+  if (nodes_[node].present.count(block) != 0) {
+    ++stats_.hits;
+    Touch(node, block);
+    Finish(start, config_.local_hit_latency, std::move(done));
+    return;
+  }
+
+  ++stats_.misses;
+  const int holder = NearestHolder(node, block);
+  assert(holder >= 0 && "read of a block never seeded");
+  // Directory walk to the lowest common ancestor and down, then the block
+  // transfer, then local insertion (which may evict/inject). A refused
+  // insert just means the read was served remotely without caching.
+  Tick latency = config_.local_hit_latency + config_.transfer_latency +
+                 static_cast<Tick>(TreeDistance(node, holder)) * config_.directory_hop_latency;
+  if (InsertCopy(node, block, &latency)) {
+    ++stats_.replications;  // reads replicate: the holder keeps its copy
+  }
+  Finish(start, latency, std::move(done));
+}
+
+void ComaSystem::Write(int node, std::uint64_t addr, std::function<void()> done) {
+  const std::uint64_t block = BlockOf(addr);
+  const Tick start = engine_->Now();
+
+  // A write must end with exactly one copy of the block — at the writer
+  // when the attraction memory can take it, otherwise at the nearest
+  // holder (update-in-place fallback when the fabric is full of last
+  // copies).
+  Tick latency = config_.local_hit_latency;
+  const bool had_local = nodes_[node].present.count(block) != 0;
+  bool local_after = had_local;
+
+  if (!had_local) {
+    const int holder = NearestHolder(node, block);
+    assert(holder >= 0 && "write of a block never seeded");
+    latency += config_.transfer_latency +
+               static_cast<Tick>(TreeDistance(node, holder)) * config_.directory_hop_latency;
+    // Acquire a local copy BEFORE invalidating others so the data can never
+    // end up with zero holders.
+    local_after = InsertCopy(node, block, &latency);
+    if (local_after) {
+      ++stats_.migrations;  // writes migrate: the source gives the block up
+    }
+    ++stats_.misses;
+  } else {
+    Touch(node, block);
+    ++stats_.hits;
+  }
+
+  // Invalidate every other replica (directory fan-out; pay the farthest
+  // hop). If we could not take a local copy, the nearest holder keeps the
+  // single authoritative copy.
+  int keep = local_after ? node : NearestHolder(node, block);
+  int max_dist = 0;
+  auto it = holders_.find(block);
+  if (it != holders_.end()) {
+    std::vector<int> others;
+    for (int h : it->second) {
+      if (h != keep && h != node) {
+        others.push_back(h);
+        max_dist = std::max(max_dist, TreeDistance(node, h));
+      }
+    }
+    for (int h : others) {
+      ++stats_.invalidations;
+      RemoveCopy(h, block);
+    }
+  }
+  latency += static_cast<Tick>(max_dist) * config_.directory_hop_latency;
+  Finish(start, latency, std::move(done));
+}
+
+bool ComaSystem::NodeHolds(int node, std::uint64_t addr) const {
+  return nodes_[node].present.count(BlockOf(addr)) != 0;
+}
+
+int ComaSystem::CopyCount(std::uint64_t addr) const {
+  auto it = holders_.find(BlockOf(addr));
+  return it == holders_.end() ? 0 : static_cast<int>(it->second.size());
+}
+
+std::uint64_t ComaSystem::NodeOccupancy(int node) const { return nodes_[node].present.size(); }
+
+MemoryNodeCaps ComaSystem::Caps() const {
+  MemoryNodeCaps caps;
+  caps.type = MemoryNodeType::kComa;
+  caps.node = kInvalidPbrId;
+  caps.capacity_bytes = static_cast<std::uint64_t>(config_.num_nodes) * config_.blocks_per_node *
+                        config_.block_bytes;
+  caps.hardware_coherent = true;
+  caps.has_processing = true;
+  caps.supports_sharing = true;
+  caps.typical_read_latency = config_.local_hit_latency;
+  caps.typical_write_latency = config_.local_hit_latency;
+  return caps;
+}
+
+}  // namespace unifab

@@ -1,0 +1,100 @@
+// Fabric-attached COMA cache node (paper §3 Difference #2; DDM-style).
+//
+// Every node exposes a slice of the global memory as an *attraction memory*:
+// blocks have no fixed home and migrate/replicate toward the nodes using
+// them. A hierarchical (binary-tree) directory locates copies: each internal
+// directory level knows which of its subtrees hold a block. Reads replicate;
+// writes migrate (invalidating other replicas); evicting the last copy of a
+// block *injects* it into a sibling node instead of dropping it — losing the
+// last copy would lose the only instance of the data.
+
+#ifndef SRC_MEM_COMA_H_
+#define SRC_MEM_COMA_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mem/memnode.h"
+#include "src/sim/engine.h"
+#include "src/sim/stats.h"
+
+namespace unifab {
+
+struct ComaConfig {
+  int num_nodes = 4;                        // rounded up to a power of two internally
+  std::uint64_t blocks_per_node = 1024;     // attraction-memory capacity (in blocks)
+  std::uint32_t block_bytes = 64;
+  Tick local_hit_latency = FromNs(150.0);   // attraction-memory access
+  Tick directory_hop_latency = FromNs(400.0);  // one level up/down the tree
+  Tick transfer_latency = FromNs(600.0);    // block move between two nodes
+};
+
+struct ComaStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t replications = 0;   // read miss: copy created
+  std::uint64_t migrations = 0;     // write miss: block moved, replicas killed
+  std::uint64_t invalidations = 0;
+  std::uint64_t injections = 0;     // last-copy eviction relocated the block
+  std::uint64_t evictions = 0;
+  Summary access_latency_ns;
+};
+
+class ComaSystem {
+ public:
+  ComaSystem(Engine* engine, const ComaConfig& config);
+
+  // Places the initial (only) copy of `block` on `node`. Typically driven by
+  // a striped loader.
+  void SeedBlock(int node, std::uint64_t block);
+
+  // Access from `node`. `done` fires when the block is usable locally.
+  void Read(int node, std::uint64_t addr, std::function<void()> done);
+  void Write(int node, std::uint64_t addr, std::function<void()> done);
+
+  // Introspection.
+  bool NodeHolds(int node, std::uint64_t addr) const;
+  int CopyCount(std::uint64_t addr) const;
+  std::uint64_t NodeOccupancy(int node) const;
+
+  const ComaStats& stats() const { return stats_; }
+  MemoryNodeCaps Caps() const;
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+ private:
+  struct Node {
+    // Attraction memory: block -> LRU list iterator.
+    std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> present;
+    std::list<std::uint64_t> lru;  // front = most recent
+  };
+
+  std::uint64_t BlockOf(std::uint64_t addr) const;
+  // Tree distance (#levels to the lowest common ancestor, both ways).
+  int TreeDistance(int a, int b) const;
+  // Nearest node (by tree distance) holding `block`, excluding `from`; -1
+  // when no other copy exists.
+  int NearestHolder(int from, std::uint64_t block) const;
+  void Touch(int node, std::uint64_t block);
+  // Inserts a copy on `node`, evicting (and possibly injecting) as needed.
+  // Adds eviction-handling latency to `extra_latency` (if non-null) and
+  // returns false when the insert had to be refused (fabric full of last
+  // copies) — safe because the incoming block exists elsewhere.
+  bool InsertCopy(int node, std::uint64_t block, Tick* extra_latency = nullptr);
+  void RemoveCopy(int node, std::uint64_t block);
+  void Finish(Tick start, Tick latency, std::function<void()> done);
+
+  Engine* engine_;
+  ComaConfig config_;
+  std::vector<Node> nodes_;
+  std::unordered_map<std::uint64_t, std::vector<int>> holders_;  // block -> node ids
+  int levels_;  // tree height
+  ComaStats stats_;
+};
+
+}  // namespace unifab
+
+#endif  // SRC_MEM_COMA_H_

@@ -1,0 +1,69 @@
+#include "src/mem/dram.h"
+
+#include <cassert>
+#include <utility>
+
+namespace unifab {
+
+DramDevice::DramDevice(Engine* engine, const DramConfig& config, std::string name)
+    : engine_(engine), config_(config), name_(std::move(name)) {
+  assert(config_.num_banks >= 1);
+  banks_.resize(config_.num_banks);
+}
+
+std::uint32_t DramDevice::BankOf(std::uint64_t addr) const {
+  // Cacheline-interleaved bank mapping.
+  return static_cast<std::uint32_t>((addr >> 6) % config_.num_banks);
+}
+
+void DramDevice::HandleRead(std::uint64_t addr, std::uint32_t bytes, std::function<void()> done) {
+  Access(addr, bytes, /*is_write=*/false, std::move(done));
+}
+
+void DramDevice::HandleWrite(std::uint64_t addr, std::uint32_t bytes, std::function<void()> done) {
+  Access(addr, bytes, /*is_write=*/true, std::move(done));
+}
+
+void DramDevice::Access(std::uint64_t addr, std::uint32_t bytes, bool is_write,
+                        std::function<void()> done) {
+  if (is_write) {
+    ++stats_.writes;
+  } else {
+    ++stats_.reads;
+  }
+  stats_.bytes += bytes;
+
+  const std::uint32_t bank = BankOf(addr);
+  Bank& b = banks_[bank];
+  if (b.queue.size() >= config_.queue_depth) {
+    // Model a saturated controller by serializing behind the whole queue
+    // rather than dropping; count the event for visibility.
+    ++stats_.queue_full_rejects;
+  }
+  b.queue.push_back(BankRequest{bytes, std::move(done)});
+  if (!b.busy) {
+    StartNext(bank);
+  }
+}
+
+void DramDevice::StartNext(std::uint32_t bank) {
+  Bank& b = banks_[bank];
+  if (b.queue.empty()) {
+    b.busy = false;
+    return;
+  }
+  b.busy = true;
+  BankRequest req = std::move(b.queue.front());
+  b.queue.pop_front();
+
+  const Tick transfer = SerializationDelay(req.bytes, config_.bandwidth_gbps);
+  const Tick service = config_.access_latency + transfer;
+  engine_->Schedule(service, [this, bank, done = std::move(req.done)] {
+    if (done) {
+      done();
+    }
+    StartNext(bank);
+  });
+}
+
+}  // namespace unifab

@@ -1,0 +1,74 @@
+// Banked DRAM device model. Serves as local DIMMs inside hosts and as the
+// rDIMMs inside FAM chassis (behind an EndpointAdapter).
+
+#ifndef SRC_MEM_DRAM_H_
+#define SRC_MEM_DRAM_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/fabric/adapter.h"
+#include "src/sim/engine.h"
+#include "src/sim/time.h"
+
+namespace unifab {
+
+struct DramConfig {
+  std::uint64_t capacity_bytes = 16ULL << 30;
+  std::uint32_t num_banks = 16;
+  Tick access_latency = FromNs(60.0);       // fixed array-access time per request
+  double bandwidth_gbps = 25.6;             // per-device sustained bandwidth
+  std::uint32_t queue_depth = 64;           // per-bank request queue
+};
+
+struct DramStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t queue_full_rejects = 0;
+};
+
+// Event-driven DRAM: each request occupies its bank for
+// access_latency + bytes/bandwidth; requests to a busy bank queue.
+class DramDevice : public FabricTarget {
+ public:
+  DramDevice(Engine* engine, const DramConfig& config, std::string name);
+
+  // FabricTarget (used when the device sits behind an FEA):
+  void HandleRead(std::uint64_t addr, std::uint32_t bytes, std::function<void()> done) override;
+  void HandleWrite(std::uint64_t addr, std::uint32_t bytes, std::function<void()> done) override;
+
+  // Direct access path (used for host-local DIMMs).
+  void Access(std::uint64_t addr, std::uint32_t bytes, bool is_write, std::function<void()> done);
+
+  const DramConfig& config() const { return config_; }
+  const DramStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct BankRequest {
+    std::uint32_t bytes;
+    std::function<void()> done;
+  };
+
+  struct Bank {
+    bool busy = false;
+    std::deque<BankRequest> queue;
+  };
+
+  std::uint32_t BankOf(std::uint64_t addr) const;
+  void StartNext(std::uint32_t bank);
+
+  Engine* engine_;
+  DramConfig config_;
+  std::string name_;
+  std::vector<Bank> banks_;
+  DramStats stats_;
+};
+
+}  // namespace unifab
+
+#endif  // SRC_MEM_DRAM_H_

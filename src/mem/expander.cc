@@ -1,0 +1,132 @@
+#include "src/mem/expander.h"
+
+#include <cassert>
+#include <utility>
+
+namespace unifab {
+
+MemoryExpander::MemoryExpander(Engine* engine, DramDevice* dram, std::string name,
+                               Tick device_serialization_latency)
+    : engine_(engine),
+      dram_(dram),
+      name_(std::move(name)),
+      serialization_latency_(device_serialization_latency) {}
+
+std::uint64_t MemoryExpander::CreatePartition(PbrId owner, std::uint64_t size) {
+  assert(next_base_ + size <= dram_->config().capacity_bytes);
+  const std::uint64_t base = next_base_;
+  partitions_.push_back(Partition{owner, base, size, /*shared=*/false});
+  next_base_ += size;
+  return base;
+}
+
+std::uint64_t MemoryExpander::CreateSharedRegion(std::uint64_t size) {
+  assert(next_base_ + size <= dram_->config().capacity_bytes);
+  const std::uint64_t base = next_base_;
+  partitions_.push_back(Partition{kInvalidPbrId, base, size, /*shared=*/true});
+  next_base_ += size;
+  return base;
+}
+
+const MemoryExpander::Partition* MemoryExpander::PartitionFor(std::uint64_t addr) const {
+  for (const auto& p : partitions_) {
+    if (addr >= p.base && addr < p.base + p.size) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+void MemoryExpander::CheckAccess(std::uint64_t addr) {
+  // An unconfigured device (no partitions) is a flat expander: every access
+  // is legal. Once partitions exist, unallocated space or someone else's
+  // exclusive partition is a fault. The device still serves the request
+  // (real Type 3 devices rely on host-side address decoding), but the
+  // counter lets tests and operators see it.
+  if (partitions_.empty()) {
+    return;
+  }
+  const Partition* p = PartitionFor(addr);
+  if (p == nullptr || (!p->shared && current_requester_ != kInvalidPbrId &&
+                       p->owner != current_requester_)) {
+    ++stats_.partition_faults;
+  }
+}
+
+void MemoryExpander::HandleRead(std::uint64_t addr, std::uint32_t bytes,
+                                std::function<void()> done) {
+  addr = Translate(addr);
+  ++stats_.reads;
+  CheckAccess(addr);
+  const Partition* p = PartitionFor(addr);
+  if (p != nullptr && p->shared) {
+    Serialized(addr, bytes, /*is_write=*/false, std::move(done));
+    return;
+  }
+  dram_->Access(addr, bytes, /*is_write=*/false, std::move(done));
+}
+
+void MemoryExpander::HandleWrite(std::uint64_t addr, std::uint32_t bytes,
+                                 std::function<void()> done) {
+  addr = Translate(addr);
+  ++stats_.writes;
+  CheckAccess(addr);
+  const Partition* p = PartitionFor(addr);
+  if (p != nullptr && p->shared) {
+    Serialized(addr, bytes, /*is_write=*/true, std::move(done));
+    return;
+  }
+  dram_->Access(addr, bytes, /*is_write=*/true, std::move(done));
+}
+
+void MemoryExpander::Serialized(std::uint64_t addr, std::uint32_t bytes, bool is_write,
+                                std::function<void()> done) {
+  const std::uint64_t line = addr & ~std::uint64_t{63};
+  LineLock& lock = line_locks_[line];
+  auto run = [this, addr, bytes, is_write, line, done = std::move(done)]() mutable {
+    engine_->Schedule(serialization_latency_, [this, addr, bytes, is_write, line,
+                                               done = std::move(done)]() mutable {
+      dram_->Access(addr, bytes, is_write, [this, line, done = std::move(done)] {
+        if (done) {
+          done();
+        }
+        ReleaseLine(line);
+      });
+    });
+  };
+  if (lock.busy) {
+    ++stats_.serialized_conflicts;
+    lock.waiters.push_back(std::move(run));
+    return;
+  }
+  lock.busy = true;
+  run();
+}
+
+void MemoryExpander::ReleaseLine(std::uint64_t line) {
+  auto it = line_locks_.find(line);
+  assert(it != line_locks_.end());
+  LineLock& lock = it->second;
+  if (lock.waiters.empty()) {
+    line_locks_.erase(it);
+    return;
+  }
+  auto next = std::move(lock.waiters.front());
+  lock.waiters.pop_front();
+  next();
+}
+
+MemoryNodeCaps MemoryExpander::Caps(PbrId self) const {
+  MemoryNodeCaps caps;
+  caps.type = MemoryNodeType::kCpuLessNuma;
+  caps.node = self;
+  caps.capacity_bytes = dram_->config().capacity_bytes;
+  caps.hardware_coherent = false;
+  caps.has_processing = false;
+  caps.supports_sharing = true;
+  caps.typical_read_latency = FromNs(1575.3);
+  caps.typical_write_latency = FromNs(1613.3);
+  return caps;
+}
+
+}  // namespace unifab

@@ -1,0 +1,103 @@
+// CPU-less NUMA memory expander (CXL Type 3 device, paper §3 Difference #2).
+//
+// A MemoryExpander fronts a DRAM module behind an FEA. It supports the two
+// deployment modes the paper names: exclusive ownership by one host, or
+// sharing across hosts, in which case the FEA partitions the capacity and
+// enforces per-line access serialization at the device (there is no
+// processor on the node to do anything smarter).
+
+#ifndef SRC_MEM_EXPANDER_H_
+#define SRC_MEM_EXPANDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/fabric/adapter.h"
+#include "src/mem/dram.h"
+#include "src/mem/memnode.h"
+#include "src/sim/engine.h"
+
+namespace unifab {
+
+struct ExpanderStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t partition_faults = 0;   // access outside the caller's partition
+  std::uint64_t serialized_conflicts = 0;  // shared-line accesses that had to wait
+};
+
+class MemoryExpander : public FabricTarget {
+ public:
+  // `device_serialization_latency` models the FEA's per-access coherence
+  // bookkeeping in shared mode.
+  MemoryExpander(Engine* engine, DramDevice* dram, std::string name,
+                 Tick device_serialization_latency = FromNs(20.0));
+
+  // Carves a partition of `size` bytes for `owner`. Returns the base
+  // address. Addresses are allocated sequentially from 0.
+  std::uint64_t CreatePartition(PbrId owner, std::uint64_t size);
+
+  // Marks [base, base+size) as shared among all hosts; conflicting accesses
+  // to the same 64B line are serialized at the device.
+  std::uint64_t CreateSharedRegion(std::uint64_t size);
+
+  // Hosts address the chassis through a window in their physical address
+  // map (e.g. Cluster::FamBase); the device decodes by subtracting it.
+  // Partition offsets returned above are chassis-relative.
+  void SetAddressBase(std::uint64_t base) { address_base_ = base; }
+
+  // Associates subsequent FabricTarget calls with a requesting host. The
+  // EndpointAdapter does not forward requester identity, so hosts register
+  // their id before issuing (tests drive this; the runtime wraps it).
+  void SetCurrentRequester(PbrId host) { current_requester_ = host; }
+
+  // FabricTarget:
+  void HandleRead(std::uint64_t addr, std::uint32_t bytes, std::function<void()> done) override;
+  void HandleWrite(std::uint64_t addr, std::uint32_t bytes, std::function<void()> done) override;
+
+  MemoryNodeCaps Caps(PbrId self) const;
+
+  const ExpanderStats& stats() const { return stats_; }
+  std::uint64_t BytesAllocated() const { return next_base_; }
+
+ private:
+  struct Partition {
+    PbrId owner;
+    std::uint64_t base;
+    std::uint64_t size;
+    bool shared;
+  };
+
+  struct LineLock {
+    bool busy = false;
+    std::deque<std::function<void()>> waiters;
+  };
+
+  std::uint64_t Translate(std::uint64_t addr) const {
+    return addr >= address_base_ ? addr - address_base_ : addr;
+  }
+  const Partition* PartitionFor(std::uint64_t addr) const;
+  void CheckAccess(std::uint64_t addr);
+  void Serialized(std::uint64_t addr, std::uint32_t bytes, bool is_write,
+                  std::function<void()> done);
+  void ReleaseLine(std::uint64_t line);
+
+  Engine* engine_;
+  DramDevice* dram_;
+  std::string name_;
+  Tick serialization_latency_;
+  std::vector<Partition> partitions_;
+  std::unordered_map<std::uint64_t, LineLock> line_locks_;
+  std::uint64_t next_base_ = 0;
+  std::uint64_t address_base_ = 0;
+  PbrId current_requester_ = kInvalidPbrId;
+  ExpanderStats stats_;
+};
+
+}  // namespace unifab
+
+#endif  // SRC_MEM_EXPANDER_H_

@@ -1,0 +1,32 @@
+#include "src/mem/memnode.h"
+
+#include <sstream>
+
+namespace unifab {
+
+const char* MemoryNodeTypeName(MemoryNodeType type) {
+  switch (type) {
+    case MemoryNodeType::kHostLocal:
+      return "host-local";
+    case MemoryNodeType::kCpuLessNuma:
+      return "CPU-less-NUMA";
+    case MemoryNodeType::kCcNuma:
+      return "CC-NUMA";
+    case MemoryNodeType::kNonCcNuma:
+      return "non-CC-NUMA";
+    case MemoryNodeType::kComa:
+      return "COMA";
+  }
+  return "?";
+}
+
+std::string CapsToString(const MemoryNodeCaps& caps) {
+  std::ostringstream out;
+  out << MemoryNodeTypeName(caps.type) << "(node=" << caps.node << ", "
+      << (caps.capacity_bytes >> 20) << "MiB, coherent=" << (caps.hardware_coherent ? "hw" : "sw")
+      << ", processing=" << (caps.has_processing ? "yes" : "no")
+      << ", rd=" << ToNs(caps.typical_read_latency) << "ns)";
+  return out.str();
+}
+
+}  // namespace unifab

@@ -1,0 +1,42 @@
+// Memory-node taxonomy from paper §3 Difference #2. The four fabric-attached
+// node types expose very different capability/performance envelopes, which
+// the FCC unified heap (DP#2) uses for placement decisions.
+
+#ifndef SRC_MEM_MEMNODE_H_
+#define SRC_MEM_MEMNODE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/fabric/flit.h"
+#include "src/sim/time.h"
+
+namespace unifab {
+
+enum class MemoryNodeType {
+  kHostLocal,    // a host's own DIMMs (fastest tier)
+  kCpuLessNuma,  // standalone memory expander, no processing units (CXL Type 3)
+  kCcNuma,       // shared address space with hardware directory coherence
+  kNonCcNuma,    // shared address space, software-managed coherence
+  kComa,         // cache-only memory architecture (attraction memory)
+};
+
+const char* MemoryNodeTypeName(MemoryNodeType type);
+
+// Capability descriptor advertised to the heap manager and migration policy.
+struct MemoryNodeCaps {
+  MemoryNodeType type = MemoryNodeType::kCpuLessNuma;
+  PbrId node = kInvalidPbrId;       // fabric id (when fabric-attached)
+  std::uint64_t capacity_bytes = 0;
+  bool hardware_coherent = false;   // coherence maintained by FHA/FEA hardware
+  bool has_processing = false;      // can host migration agents / node replication
+  bool supports_sharing = false;    // multiple hosts may map it concurrently
+  Tick typical_read_latency = 0;    // unloaded 64B read, for placement cost models
+  Tick typical_write_latency = 0;
+};
+
+std::string CapsToString(const MemoryNodeCaps& caps);
+
+}  // namespace unifab
+
+#endif  // SRC_MEM_MEMNODE_H_

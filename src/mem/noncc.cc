@@ -1,0 +1,141 @@
+#include "src/mem/noncc.h"
+
+#include <utility>
+#include <vector>
+
+namespace unifab {
+
+NonCcPort::NonCcPort(Engine* engine, const NonCcConfig& config, HostAdapter* adapter,
+                     PbrId remote_node, SharedStateOracle* oracle, std::string name)
+    : engine_(engine),
+      config_(config),
+      adapter_(adapter),
+      remote_(remote_node),
+      oracle_(oracle),
+      name_(std::move(name)),
+      cache_(config.sw_cache) {}
+
+std::uint64_t NonCcPort::CachedVersion(std::uint64_t addr) const {
+  auto it = fetched_version_.find(cache_.LineBase(addr));
+  return it == fetched_version_.end() ? 0 : it->second;
+}
+
+void NonCcPort::Read(std::uint64_t addr, std::function<void(bool)> done) {
+  const std::uint64_t block = cache_.LineBase(addr);
+  if (cache_.Access(block, /*is_write=*/false)) {
+    ++stats_.read_hits;
+    const bool stale =
+        !cache_.IsDirty(block) && fetched_version_[block] < oracle_->Current(block);
+    if (stale) {
+      ++stats_.stale_reads;
+    }
+    engine_->Schedule(config_.sw_cache_hit_latency, [done = std::move(done), stale] {
+      if (done) {
+        done(stale);
+      }
+    });
+    return;
+  }
+  ++stats_.read_misses;
+  MemRequest req;
+  req.type = MemRequest::Type::kRead;
+  req.addr = block;
+  req.bytes = config_.block_bytes;
+  adapter_->Submit(remote_, req, [this, block, done = std::move(done)] {
+    // Fetch observes the remote truth as of completion time.
+    fetched_version_[block] = oracle_->Current(block);
+    if (auto ev = cache_.Insert(block, /*dirty=*/false); ev.has_value() && ev->dirty) {
+      // A dirty victim must reach the node or its writes are lost; software
+      // runtimes schedule this flush themselves.
+      MemRequest wb;
+      wb.type = MemRequest::Type::kWrite;
+      wb.addr = ev->line_addr;
+      wb.bytes = config_.block_bytes;
+      adapter_->Submit(remote_, wb, nullptr);
+      oracle_->Bump(ev->line_addr);
+      ++stats_.flushes;
+    }
+    if (done) {
+      done(false);
+    }
+  });
+}
+
+void NonCcPort::Write(std::uint64_t addr, std::function<void()> done) {
+  const std::uint64_t block = cache_.LineBase(addr);
+  ++stats_.write_buffered;
+  if (auto ev = cache_.Insert(block, /*dirty=*/true); ev.has_value() && ev->dirty) {
+    MemRequest wb;
+    wb.type = MemRequest::Type::kWrite;
+    wb.addr = ev->line_addr;
+    wb.bytes = config_.block_bytes;
+    adapter_->Submit(remote_, wb, nullptr);
+    oracle_->Bump(ev->line_addr);
+    ++stats_.flushes;
+  }
+  engine_->Schedule(config_.sw_cache_hit_latency, std::move(done));
+}
+
+void NonCcPort::FlushBlock(std::uint64_t addr, std::function<void()> done) {
+  const std::uint64_t block = cache_.LineBase(addr);
+  if (!cache_.IsDirty(block)) {
+    engine_->Schedule(0, std::move(done));
+    return;
+  }
+  cache_.CleanLine(block);
+  ++stats_.flushes;
+  MemRequest wb;
+  wb.type = MemRequest::Type::kWrite;
+  wb.addr = block;
+  wb.bytes = config_.block_bytes;
+  adapter_->Submit(remote_, wb, [this, block, done = std::move(done)] {
+    fetched_version_[block] = oracle_->Bump(block);
+    if (done) {
+      done();
+    }
+  });
+}
+
+void NonCcPort::FlushAll(std::function<void()> done) {
+  const std::vector<std::uint64_t> dirty = cache_.ValidLines(/*dirty_only=*/true);
+  if (dirty.empty()) {
+    engine_->Schedule(0, std::move(done));
+    return;
+  }
+  auto remaining = std::make_shared<std::size_t>(dirty.size());
+  for (std::uint64_t block : dirty) {
+    FlushBlock(block, [remaining, done] {
+      if (--*remaining == 0 && done) {
+        done();
+      }
+    });
+  }
+}
+
+void NonCcPort::InvalidateBlock(std::uint64_t addr) {
+  ++stats_.invalidates;
+  const std::uint64_t block = cache_.LineBase(addr);
+  cache_.Invalidate(block);
+  fetched_version_.erase(block);
+}
+
+void NonCcPort::InvalidateAll() {
+  for (std::uint64_t block : cache_.ValidLines()) {
+    InvalidateBlock(block);
+  }
+}
+
+MemoryNodeCaps NonCcPort::Caps() const {
+  MemoryNodeCaps caps;
+  caps.type = MemoryNodeType::kNonCcNuma;
+  caps.node = remote_;
+  caps.capacity_bytes = 0;  // capacity owned by the expander behind remote_
+  caps.hardware_coherent = false;
+  caps.has_processing = false;
+  caps.supports_sharing = true;
+  caps.typical_read_latency = FromNs(1575.3);
+  caps.typical_write_latency = FromNs(20.0);  // write-back buffering
+  return caps;
+}
+
+}  // namespace unifab

@@ -1,0 +1,53 @@
+#include "src/sim/engine.h"
+
+#include <cassert>
+#include <utility>
+
+namespace unifab {
+
+EventId Engine::ScheduleAt(Tick when, EventFn fn) {
+  assert(when >= now_ && "cannot schedule into the past");
+  return queue_.Push(when, std::move(fn));
+}
+
+void Engine::FireNext() {
+  auto [when, fn] = queue_.Pop();
+  assert(when >= now_);
+  now_ = when;
+  ++fired_;
+  if (fn) {
+    fn();  // null callbacks are legal no-ops (completion-less operations)
+  }
+}
+
+std::size_t Engine::Run() {
+  std::size_t n = 0;
+  while (!queue_.Empty()) {
+    FireNext();
+    ++n;
+  }
+  return n;
+}
+
+std::size_t Engine::RunUntil(Tick deadline) {
+  std::size_t n = 0;
+  while (!queue_.Empty() && queue_.NextTime() <= deadline) {
+    FireNext();
+    ++n;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return n;
+}
+
+std::size_t Engine::Step(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && !queue_.Empty()) {
+    FireNext();
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace unifab

@@ -1,0 +1,67 @@
+// The discrete-event simulation engine that drives every UniFabric model.
+//
+// The engine is single-threaded and deterministic: all hardware components
+// (links, switches, caches, accelerators) are passive objects that schedule
+// callbacks on one shared Engine. Running the engine to quiescence advances
+// simulated time; wall-clock time never appears anywhere in the models.
+
+#ifndef SRC_SIM_ENGINE_H_
+#define SRC_SIM_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+
+namespace unifab {
+
+class Engine {
+ public:
+  Engine() = default;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Current simulated time.
+  Tick Now() const { return now_; }
+
+  // Schedules `fn` to run `delay` ticks from now.
+  EventId Schedule(Tick delay, EventFn fn) { return queue_.Push(now_ + delay, std::move(fn)); }
+
+  // Schedules `fn` at an absolute time, which must not be in the past.
+  EventId ScheduleAt(Tick when, EventFn fn);
+
+  // Cancels a previously scheduled event. Safe to call after the event fired
+  // (returns false).
+  bool Cancel(EventId id) { return queue_.Cancel(id); }
+
+  // Runs events until the queue drains. Returns the number of events fired.
+  std::size_t Run();
+
+  // Runs events with firing time <= `deadline`, then sets Now() == deadline.
+  // Returns the number of events fired.
+  std::size_t RunUntil(Tick deadline);
+
+  // Convenience: RunUntil(Now() + duration).
+  std::size_t RunFor(Tick duration) { return RunUntil(now_ + duration); }
+
+  // Fires at most `max_events` events. Returns the number fired (may be less
+  // if the queue drains first).
+  std::size_t Step(std::size_t max_events);
+
+  bool Idle() const { return queue_.Empty(); }
+  std::size_t PendingEvents() const { return queue_.Size(); }
+  std::uint64_t TotalFired() const { return fired_; }
+
+ private:
+  void FireNext();
+
+  EventQueue queue_;
+  Tick now_ = 0;
+  std::uint64_t fired_ = 0;
+};
+
+}  // namespace unifab
+
+#endif  // SRC_SIM_ENGINE_H_

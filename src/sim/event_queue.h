@@ -1,0 +1,114 @@
+// A deterministic pending-event set for the discrete-event engine.
+//
+// Events firing at the same tick are delivered in the order they were
+// scheduled (FIFO within a tick), which keeps simulations reproducible
+// regardless of heap internals.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace unifab {
+
+// A scheduled callback. Events are one-shot; recurring behaviour is built by
+// re-scheduling from inside the callback.
+using EventFn = std::function<void()>;
+
+// Handle used to cancel a scheduled event. Cancellation is lazy: the event
+// stays in the queue but is skipped when popped.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  // Not copyable: callbacks capture references into the owning simulation.
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Inserts an event firing at absolute time `when`.
+  EventId Push(Tick when, EventFn fn) {
+    const EventId id = next_id_++;
+    heap_.push(Entry{when, id, std::move(fn)});
+    pending_.insert(id);
+    return id;
+  }
+
+  // Marks an event as cancelled. Returns false if the id is unknown, already
+  // fired, or already cancelled.
+  bool Cancel(EventId id) {
+    if (pending_.erase(id) == 0) {
+      return false;
+    }
+    cancelled_.insert(id);
+    return true;
+  }
+
+  bool Empty() const { return pending_.empty(); }
+  std::size_t Size() const { return pending_.size(); }
+
+  // Time of the earliest live event. Must not be called when Empty().
+  Tick NextTime() {
+    SkipCancelled();
+    return heap_.top().when;
+  }
+
+  // Removes and returns the earliest live event. Must not be called when
+  // Empty().
+  std::pair<Tick, EventFn> Pop() {
+    SkipCancelled();
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    pending_.erase(e.id);
+    return {e.when, std::move(e.fn)};
+  }
+
+ private:
+  struct Entry {
+    Tick when;
+    EventId id;
+    EventFn fn;
+
+    // std::priority_queue is a max-heap; invert so the earliest (and, for
+    // ties, first-scheduled) event is on top.
+    bool operator<(const Entry& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return id > other.id;
+    }
+  };
+
+  // Drops cancelled entries sitting on top of the heap. A cancelled id is
+  // erased from the set once its heap entry is discarded, so the set stays
+  // small even in long simulations.
+  void SkipCancelled() {
+    while (!heap_.empty()) {
+      auto it = cancelled_.find(heap_.top().id);
+      if (it == cancelled_.end()) {
+        return;
+      }
+      cancelled_.erase(it);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry> heap_;
+  std::unordered_set<EventId> pending_;    // scheduled, not yet fired or cancelled
+  std::unordered_set<EventId> cancelled_;  // cancelled but heap entry not yet discarded
+  EventId next_id_ = 1;
+};
+
+}  // namespace unifab
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

@@ -1,0 +1,63 @@
+// Minimal leveled logging for the simulator. Components tag messages with
+// the simulated timestamp so traces read like hardware waveforms.
+
+#ifndef SRC_SIM_LOGGING_H_
+#define SRC_SIM_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+#include "src/sim/time.h"
+
+namespace unifab {
+
+enum class LogLevel {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Global threshold; messages below it are discarded. Defaults to kWarn so
+// tests and benches stay quiet unless asked.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one line to stderr: "[level] t=<ns>ns <component>: <message>".
+void LogMessage(LogLevel level, Tick now, const std::string& component,
+                const std::string& message);
+
+// Stream-style helper: UF_LOG(kDebug, now, "switch0") << "flit " << id;
+class LogLine {
+ public:
+  LogLine(LogLevel level, Tick now, std::string component)
+      : level_(level), now_(now), component_(std::move(component)) {}
+
+  ~LogLine() {
+    if (level_ >= GetLogLevel()) {
+      LogMessage(level_, now_, component_, out_.str());
+    }
+  }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (level_ >= GetLogLevel()) {
+      out_ << v;
+    }
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  Tick now_;
+  std::string component_;
+  std::ostringstream out_;
+};
+
+}  // namespace unifab
+
+#define UF_LOG(level, now, component) ::unifab::LogLine(::unifab::LogLevel::level, now, component)
+
+#endif  // SRC_SIM_LOGGING_H_

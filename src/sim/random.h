@@ -1,0 +1,72 @@
+// Deterministic random-number generation for workload synthesis.
+//
+// The simulator never uses std::random_device or global RNG state; every
+// stochastic component owns a Rng seeded explicitly, so a given seed always
+// reproduces the same simulation on every platform.
+
+#ifndef SRC_SIM_RANDOM_H_
+#define SRC_SIM_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace unifab {
+
+// SplitMix64-seeded xoshiro256** generator. Small, fast, and statistically
+// solid for simulation purposes.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform 64-bit value.
+  std::uint64_t Next();
+
+  // Uniform in [0, bound). `bound` must be nonzero.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t NextInRange(std::uint64_t lo, std::uint64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability `p` (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  // Exponentially distributed value with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBelow(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+// Samples from a Zipf(s, n) distribution over {0, .., n-1} using an inverted
+// CDF table. Used by the unified-heap benchmarks to generate skewed object
+// popularity, the regime where temperature-driven migration pays off.
+class ZipfGenerator {
+ public:
+  // `skew` is the Zipf exponent (0 = uniform); `n` must be >= 1.
+  ZipfGenerator(std::uint64_t seed, double skew, std::size_t n);
+
+  std::size_t Next();
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace unifab
+
+#endif  // SRC_SIM_RANDOM_H_

@@ -1,0 +1,129 @@
+#include "src/sim/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace unifab {
+
+void Summary::Add(double v) {
+  samples_.push_back(v);
+  sum_ += v;
+  sorted_ = false;
+}
+
+double Summary::Mean() const {
+  assert(!samples_.empty());
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+void Summary::SortIfNeeded() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::Min() const {
+  assert(!samples_.empty());
+  SortIfNeeded();
+  return samples_.front();
+}
+
+double Summary::Max() const {
+  assert(!samples_.empty());
+  SortIfNeeded();
+  return samples_.back();
+}
+
+double Summary::Stddev() const {
+  assert(!samples_.empty());
+  const double mean = Mean();
+  double acc = 0.0;
+  for (double v : samples_) {
+    acc += (v - mean) * (v - mean);
+  }
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+double Summary::Percentile(double p) const {
+  assert(!samples_.empty());
+  SortIfNeeded();
+  if (p <= 0.0) {
+    return samples_.front();
+  }
+  if (p >= 100.0) {
+    return samples_.back();
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples_.size());
+  std::size_t idx = static_cast<std::size_t>(std::ceil(rank));
+  if (idx > 0) {
+    --idx;
+  }
+  if (idx >= samples_.size()) {
+    idx = samples_.size() - 1;
+  }
+  return samples_[idx];
+}
+
+void Summary::Clear() {
+  samples_.clear();
+  sum_ = 0.0;
+  sorted_ = true;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets) : lo_(lo), hi_(hi) {
+  assert(buckets >= 1);
+  assert(hi > lo);
+  counts_.resize(buckets, 0);
+}
+
+void Histogram::Add(double v) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  double offset = (v - lo_) / width;
+  std::size_t idx = 0;
+  if (offset > 0.0) {
+    idx = static_cast<std::size_t>(offset);
+    if (idx >= counts_.size()) {
+      idx = counts_.size() - 1;
+    }
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream out;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  std::uint64_t max_count = 1;
+  for (auto c : counts_) {
+    max_count = std::max(max_count, c);
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double b_lo = lo_ + width * static_cast<double>(i);
+    const int bar = static_cast<int>(50.0 * static_cast<double>(counts_[i]) /
+                                     static_cast<double>(max_count));
+    out << "[" << b_lo << ", " << (b_lo + width) << ") " << std::string(bar, '#') << " "
+        << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+double JainFairnessIndex(const std::vector<double>& allocations) {
+  if (allocations.empty()) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double a : allocations) {
+    sum += a;
+    sum_sq += a * a;
+  }
+  if (sum_sq == 0.0) {
+    return 1.0;
+  }
+  return sum * sum / (static_cast<double>(allocations.size()) * sum_sq);
+}
+
+}  // namespace unifab

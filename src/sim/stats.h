@@ -1,0 +1,71 @@
+// Measurement utilities shared by tests, benchmarks, and runtime policies.
+
+#ifndef SRC_SIM_STATS_H_
+#define SRC_SIM_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace unifab {
+
+// Accumulates scalar samples and answers summary queries. Samples are kept
+// (not binned), so percentiles are exact; simulations here are short enough
+// that memory is not a concern.
+class Summary {
+ public:
+  void Add(double v);
+
+  std::size_t Count() const { return samples_.size(); }
+  bool Empty() const { return samples_.empty(); }
+  double Sum() const { return sum_; }
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  double Stddev() const;
+
+  // Exact percentile by nearest-rank, p in [0, 100]. Undefined when Empty().
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+  double P99() const { return Percentile(99.0); }
+
+  void Clear();
+
+ private:
+  void SortIfNeeded() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0.0;
+};
+
+// Fixed-width histogram for quick distribution dumps in bench output.
+class Histogram {
+ public:
+  // Buckets cover [lo, hi) evenly; out-of-range samples land in the edge
+  // buckets. `buckets` must be >= 1.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void Add(double v);
+  std::uint64_t BucketCount(std::size_t i) const { return counts_[i]; }
+  std::size_t NumBuckets() const { return counts_.size(); }
+  std::uint64_t TotalCount() const { return total_; }
+
+  // Renders an ASCII bar chart, one line per bucket.
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+// Jain's fairness index over per-flow throughput: 1.0 = perfectly fair,
+// 1/n = maximally unfair. Used by the arbiter benchmarks.
+double JainFairnessIndex(const std::vector<double>& allocations);
+
+}  // namespace unifab
+
+#endif  // SRC_SIM_STATS_H_

@@ -1,0 +1,62 @@
+#include "src/topo/accelerator.h"
+
+#include <utility>
+
+namespace unifab {
+
+Accelerator::Accelerator(Engine* engine, const AcceleratorConfig& config, std::string name)
+    : engine_(engine), config_(config), name_(std::move(name)) {}
+
+void Accelerator::Execute(Tick duration, std::function<void()> done) {
+  if (failed_ || queue_.size() >= config_.queue_depth) {
+    ++stats_.kernels_dropped;
+    return;
+  }
+  queue_.push_back(Kernel{duration, std::move(done), engine_->Now()});
+  StartNext();
+}
+
+void Accelerator::StartNext() {
+  while (!failed_ && engines_busy_ < config_.num_engines && !queue_.empty()) {
+    Kernel k = std::move(queue_.front());
+    queue_.pop_front();
+    ++engines_busy_;
+    ++stats_.kernels_started;
+    stats_.queue_wait_ns.Add(ToNs(engine_->Now() - k.enqueued_at));
+
+    const Tick total =
+        config_.context_switch_latency + config_.kernel_launch_overhead + k.duration;
+    stats_.busy_time += total;
+    const std::uint64_t epoch = epoch_;
+    engine_->Schedule(total, [this, epoch, done = std::move(k.done)] {
+      if (epoch != epoch_) {
+        return;  // the accelerator failed while this kernel ran
+      }
+      --engines_busy_;
+      ++stats_.kernels_completed;
+      if (done) {
+        done();
+      }
+      StartNext();
+    });
+  }
+}
+
+void Accelerator::Fail() {
+  if (failed_) {
+    return;
+  }
+  failed_ = true;
+  ++stats_.failures;
+  ++epoch_;  // orphan all in-flight kernels
+  stats_.kernels_dropped += queue_.size() + static_cast<std::uint64_t>(engines_busy_);
+  queue_.clear();
+  engines_busy_ = 0;
+}
+
+void Accelerator::Recover() {
+  failed_ = false;
+  StartNext();
+}
+
+}  // namespace unifab

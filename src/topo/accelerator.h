@@ -1,0 +1,83 @@
+// Fabric-attached accelerator (FAA) execution engine.
+//
+// Models the compute side of an FAA chassis: a fixed pool of execution
+// engines with fast context switching (paper §3 Difference #4) and a
+// passive failure domain (Difference #5) — the chassis can fail
+// independently of any host, losing all queued and running work, and has no
+// resources to recover itself. Recovery is the job of host-side runtimes
+// (the idempotent-task framework, DP#3).
+
+#ifndef SRC_TOPO_ACCELERATOR_H_
+#define SRC_TOPO_ACCELERATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "src/sim/engine.h"
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace unifab {
+
+struct AcceleratorConfig {
+  int num_engines = 4;                         // parallel execution contexts
+  Tick context_switch_latency = FromNs(500.0); // save/restore over the fabric
+  Tick kernel_launch_overhead = FromNs(200.0);
+  std::uint32_t queue_depth = 256;             // pending kernels
+};
+
+struct AcceleratorStats {
+  std::uint64_t kernels_started = 0;
+  std::uint64_t kernels_completed = 0;
+  std::uint64_t kernels_dropped = 0;  // lost to failure or full queue
+  std::uint64_t failures = 0;
+  Tick busy_time = 0;
+  Summary queue_wait_ns;
+};
+
+class Accelerator {
+ public:
+  Accelerator(Engine* engine, const AcceleratorConfig& config, std::string name);
+
+  // Runs a kernel of the given duration on the next free engine; queues when
+  // all engines are busy. `done` fires on completion — or never, if the
+  // accelerator fails first (passive failure domain: no completion, no
+  // error signal).
+  void Execute(Tick duration, std::function<void()> done);
+
+  // Failure injection. Fail drops all queued and in-flight work silently;
+  // Recover makes the engines usable again (state is NOT restored).
+  void Fail();
+  void Recover();
+  bool failed() const { return failed_; }
+
+  int EnginesBusy() const { return engines_busy_; }
+  std::size_t QueuedKernels() const { return queue_.size(); }
+  const AcceleratorConfig& config() const { return config_; }
+  const AcceleratorStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Kernel {
+    Tick duration;
+    std::function<void()> done;
+    Tick enqueued_at;
+  };
+
+  void StartNext();
+
+  Engine* engine_;
+  AcceleratorConfig config_;
+  std::string name_;
+  std::deque<Kernel> queue_;
+  int engines_busy_ = 0;
+  bool failed_ = false;
+  std::uint64_t epoch_ = 0;  // bumped on Fail so in-flight completions drop
+  AcceleratorStats stats_;
+};
+
+}  // namespace unifab
+
+#endif  // SRC_TOPO_ACCELERATOR_H_

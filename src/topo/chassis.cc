@@ -1,0 +1,24 @@
+#include "src/topo/chassis.h"
+
+namespace unifab {
+
+FamChassis::FamChassis(Engine* engine, FabricInterconnect* fabric, const FamChassisConfig& config,
+                       const std::string& name, std::uint16_t domain)
+    : name_(name) {
+  dram_ = std::make_unique<DramDevice>(engine, config.rdimm, name + "/rdimm");
+  expander_ = std::make_unique<MemoryExpander>(engine, dram_.get(), name + "/expander",
+                                               config.device_serialization_latency);
+  fea_ = fabric->AddEndpointAdapter(config.fea, name + "/fea", expander_.get(), domain);
+  dispatcher_ = std::make_unique<MessageDispatcher>(fea_);
+}
+
+FaaChassis::FaaChassis(Engine* engine, FabricInterconnect* fabric, const FaaChassisConfig& config,
+                       const std::string& name, std::uint16_t domain)
+    : name_(name) {
+  accelerator_ = std::make_unique<Accelerator>(engine, config.accelerator, name + "/accel");
+  scratch_ = std::make_unique<DramDevice>(engine, config.scratch, name + "/scratch");
+  fea_ = fabric->AddEndpointAdapter(config.fea, name + "/fea", scratch_.get(), domain);
+  dispatcher_ = std::make_unique<MessageDispatcher>(fea_);
+}
+
+}  // namespace unifab

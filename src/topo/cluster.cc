@@ -1,0 +1,54 @@
+#include "src/topo/cluster.h"
+
+namespace unifab {
+
+Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+  fabric_ = std::make_unique<FabricInterconnect>(&engine_, config.seed);
+
+  for (int i = 0; i < config.num_switches; ++i) {
+    switches_.push_back(fabric_->AddSwitch(config.sw, "fs" + std::to_string(i)));
+    if (i > 0) {
+      fabric_->Connect(switches_[static_cast<std::size_t>(i - 1)],
+                       switches_[static_cast<std::size_t>(i)], config.link);
+    }
+  }
+
+  auto switch_for = [&](int idx) {
+    return switches_[static_cast<std::size_t>(idx % config.num_switches)];
+  };
+
+  int attach = 0;
+  for (int i = 0; i < config.num_hosts; ++i) {
+    hosts_.push_back(std::make_unique<HostServer>(&engine_, fabric_.get(), config.host,
+                                                  "host" + std::to_string(i)));
+    fabric_->Connect(switch_for(attach++), hosts_.back()->fha(), config.link);
+  }
+  for (int i = 0; i < config.num_fams; ++i) {
+    fams_.push_back(std::make_unique<FamChassis>(&engine_, fabric_.get(), config.fam,
+                                                 "fam" + std::to_string(i)));
+    fabric_->Connect(switch_for(attach++), fams_.back()->fea(), config.link);
+  }
+  for (int i = 0; i < config.num_faas; ++i) {
+    faas_.push_back(std::make_unique<FaaChassis>(&engine_, fabric_.get(), config.faa,
+                                                 "faa" + std::to_string(i)));
+    fabric_->Connect(switch_for(attach++), faas_.back()->fea(), config.link);
+  }
+
+  fabric_->ConfigureRouting();
+
+  // Publish every FAM chassis into every host's address map, and teach each
+  // chassis where its window sits so the device decodes chassis-relative
+  // offsets.
+  for (int f = 0; f < num_fams(); ++f) {
+    fams_[static_cast<std::size_t>(f)]->expander()->SetAddressBase(FamBase(f));
+  }
+  for (int h = 0; h < num_hosts(); ++h) {
+    for (int f = 0; f < num_fams(); ++f) {
+      hosts_[static_cast<std::size_t>(h)]->MapRemote(
+          FamBase(f), fams_[static_cast<std::size_t>(f)]->dram()->config().capacity_bytes,
+          fams_[static_cast<std::size_t>(f)]->id());
+    }
+  }
+}
+
+}  // namespace unifab

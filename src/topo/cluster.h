@@ -1,0 +1,78 @@
+// Cluster: a fully wired composable infrastructure (paper Figure 1b) — n
+// host servers, m FAM chassis, k FAA chassis, hanging off one or more
+// fabric switches — plus the address-map conventions the runtime relies on.
+
+#ifndef SRC_TOPO_CLUSTER_H_
+#define SRC_TOPO_CLUSTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fabric/interconnect.h"
+#include "src/topo/chassis.h"
+#include "src/topo/host.h"
+#include "src/topo/presets.h"
+
+namespace unifab {
+
+struct ClusterConfig {
+  int num_hosts = 2;
+  int num_fams = 1;
+  int num_faas = 1;
+  int num_switches = 1;  // chained linearly; components spread round-robin
+
+  HostConfig host = OmegaHost();
+  FamChassisConfig fam = OmegaFam();
+  FaaChassisConfig faa = OmegaFaa();
+  LinkConfig link = OmegaLink();
+  SwitchConfig sw = FabrexSwitch();
+
+  std::uint64_t seed = 42;
+
+  // Fabric-attached memory appears in every host's address space starting
+  // here; chassis i owns [fam_base + i*fam_stride, +fam_stride).
+  std::uint64_t fam_base = 1ULL << 40;
+  std::uint64_t fam_stride = 1ULL << 36;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  Engine& engine() { return engine_; }
+  FabricInterconnect& fabric() { return *fabric_; }
+
+  HostServer* host(int i) { return hosts_[static_cast<std::size_t>(i)].get(); }
+  FamChassis* fam(int i) { return fams_[static_cast<std::size_t>(i)].get(); }
+  FaaChassis* faa(int i) { return faas_[static_cast<std::size_t>(i)].get(); }
+  FabricSwitch* fabric_switch(int i) { return switches_[static_cast<std::size_t>(i)]; }
+
+  int num_hosts() const { return static_cast<int>(hosts_.size()); }
+  int num_fams() const { return static_cast<int>(fams_.size()); }
+  int num_faas() const { return static_cast<int>(faas_.size()); }
+
+  // Address-space base of FAM chassis i (same in every host).
+  std::uint64_t FamBase(int i) const {
+    return config_.fam_base + static_cast<std::uint64_t>(i) * config_.fam_stride;
+  }
+
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  ClusterConfig config_;
+  Engine engine_;
+  std::unique_ptr<FabricInterconnect> fabric_;
+  std::vector<FabricSwitch*> switches_;  // owned by the interconnect
+  std::vector<std::unique_ptr<HostServer>> hosts_;
+  std::vector<std::unique_ptr<FamChassis>> fams_;
+  std::vector<std::unique_ptr<FaaChassis>> faas_;
+};
+
+}  // namespace unifab
+
+#endif  // SRC_TOPO_CLUSTER_H_

@@ -1,0 +1,28 @@
+#include "src/topo/host.h"
+
+namespace unifab {
+
+HostServer::HostServer(Engine* engine, FabricInterconnect* fabric, const HostConfig& config,
+                       const std::string& name, std::uint16_t domain)
+    : name_(name), config_(config) {
+  local_dram_ = std::make_unique<DramDevice>(engine, config.local_dram, name + "/dram");
+  fha_ = fabric->AddHostAdapter(config.fha, name + "/fha", domain);
+  dispatcher_ = std::make_unique<MessageDispatcher>(fha_);
+
+  cores_.reserve(static_cast<std::size_t>(config.num_cores));
+  for (int i = 0; i < config.num_cores; ++i) {
+    auto core = std::make_unique<MemoryHierarchy>(engine, config.hierarchy,
+                                                  name + "/core" + std::to_string(i));
+    core->MapLocal(config.local_mem_base, config.local_dram.capacity_bytes, local_dram_.get());
+    core->SetFabricAdapter(fha_);
+    cores_.push_back(std::move(core));
+  }
+}
+
+void HostServer::MapRemote(std::uint64_t base, std::uint64_t size, PbrId node) {
+  for (auto& core : cores_) {
+    core->MapRemote(base, size, node);
+  }
+}
+
+}  // namespace unifab

@@ -1,0 +1,62 @@
+// Host server: CPU cores (each a MemoryHierarchy), local DIMMs, a root port
+// with its fabric host adapter, and a message dispatcher for runtime
+// services (paper Figure 1b, left).
+
+#ifndef SRC_TOPO_HOST_H_
+#define SRC_TOPO_HOST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/fabric/dispatch.h"
+#include "src/fabric/interconnect.h"
+#include "src/mem/dram.h"
+#include "src/mem/hierarchy.h"
+#include "src/sim/engine.h"
+
+namespace unifab {
+
+struct HostConfig {
+  int num_cores = 4;
+  HierarchyConfig hierarchy;
+  DramConfig local_dram;
+  AdapterConfig fha;
+  std::uint64_t local_mem_base = 0;  // where local DIMMs appear
+};
+
+class HostServer {
+ public:
+  // Registers the host's FHA with `fabric`; the caller wires the FHA to a
+  // switch (or directly to an endpoint) afterwards.
+  HostServer(Engine* engine, FabricInterconnect* fabric, const HostConfig& config,
+             const std::string& name, std::uint16_t domain = 0);
+
+  HostServer(const HostServer&) = delete;
+  HostServer& operator=(const HostServer&) = delete;
+
+  // Maps a fabric-attached range into every core's address space.
+  void MapRemote(std::uint64_t base, std::uint64_t size, PbrId node);
+
+  MemoryHierarchy* core(int i) { return cores_[static_cast<std::size_t>(i)].get(); }
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+  HostAdapter* fha() { return fha_; }
+  MessageDispatcher* dispatcher() { return dispatcher_.get(); }
+  DramDevice* local_dram() { return local_dram_.get(); }
+  PbrId id() const { return fha_->id(); }
+  const std::string& name() const { return name_; }
+  const HostConfig& config() const { return config_; }
+
+ private:
+  std::string name_;
+  HostConfig config_;
+  std::unique_ptr<DramDevice> local_dram_;
+  HostAdapter* fha_;  // owned by the interconnect
+  std::unique_ptr<MessageDispatcher> dispatcher_;
+  std::vector<std::unique_ptr<MemoryHierarchy>> cores_;
+};
+
+}  // namespace unifab
+
+#endif  // SRC_TOPO_HOST_H_

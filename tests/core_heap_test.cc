@@ -1,0 +1,279 @@
+// Unified-heap unit tests: bins and size classes, free/reuse, spill and
+// demotion, migration mechanics, policy decisions, and UniPtr semantics.
+
+#include "src/core/heap.h"
+
+#include <gtest/gtest.h>
+
+#include "src/baseline/policies.h"
+#include "src/core/runtime.h"
+#include "src/core/uniptr.h"
+
+namespace unifab {
+namespace {
+
+ClusterConfig OneFamCluster() {
+  ClusterConfig cfg;
+  cfg.num_hosts = 1;
+  cfg.num_fams = 1;
+  cfg.num_faas = 0;
+  return cfg;
+}
+
+class HeapTest : public ::testing::Test {
+ protected:
+  HeapTest() : cluster_(OneFamCluster()) {
+    RuntimeOptions opts;
+    opts.heap_local_bytes = 1 << 20;  // small fast tier: 1 MiB
+    opts.heap.migration_enabled = true;
+    runtime_ = std::make_unique<UniFabricRuntime>(&cluster_, opts);
+    heap_ = runtime_->heap(0);
+  }
+
+  Cluster cluster_;
+  std::unique_ptr<UniFabricRuntime> runtime_;
+  UnifiedHeap* heap_;
+};
+
+TEST_F(HeapTest, SizeClassRounding) {
+  const ObjectId a = heap_->Allocate(1);
+  const ObjectId b = heap_->Allocate(65);
+  ASSERT_NE(a, kInvalidObject);
+  ASSERT_NE(b, kInvalidObject);
+  // 1 byte -> 64B class; 65 bytes -> 128B class: addresses 64 and 128 apart
+  // respectively from the bump pointer.
+  const ObjectId c = heap_->Allocate(1);
+  EXPECT_EQ(heap_->Info(c).addr - heap_->Info(a).addr, 64u + 128u);
+}
+
+TEST_F(HeapTest, OversizedAllocationFails) {
+  EXPECT_EQ(heap_->Allocate(1 << 20), kInvalidObject);  // > largest class (256K)
+  EXPECT_EQ(heap_->stats().failed_allocations, 1u);
+}
+
+TEST_F(HeapTest, FreeReturnsBlockForReuse) {
+  const ObjectId a = heap_->Allocate(4096);
+  const std::uint64_t addr = heap_->Info(a).addr;
+  heap_->Free(a);
+  const ObjectId b = heap_->Allocate(4096);
+  EXPECT_EQ(heap_->Info(b).addr, addr);  // same block recycled
+  EXPECT_EQ(heap_->stats().frees, 1u);
+}
+
+TEST_F(HeapTest, FreeUpdatesTierUsage) {
+  const std::uint64_t before = heap_->TierUsed(0);
+  const ObjectId a = heap_->Allocate(4096);
+  EXPECT_EQ(heap_->TierUsed(0), before + 4096);
+  heap_->Free(a);
+  EXPECT_EQ(heap_->TierUsed(0), before);
+}
+
+TEST_F(HeapTest, TierHintPlacesDirectly) {
+  const ObjectId id = heap_->Allocate(4096, 1);
+  EXPECT_EQ(heap_->TierOf(id), 1);
+  const std::uint64_t addr = heap_->Info(id).addr;
+  EXPECT_GE(addr, cluster_.FamBase(0));
+}
+
+TEST_F(HeapTest, ExplicitMigrationMovesObjectAndAccounting) {
+  const ObjectId id = heap_->Allocate(4096, 1);
+  const std::uint64_t fam_used = heap_->TierUsed(1);
+  bool ok = false;
+  heap_->Migrate(id, 0, [&](bool v) { ok = v; });
+  cluster_.engine().Run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(heap_->TierOf(id), 0);
+  EXPECT_EQ(heap_->TierUsed(1), fam_used - 4096);
+  EXPECT_EQ(heap_->stats().promotions, 1u);
+  EXPECT_EQ(heap_->stats().bytes_migrated, 4096u);
+}
+
+TEST_F(HeapTest, MigrateToSameTierIsRejected) {
+  const ObjectId id = heap_->Allocate(4096, 0);
+  bool ok = true;
+  heap_->Migrate(id, 0, [&](bool v) { ok = v; });
+  cluster_.engine().Run();
+  EXPECT_FALSE(ok);
+}
+
+TEST_F(HeapTest, FreeDuringMigrationIsSafe) {
+  const ObjectId id = heap_->Allocate(4096, 1);
+  bool result = true;
+  heap_->Migrate(id, 0, [&](bool v) { result = v; });
+  heap_->Free(id);  // before the copy completes
+  cluster_.engine().Run();
+  EXPECT_FALSE(result);
+  // Both tiers fully released.
+  EXPECT_EQ(heap_->TierUsed(0), 0u);
+  EXPECT_EQ(heap_->TierUsed(1), 0u);
+}
+
+TEST_F(HeapTest, EpochDecaysTemperature) {
+  const ObjectId id = heap_->Allocate(64, 1);
+  for (int i = 0; i < 10; ++i) {
+    heap_->Read(id, nullptr);
+  }
+  cluster_.engine().Run();
+  heap_->RunEpoch();
+  const double t1 = heap_->Info(id).temperature;
+  EXPECT_GT(t1, 0.0);
+  heap_->RunEpoch();  // no accesses this epoch
+  EXPECT_LT(heap_->Info(id).temperature, t1);
+}
+
+TEST_F(HeapTest, DemotionKicksInAboveHighWatermark) {
+  // Fill tier 0 past the watermark with cold objects plus keep one hot.
+  std::vector<ObjectId> cold;
+  for (int i = 0; i < 15; ++i) {
+    cold.push_back(heap_->Allocate(65536, 0));  // 15 * 64K = 960K of 1 MiB
+  }
+  const ObjectId hot = heap_->Allocate(4096, 0);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    for (int i = 0; i < 50; ++i) {
+      heap_->Read(hot, nullptr);
+    }
+    cluster_.engine().Run();
+    heap_->RunEpoch();
+    cluster_.engine().Run();
+  }
+  EXPECT_GE(heap_->stats().demotions, 1u);
+  EXPECT_EQ(heap_->TierOf(hot), 0);  // the hot object stays
+  std::size_t demoted = 0;
+  for (const ObjectId id : cold) {
+    if (heap_->TierOf(id) == 1) {
+      ++demoted;
+    }
+  }
+  EXPECT_GE(demoted, 1u);
+}
+
+TEST_F(HeapTest, StaticPolicyNeverMoves) {
+  heap_->SetPolicy(std::make_unique<StaticPlacementPolicy>());
+  const ObjectId id = heap_->Allocate(64, 1);
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    for (int i = 0; i < 100; ++i) {
+      heap_->Read(id, nullptr);
+    }
+    cluster_.engine().Run();
+    heap_->RunEpoch();
+    cluster_.engine().Run();
+  }
+  EXPECT_EQ(heap_->TierOf(id), 1);
+  EXPECT_EQ(heap_->stats().promotions, 0u);
+}
+
+TEST_F(HeapTest, MigrationBudgetCapsPerEpochMovement) {
+  RuntimeOptions opts;
+  opts.heap_local_bytes = 4 << 20;
+  opts.heap.migration_budget_bytes = 8192;  // at most 2 x 4K objects/epoch
+  opts.heap.promote_threshold = 0.4;
+  Cluster cluster(OneFamCluster());
+  UniFabricRuntime rt(&cluster, opts);
+  UnifiedHeap* heap = rt.heap(0);
+
+  std::vector<ObjectId> objs;
+  for (int i = 0; i < 16; ++i) {
+    objs.push_back(heap->Allocate(4096, 1));
+  }
+  for (const ObjectId id : objs) {
+    heap->Read(id, nullptr);
+  }
+  cluster.engine().Run();
+  heap->RunEpoch();
+  cluster.engine().Run();
+  EXPECT_LE(heap->stats().promotions, 2u);
+}
+
+// TemperaturePolicy decision-table unit tests (no simulation).
+TEST(TemperaturePolicyTest, PromotesHottestFirstWithinBudget) {
+  TemperaturePolicy policy;
+  HeapConfig cfg;
+  cfg.promote_threshold = 1.0;
+  cfg.migration_budget_bytes = 128;
+
+  std::vector<MemTier> tiers(2);
+  tiers[0].capacity = 1024;
+  tiers[1].capacity = 1 << 20;
+  std::vector<std::uint64_t> used = {0, 512};
+
+  std::vector<ObjectInfo> objects(3);
+  for (int i = 0; i < 3; ++i) {
+    objects[static_cast<std::size_t>(i)].id = static_cast<ObjectId>(i + 1);
+    objects[static_cast<std::size_t>(i)].size = 64;
+    objects[static_cast<std::size_t>(i)].tier = 1;
+  }
+  objects[0].temperature = 5.0;
+  objects[1].temperature = 9.0;
+  objects[2].temperature = 2.0;
+
+  const auto moves = policy.Decide(objects, tiers, used, cfg);
+  ASSERT_EQ(moves.size(), 2u);  // budget = 2 objects
+  EXPECT_EQ(moves[0].object, 2u);  // hottest first
+  EXPECT_EQ(moves[1].object, 1u);
+  EXPECT_EQ(moves[0].dst_tier, 0);
+}
+
+TEST(TemperaturePolicyTest, SkipsFullDestination) {
+  TemperaturePolicy policy;
+  HeapConfig cfg;
+  cfg.promote_threshold = 1.0;
+
+  std::vector<MemTier> tiers(2);
+  tiers[0].capacity = 64;  // room for nothing once used
+  tiers[1].capacity = 1 << 20;
+  std::vector<std::uint64_t> used = {64, 0};
+
+  std::vector<ObjectInfo> objects(1);
+  objects[0].id = 1;
+  objects[0].size = 64;
+  objects[0].tier = 1;
+  objects[0].temperature = 10.0;
+
+  EXPECT_TRUE(policy.Decide(objects, tiers, used, cfg).empty());
+}
+
+TEST(TemperaturePolicyTest, MigratingObjectsAreLeftAlone) {
+  TemperaturePolicy policy;
+  HeapConfig cfg;
+  cfg.promote_threshold = 1.0;
+  std::vector<MemTier> tiers(2);
+  tiers[0].capacity = 1 << 20;
+  tiers[1].capacity = 1 << 20;
+  std::vector<std::uint64_t> used = {0, 0};
+  std::vector<ObjectInfo> objects(1);
+  objects[0].id = 1;
+  objects[0].size = 64;
+  objects[0].tier = 1;
+  objects[0].temperature = 10.0;
+  objects[0].migrating = true;
+  EXPECT_TRUE(policy.Decide(objects, tiers, used, cfg).empty());
+}
+
+// Property sweep over size classes: allocations land in the right class
+// and distinct objects never overlap.
+class HeapSizeClassTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(HeapSizeClassTest, AllocationsDoNotOverlap) {
+  Cluster cluster(OneFamCluster());
+  UniFabricRuntime rt(&cluster, RuntimeOptions{});
+  UnifiedHeap* heap = rt.heap(0);
+  const std::uint32_t size = GetParam();
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> spans;
+  for (int i = 0; i < 32; ++i) {
+    const ObjectId id = heap->Allocate(size);
+    ASSERT_NE(id, kInvalidObject);
+    const ObjectInfo info = heap->Info(id);
+    spans.emplace_back(info.addr, info.addr + size);
+  }
+  std::sort(spans.begin(), spans.end());
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LE(spans[i - 1].second, spans[i].first) << "overlap at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HeapSizeClassTest,
+                         ::testing::Values(1u, 64u, 100u, 256u, 1000u, 4096u, 65536u, 262144u));
+
+}  // namespace
+}  // namespace unifab

@@ -1,0 +1,309 @@
+// Deeper idempotent-task and scalable-function tests: scheduling, failure
+// recovery corner cases, restart-all semantics, and actor interactions.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/core/runtime.h"
+
+namespace unifab {
+namespace {
+
+ClusterConfig TwoFaaCluster() {
+  ClusterConfig cfg;
+  cfg.num_hosts = 1;
+  cfg.num_fams = 1;
+  cfg.num_faas = 2;
+  return cfg;
+}
+
+class ITaskTest : public ::testing::Test {
+ protected:
+  explicit ITaskTest(RecoveryMode mode = RecoveryMode::kReexecute) : cluster_(TwoFaaCluster()) {
+    RuntimeOptions opts;
+    opts.itask.recovery = mode;
+    opts.itask.attempt_timeout = FromUs(500.0);
+    runtime_ = std::make_unique<UniFabricRuntime>(&cluster_, opts);
+  }
+
+  TaskId SubmitSimple(Tick cost = FromUs(20.0), std::vector<TaskId> deps = {}) {
+    TaskSpec t;
+    t.name = "t";
+    t.outputs = {runtime_->heap(0)->Allocate(1024)};
+    t.compute_cost = cost;
+    t.deps = std::move(deps);
+    return runtime_->itasks()->Submit(t);
+  }
+
+  Cluster cluster_;
+  std::unique_ptr<UniFabricRuntime> runtime_;
+};
+
+TEST_F(ITaskTest, LeastLoadedDispatchBalancesWorkers) {
+  for (int i = 0; i < 16; ++i) {
+    SubmitSimple(FromUs(100.0));
+  }
+  cluster_.engine().Run();
+  const auto k0 = cluster_.faa(0)->accelerator()->stats().kernels_completed;
+  const auto k1 = cluster_.faa(1)->accelerator()->stats().kernels_completed;
+  EXPECT_EQ(k0 + k1, 16u);
+  EXPECT_GE(k0, 6u);
+  EXPECT_GE(k1, 6u);
+}
+
+TEST_F(ITaskTest, DiamondDagRespectsAllDependencies) {
+  std::vector<int> order;
+  UnifiedHeap* heap = runtime_->heap(0);
+  auto make = [&](const char* name, std::vector<TaskId> deps, int tag) {
+    TaskSpec t;
+    t.name = name;
+    t.outputs = {heap->Allocate(256)};
+    t.deps = std::move(deps);
+    t.compute_cost = FromUs(10.0);
+    t.apply = [&order, tag] { order.push_back(tag); };
+    return runtime_->itasks()->Submit(t);
+  };
+  const TaskId a = make("a", {}, 0);
+  const TaskId b = make("b", {a}, 1);
+  const TaskId c = make("c", {a}, 2);
+  make("d", {b, c}, 3);
+  cluster_.engine().Run();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order.front(), 0);
+  EXPECT_EQ(order.back(), 3);
+}
+
+TEST_F(ITaskTest, DependentNeverStartsBeforeProducerCommits) {
+  UnifiedHeap* heap = runtime_->heap(0);
+  Tick produced_at = 0;
+  Tick consumed_started = 0;
+  TaskSpec p;
+  p.name = "producer";
+  p.outputs = {heap->Allocate(1024)};
+  p.compute_cost = FromUs(100.0);
+  p.apply = [&] { produced_at = cluster_.engine().Now(); };
+  const TaskId pid = runtime_->itasks()->Submit(p);
+
+  TaskSpec c;
+  c.name = "consumer";
+  c.inputs = p.outputs;
+  c.outputs = {heap->Allocate(1024)};
+  c.deps = {pid};
+  c.compute_cost = FromUs(10.0);
+  c.apply = [&] { consumed_started = cluster_.engine().Now(); };
+  runtime_->itasks()->Submit(c);
+  cluster_.engine().Run();
+  EXPECT_GT(consumed_started, produced_at);
+}
+
+TEST_F(ITaskTest, AllWorkersDownDefersUntilRecovery) {
+  cluster_.faa(0)->Fail();
+  cluster_.faa(1)->Fail();
+  SubmitSimple();
+  bool all_done = false;
+  runtime_->itasks()->OnAllComplete([&] { all_done = true; });
+  cluster_.engine().RunFor(FromMs(2.0));
+  EXPECT_FALSE(all_done);
+  cluster_.faa(1)->Recover();
+  cluster_.engine().Run();
+  EXPECT_TRUE(all_done);
+}
+
+TEST_F(ITaskTest, DuplicateCompletionAfterTimeoutIsIdempotent) {
+  // A slow task whose first attempt outlives the timeout: the re-executed
+  // attempt and the original both finish; exactly one commit happens.
+  UnifiedHeap* heap = runtime_->heap(0);
+  int commits = 0;
+  TaskSpec t;
+  t.name = "slow";
+  t.outputs = {heap->Allocate(1024)};
+  t.compute_cost = FromUs(800.0);  // > 500 us attempt timeout
+  t.apply = [&] { ++commits; };
+  runtime_->itasks()->Submit(t);
+  cluster_.engine().Run();
+  EXPECT_EQ(commits, 1);
+  EXPECT_EQ(runtime_->itasks()->stats().completed, 1u);
+  EXPECT_GE(runtime_->itasks()->stats().timeouts, 1u);
+}
+
+class RestartAllTest : public ITaskTest {
+ protected:
+  RestartAllTest() : ITaskTest(RecoveryMode::kRestartAll) {}
+};
+
+TEST_F(RestartAllTest, SingleFailureReplaysCompletedWork) {
+  // Two quick tasks complete; a third task's worker dies; everything
+  // re-runs.
+  SubmitSimple(FromUs(10.0));
+  SubmitSimple(FromUs(10.0));
+  const TaskId slow = SubmitSimple(FromUs(300.0));
+  (void)slow;
+  cluster_.engine().Schedule(FromUs(150.0), [&] {
+    cluster_.faa(0)->Fail();
+    cluster_.faa(1)->Fail();
+  });
+  cluster_.engine().Schedule(FromUs(900.0), [&] {
+    cluster_.faa(0)->Recover();
+    cluster_.faa(1)->Recover();
+  });
+  bool all_done = false;
+  runtime_->itasks()->OnAllComplete([&] { all_done = true; });
+  cluster_.engine().Run();
+  EXPECT_TRUE(all_done);
+  EXPECT_GE(runtime_->itasks()->stats().restarts, 1u);
+  // More attempts than tasks: completed work was thrown away.
+  EXPECT_GT(runtime_->itasks()->stats().attempts, 3u);
+}
+
+TEST(ITaskAnalysisTest, DisjointSpecIsIdempotent) {
+  TaskSpec t;
+  t.inputs = {1, 2};
+  t.outputs = {3};
+  EXPECT_TRUE(AnalyzeIdempotence(t).idempotent);
+}
+
+TEST(ITaskAnalysisTest, EveryClobberedInputIsReported) {
+  TaskSpec t;
+  t.inputs = {1, 2, 3};
+  t.outputs = {2, 3, 4};
+  const auto report = AnalyzeIdempotence(t);
+  EXPECT_FALSE(report.idempotent);
+  EXPECT_EQ(report.clobbered_inputs.size(), 2u);
+}
+
+// ------------------------- Scalable functions ----------------------------
+
+class SFuncTest : public ::testing::Test {
+ protected:
+  SFuncTest() : cluster_(TwoFaaCluster()), runtime_(&cluster_, RuntimeOptions{}) {}
+
+  Cluster cluster_;
+  UniFabricRuntime runtime_;
+};
+
+TEST_F(SFuncTest, RemoteSendBetweenFaas) {
+  int received_on_faa1 = 0;
+  SFuncSpec sink;
+  sink.name = "sink";
+  sink.handlers[1] = SFuncHandler{FromUs(1.0), [&](SFuncContext&) { ++received_on_faa1; }};
+  const FunctionId sink_fn = runtime_.sfunc(1)->Install(sink);
+
+  SFuncSpec fwd;
+  fwd.name = "forwarder";
+  const PbrId faa1 = cluster_.faa(1)->id();
+  fwd.handlers[1] = SFuncHandler{FromUs(1.0), [sink_fn, faa1](SFuncContext& ctx) {
+                                   ctx.SendRemote(faa1, sink_fn, 1, 64, nullptr);
+                                 }};
+  const FunctionId fwd_fn = runtime_.sfunc(0)->Install(fwd);
+
+  runtime_.sfunc_client(0)->Invoke(cluster_.faa(0)->id(), fwd_fn, 1, 64, nullptr);
+  cluster_.engine().Run();
+  EXPECT_EQ(received_on_faa1, 1);
+  EXPECT_EQ(runtime_.sfunc(0)->stats().remote_sends, 1u);
+}
+
+TEST_F(SFuncTest, ReplyReachesTheHostClient) {
+  SFuncSpec echo;
+  echo.name = "echo";
+  echo.handlers[1] = SFuncHandler{FromUs(1.0), [](SFuncContext& ctx) {
+                                    ctx.Reply(2, 64, nullptr);
+                                  }};
+  const FunctionId fn = runtime_.sfunc(0)->Install(echo);
+
+  int replies = 0;
+  runtime_.sfunc_client(0)->OnReply([&](const SFuncMsg& msg) {
+    EXPECT_EQ(msg.type, 2u);
+    ++replies;
+  });
+  runtime_.sfunc_client(0)->Invoke(cluster_.faa(0)->id(), fn, 1, 64, nullptr);
+  cluster_.engine().Run();
+  EXPECT_EQ(replies, 1);
+}
+
+TEST_F(SFuncTest, UnknownFunctionOrTypeIsDroppedAndCounted) {
+  SFuncSpec spec;
+  spec.name = "one-type";
+  spec.handlers[1] = SFuncHandler{FromUs(1.0), nullptr};
+  const FunctionId fn = runtime_.sfunc(0)->Install(spec);
+  runtime_.sfunc_client(0)->Invoke(cluster_.faa(0)->id(), fn, /*type=*/9, 64, nullptr);
+  runtime_.sfunc_client(0)->Invoke(cluster_.faa(0)->id(), fn + 100, 1, 64, nullptr);
+  cluster_.engine().Run();
+  EXPECT_EQ(runtime_.sfunc(0)->stats().messages_dropped, 2u);
+  EXPECT_EQ(runtime_.sfunc(0)->stats().messages_handled, 0u);
+}
+
+TEST_F(SFuncTest, FunctionsRunConcurrentlyUpToEngineCount) {
+  // Four functions, each with one long handler: all four kernels overlap on
+  // the 4-engine accelerator.
+  std::vector<Tick> finish;
+  std::vector<FunctionId> fns;
+  for (int i = 0; i < 4; ++i) {
+    SFuncSpec spec;
+    spec.name = "worker";
+    spec.handlers[1] = SFuncHandler{FromUs(100.0), [&](SFuncContext&) {
+                                      finish.push_back(cluster_.engine().Now());
+                                    }};
+    fns.push_back(runtime_.sfunc(0)->Install(spec));
+  }
+  for (FunctionId fn : fns) {
+    runtime_.sfunc_client(0)->Invoke(cluster_.faa(0)->id(), fn, 1, 64, nullptr);
+  }
+  cluster_.engine().Run();
+  ASSERT_EQ(finish.size(), 4u);
+  // All finish within one handler duration of each other (parallel), not
+  // serialized 4x.
+  EXPECT_LT(ToUs(finish.back() - finish.front()), 50.0);
+}
+
+TEST_F(SFuncTest, MailboxDrainsAfterRecovery) {
+  int handled = 0;
+  SFuncSpec spec;
+  spec.name = "victim";
+  spec.handlers[1] = SFuncHandler{FromUs(1.0), [&](SFuncContext&) { ++handled; }};
+  const FunctionId fn = runtime_.sfunc(0)->Install(spec);
+
+  // Queue messages while an earlier handler is mid-flight, then fail.
+  runtime_.sfunc_client(0)->Invoke(cluster_.faa(0)->id(), fn, 1, 64, nullptr);
+  cluster_.engine().RunFor(FromUs(2.0));  // message in flight / queued
+  cluster_.faa(0)->Fail();
+  cluster_.engine().Run();
+  const int before = handled;
+
+  cluster_.faa(0)->Recover();
+  runtime_.sfunc(0)->ResetAfterRecovery();
+  runtime_.sfunc_client(0)->Invoke(cluster_.faa(0)->id(), fn, 1, 64, nullptr);
+  cluster_.engine().Run();
+  EXPECT_EQ(handled, before + 1);
+}
+
+// Property sweep: N messages to one actor always process in order and
+// exactly once, for varying N.
+class ActorOrderTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ActorOrderTest, FifoExactlyOnce) {
+  Cluster cluster(TwoFaaCluster());
+  UniFabricRuntime runtime(&cluster, RuntimeOptions{});
+  std::vector<std::uint32_t> seen;
+  SFuncSpec spec;
+  spec.name = "ordered";
+  spec.handlers[1] = SFuncHandler{FromNs(500.0), [&](SFuncContext& ctx) {
+                                    seen.push_back(ctx.msg().bytes);
+                                  }};
+  const FunctionId fn = runtime.sfunc(0)->Install(spec);
+  const int n = GetParam();
+  for (int i = 1; i <= n; ++i) {
+    runtime.sfunc_client(0)->Invoke(cluster.faa(0)->id(), fn, 1,
+                                    static_cast<std::uint32_t>(i), nullptr);
+  }
+  cluster.engine().Run();
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(n));
+  for (int i = 1; i <= n; ++i) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(i - 1)], static_cast<std::uint32_t>(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ActorOrderTest, ::testing::Values(1, 2, 8, 32, 128));
+
+}  // namespace
+}  // namespace unifab

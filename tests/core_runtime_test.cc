@@ -1,0 +1,356 @@
+// Integration tests: the full UniFabric runtime wired onto a simulated
+// composable infrastructure.
+
+#include "src/core/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/uniptr.h"
+
+namespace unifab {
+namespace {
+
+ClusterConfig SmallCluster() {
+  ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  cfg.num_fams = 2;
+  cfg.num_faas = 2;
+  return cfg;
+}
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  RuntimeTest() : cluster_(SmallCluster()), runtime_(&cluster_, RuntimeOptions{}) {}
+
+  Cluster cluster_;
+  UniFabricRuntime runtime_;
+};
+
+// --------------------------- Arbiter (DP#4) ------------------------------
+
+TEST_F(RuntimeTest, ArbiterGrantsRequestedBandwidthWhenUncontended) {
+  double granted = -1.0;
+  runtime_.arbiter_client(0)->Reserve(cluster_.fam(0)->id(), 4000.0,
+                                      [&](double g) { granted = g; });
+  cluster_.engine().Run();
+  EXPECT_DOUBLE_EQ(granted, 4000.0);
+  EXPECT_DOUBLE_EQ(runtime_.arbiter()->ReservedOf(cluster_.fam(0)->id()), 4000.0);
+}
+
+TEST_F(RuntimeTest, ArbiterSharesCapacityMaxMin) {
+  // Both hosts ask for the full capacity; the second must not starve.
+  double g0 = -1.0;
+  double g1 = -1.0;
+  runtime_.arbiter_client(0)->Reserve(cluster_.fam(0)->id(), 8000.0, [&](double g) { g0 = g; });
+  runtime_.arbiter_client(1)->Reserve(cluster_.fam(0)->id(), 8000.0, [&](double g) { g1 = g; });
+  cluster_.engine().Run();
+  EXPECT_DOUBLE_EQ(g0, 8000.0);   // first taker gets everything uncommitted
+  EXPECT_DOUBLE_EQ(g1, 4000.0);   // second still receives its fair share
+}
+
+TEST_F(RuntimeTest, ArbiterQueryReportsAvailable) {
+  double avail = -1.0;
+  runtime_.arbiter_client(0)->Query(cluster_.fam(1)->id(), [&](double a) { avail = a; });
+  cluster_.engine().Run();
+  EXPECT_DOUBLE_EQ(avail, 8000.0);
+}
+
+TEST_F(RuntimeTest, ReleaseReturnsBandwidth) {
+  runtime_.arbiter_client(0)->Reserve(cluster_.fam(0)->id(), 6000.0, nullptr);
+  cluster_.engine().Run();
+  runtime_.arbiter_client(0)->Release(cluster_.fam(0)->id(), 6000.0);
+  cluster_.engine().Run();
+  EXPECT_DOUBLE_EQ(runtime_.arbiter()->ReservedOf(cluster_.fam(0)->id()), 0.0);
+}
+
+TEST_F(RuntimeTest, UnknownResourceGrantsZero) {
+  double granted = -1.0;
+  runtime_.arbiter_client(0)->Reserve(0xBEEF, 100.0, [&](double g) { granted = g; });
+  cluster_.engine().Run();
+  EXPECT_DOUBLE_EQ(granted, 0.0);
+}
+
+// --------------------------- eTrans (DP#1) -------------------------------
+
+TEST_F(RuntimeTest, ImmediateTransferMovesBytes) {
+  ETransDescriptor desc;
+  desc.src.push_back(Segment{cluster_.host(0)->id(), 0, 64 * 1024});
+  desc.dst.push_back(Segment{cluster_.fam(0)->id(), 0, 64 * 1024});
+  desc.immediate = true;
+  desc.attributes.throttled = false;
+
+  TransferFuture f = runtime_.etrans()->Submit(runtime_.host_agent(0), desc);
+  cluster_.engine().Run();
+  ASSERT_TRUE(f.Ready());
+  EXPECT_TRUE(f.Value().ok);
+  EXPECT_EQ(f.Value().bytes, 64u * 1024u);
+  EXPECT_EQ(runtime_.etrans()->stats().immediate_transfers, 1u);
+}
+
+TEST_F(RuntimeTest, DelegatedTransferRunsOnSourceDomainAgent) {
+  // FAM0 -> FAM0 copy: the FAM controller's agent should execute it.
+  ETransDescriptor desc;
+  desc.src.push_back(Segment{cluster_.fam(0)->id(), 0, 16 * 1024});
+  desc.dst.push_back(Segment{cluster_.fam(0)->id(), 1 << 20, 16 * 1024});
+  desc.attributes.throttled = false;
+
+  TransferFuture f = runtime_.etrans()->Submit(runtime_.host_agent(0), desc);
+  cluster_.engine().Run();
+  ASSERT_TRUE(f.Ready());
+  EXPECT_EQ(runtime_.fam_agent(0)->stats().jobs_executed, 1u);
+  EXPECT_EQ(runtime_.host_agent(0)->stats().jobs_executed, 0u);
+  EXPECT_EQ(runtime_.etrans()->stats().delegated_transfers, 1u);
+}
+
+TEST_F(RuntimeTest, ThrottledTransferAcquiresLease) {
+  ETransDescriptor desc;
+  desc.src.push_back(Segment{cluster_.host(0)->id(), 0, 256 * 1024});
+  desc.dst.push_back(Segment{cluster_.fam(0)->id(), 0, 256 * 1024});
+  desc.attributes.throttled = true;
+  desc.attributes.request_mbps = 2000.0;
+
+  TransferFuture f = runtime_.etrans()->Submit(runtime_.host_agent(0), desc);
+  cluster_.engine().Run();
+  ASSERT_TRUE(f.Ready());
+  EXPECT_GE(runtime_.arbiter()->stats().reservations, 1u);
+  // Lease released at completion.
+  EXPECT_DOUBLE_EQ(runtime_.arbiter()->ReservedOf(cluster_.fam(0)->id()), 0.0);
+}
+
+TEST_F(RuntimeTest, ThrottledTransferIsSlowerThanUnthrottled) {
+  // 1 MiB at 1000 MB/s should take >= ~1 ms; unthrottled finishes much
+  // sooner.
+  ETransDescriptor fast;
+  fast.src.push_back(Segment{cluster_.host(0)->id(), 0, 1 << 20});
+  fast.dst.push_back(Segment{cluster_.fam(0)->id(), 0, 1 << 20});
+  fast.immediate = true;
+  fast.attributes.throttled = false;
+  runtime_.etrans()->Submit(runtime_.host_agent(0), fast);
+  cluster_.engine().Run();
+  const double fast_us = runtime_.host_agent(0)->stats().job_latency_us.Max();
+
+  ETransDescriptor slow = fast;
+  slow.immediate = false;  // delegated path, subject to the arbiter lease
+  slow.attributes.throttled = true;
+  slow.attributes.request_mbps = 1000.0;
+  runtime_.etrans()->Submit(runtime_.host_agent(0), slow);
+  cluster_.engine().Run();
+  const double slow_us = runtime_.host_agent(0)->stats().job_latency_us.Max();
+
+  EXPECT_GT(slow_us, fast_us);
+  EXPECT_GE(slow_us, 1000.0);  // 1 MiB / 1000 MB/s ~ 1048 us
+}
+
+// ----------------------- Unified heap (DP#2) -----------------------------
+
+TEST_F(RuntimeTest, AllocatePrefersFastTier) {
+  UnifiedHeap* heap = runtime_.heap(0);
+  const ObjectId id = heap->Allocate(4096);
+  ASSERT_NE(id, kInvalidObject);
+  EXPECT_EQ(heap->TierOf(id), 0);
+}
+
+TEST_F(RuntimeTest, AllocationSpillsWhenTierFull) {
+  UnifiedHeap* heap = runtime_.heap(0);
+  // Exhaust tier 0 (1 GiB by default) with 256 KiB objects, then expect
+  // spill into tier 1.
+  const std::uint32_t kSize = 256 * 1024;
+  const int kCount = static_cast<int>((1ULL << 30) / kSize);
+  for (int i = 0; i < kCount; ++i) {
+    ASSERT_NE(heap->Allocate(kSize), kInvalidObject);
+  }
+  const ObjectId spilled = heap->Allocate(kSize);
+  ASSERT_NE(spilled, kInvalidObject);
+  EXPECT_EQ(heap->TierOf(spilled), 1);
+}
+
+TEST_F(RuntimeTest, HotObjectPromotesFromFabricTier) {
+  UnifiedHeap* heap = runtime_.heap(0);
+  const ObjectId id = heap->Allocate(4096, /*tier_hint=*/1);
+  ASSERT_EQ(heap->TierOf(id), 1);
+
+  // Hammer the object across several epochs.
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    for (int i = 0; i < 50; ++i) {
+      heap->Read(id, nullptr);
+    }
+    cluster_.engine().Run();
+    heap->RunEpoch();
+    cluster_.engine().Run();
+  }
+  EXPECT_EQ(heap->TierOf(id), 0);
+  EXPECT_GE(heap->stats().promotions, 1u);
+}
+
+TEST_F(RuntimeTest, UniPtrRoundTripsValues) {
+  struct Record {
+    int a;
+    double b;
+  };
+  UnifiedHeap* heap = runtime_.heap(0);
+  auto ptr = UniPtr<Record>::Make(heap, Record{7, 2.5});
+  ASSERT_TRUE(ptr.valid());
+
+  Record seen{0, 0.0};
+  ptr.Read([&](const Record& r) { seen = r; });
+  cluster_.engine().Run();
+  EXPECT_EQ(seen.a, 7);
+  EXPECT_DOUBLE_EQ(seen.b, 2.5);
+
+  ptr.Update([](Record& r) { r.a += 1; });
+  cluster_.engine().Run();
+  EXPECT_EQ(ptr.Peek().a, 8);
+}
+
+// --------------------- Idempotent tasks (DP#3a) --------------------------
+
+TEST_F(RuntimeTest, TaskDagExecutesInDependencyOrder) {
+  UnifiedHeap* heap = runtime_.heap(0);
+  const ObjectId a = heap->Allocate(1024);
+  const ObjectId b = heap->Allocate(1024);
+
+  std::vector<int> order;
+  TaskSpec t1;
+  t1.name = "producer";
+  t1.outputs = {a};
+  t1.compute_cost = FromUs(5);
+  t1.apply = [&] { order.push_back(1); };
+  const TaskId id1 = runtime_.itasks()->Submit(t1);
+
+  TaskSpec t2;
+  t2.name = "consumer";
+  t2.inputs = {a};
+  t2.outputs = {b};
+  t2.deps = {id1};
+  t2.compute_cost = FromUs(5);
+  t2.apply = [&] { order.push_back(2); };
+  runtime_.itasks()->Submit(t2);
+
+  bool all_done = false;
+  runtime_.itasks()->OnAllComplete([&] { all_done = true; });
+  cluster_.engine().Run();
+
+  EXPECT_TRUE(all_done);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(runtime_.itasks()->stats().completed, 2u);
+}
+
+TEST_F(RuntimeTest, TaskSurvivesWorkerFailureByReexecution) {
+  UnifiedHeap* heap = runtime_.heap(0);
+  const ObjectId out = heap->Allocate(1024);
+
+  TaskSpec t;
+  t.name = "flaky";
+  t.outputs = {out};
+  t.compute_cost = FromUs(50);
+  runtime_.itasks()->Submit(t);
+
+  bool all_done = false;
+  runtime_.itasks()->OnAllComplete([&] { all_done = true; });
+
+  // Kill both FAAs shortly after dispatch; recover one later.
+  cluster_.engine().Schedule(FromUs(10), [&] {
+    cluster_.faa(0)->Fail();
+    cluster_.faa(1)->Fail();
+  });
+  cluster_.engine().Schedule(FromUs(600), [&] { cluster_.faa(1)->Recover(); });
+
+  cluster_.engine().Run();
+  EXPECT_TRUE(all_done);
+  EXPECT_GE(runtime_.itasks()->stats().timeouts, 1u);
+  EXPECT_GE(runtime_.itasks()->stats().reexecutions, 1u);
+}
+
+TEST_F(RuntimeTest, ClobberingSpecIsDetectedAndSnapshotted) {
+  UnifiedHeap* heap = runtime_.heap(0);
+  const ObjectId x = heap->Allocate(1024);
+
+  TaskSpec t;
+  t.name = "in-place";
+  t.inputs = {x};
+  t.outputs = {x};  // reads and overwrites the same object
+  const IdempotenceReport report = AnalyzeIdempotence(t);
+  EXPECT_FALSE(report.idempotent);
+  ASSERT_EQ(report.clobbered_inputs.size(), 1u);
+  EXPECT_EQ(report.clobbered_inputs[0], x);
+
+  runtime_.itasks()->Submit(t);
+  cluster_.engine().Run();
+  EXPECT_EQ(runtime_.itasks()->stats().snapshots_created, 1u);
+  EXPECT_EQ(runtime_.itasks()->stats().completed, 1u);
+}
+
+// -------------------- Scalable functions (DP#3b) -------------------------
+
+TEST_F(RuntimeTest, ScalableFunctionHandlesHostInvocation) {
+  int handled = 0;
+  SFuncSpec spec;
+  spec.name = "counter";
+  spec.handlers[1] = SFuncHandler{FromUs(2), [&](SFuncContext&) { ++handled; }};
+  const FunctionId fn = runtime_.sfunc(0)->Install(spec);
+
+  runtime_.sfunc_client(0)->Invoke(cluster_.faa(0)->id(), fn, 1, 128, nullptr);
+  runtime_.sfunc_client(0)->Invoke(cluster_.faa(0)->id(), fn, 1, 128, nullptr);
+  cluster_.engine().Run();
+  EXPECT_EQ(handled, 2);
+  EXPECT_EQ(runtime_.sfunc(0)->stats().messages_handled, 2u);
+}
+
+TEST_F(RuntimeTest, ActorSemanticsProcessMailboxInOrder) {
+  std::vector<int> seen;
+  SFuncSpec spec;
+  spec.name = "ordered";
+  spec.handlers[1] = SFuncHandler{FromUs(5), [&](SFuncContext& ctx) {
+                                    seen.push_back(static_cast<int>(ctx.msg().bytes));
+                                  }};
+  const FunctionId fn = runtime_.sfunc(0)->Install(spec);
+  for (int i = 1; i <= 5; ++i) {
+    runtime_.sfunc_client(0)->Invoke(cluster_.faa(0)->id(), fn, 1,
+                                     static_cast<std::uint32_t>(i), nullptr);
+  }
+  cluster_.engine().Run();
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST_F(RuntimeTest, CoLocatedFunctionsCoordinateLocally) {
+  int pings = 0;
+  SFuncSpec ponger;
+  ponger.name = "pong";
+  ponger.handlers[2] = SFuncHandler{FromNs(500), [&](SFuncContext&) { ++pings; }};
+  const FunctionId pong_fn = runtime_.sfunc(0)->Install(ponger);
+
+  SFuncSpec pinger;
+  pinger.name = "ping";
+  pinger.handlers[1] = SFuncHandler{FromNs(500), [pong_fn](SFuncContext& ctx) {
+                                      ctx.SendLocal(pong_fn, 2, 64, nullptr);
+                                    }};
+  const FunctionId ping_fn = runtime_.sfunc(0)->Install(pinger);
+
+  runtime_.sfunc_client(0)->Invoke(cluster_.faa(0)->id(), ping_fn, 1, 64, nullptr);
+  cluster_.engine().Run();
+  EXPECT_EQ(pings, 1);
+  EXPECT_EQ(runtime_.sfunc(0)->stats().local_sends, 1u);
+}
+
+TEST_F(RuntimeTest, FailedChassisDropsMessagesUntilRecovery) {
+  int handled = 0;
+  SFuncSpec spec;
+  spec.name = "victim";
+  spec.handlers[1] = SFuncHandler{FromUs(1), [&](SFuncContext&) { ++handled; }};
+  const FunctionId fn = runtime_.sfunc(0)->Install(spec);
+
+  cluster_.faa(0)->Fail();
+  runtime_.sfunc_client(0)->Invoke(cluster_.faa(0)->id(), fn, 1, 64, nullptr);
+  cluster_.engine().Run();
+  EXPECT_EQ(handled, 0);
+  EXPECT_GE(runtime_.sfunc(0)->stats().messages_dropped, 1u);
+
+  cluster_.faa(0)->Recover();
+  runtime_.sfunc(0)->ResetAfterRecovery();
+  runtime_.sfunc_client(0)->Invoke(cluster_.faa(0)->id(), fn, 1, 64, nullptr);
+  cluster_.engine().Run();
+  EXPECT_EQ(handled, 1);
+}
+
+}  // namespace
+}  // namespace unifab

@@ -1,0 +1,152 @@
+// Unit tests for the functional set-associative cache.
+
+#include "src/mem/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace unifab {
+namespace {
+
+CacheConfig Tiny() { return CacheConfig{1024, 64, 2}; }  // 8 sets x 2 ways
+
+TEST(CacheTest, MissThenHit) {
+  SetAssocCache c(Tiny());
+  EXPECT_FALSE(c.Access(0x100, false));
+  ASSERT_FALSE(c.Insert(0x100, false).has_value());
+  EXPECT_TRUE(c.Access(0x100, false));
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(CacheTest, LineGranularity) {
+  SetAssocCache c(Tiny());
+  c.Insert(0x100, false);
+  // Any address within the same 64B line hits.
+  EXPECT_TRUE(c.Access(0x13F, false));
+  EXPECT_FALSE(c.Access(0x140, false));
+}
+
+TEST(CacheTest, WriteMarksDirty) {
+  SetAssocCache c(Tiny());
+  c.Insert(0x100, false);
+  EXPECT_FALSE(c.IsDirty(0x100));
+  c.Access(0x100, /*is_write=*/true);
+  EXPECT_TRUE(c.IsDirty(0x100));
+}
+
+TEST(CacheTest, LruEvictsLeastRecentlyUsed) {
+  SetAssocCache c(Tiny());
+  // Two ways per set; three lines mapping to the same set (stride = 8 sets
+  // * 64B = 512B).
+  c.Insert(0x0000, false);
+  c.Insert(0x0200, false);
+  c.Access(0x0000, false);  // 0x0000 is now MRU
+  auto ev = c.Insert(0x0400, false);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line_addr, 0x0200u);
+  EXPECT_FALSE(ev->dirty);
+}
+
+TEST(CacheTest, DirtyEvictionIsReportedAsWriteback) {
+  SetAssocCache c(Tiny());
+  c.Insert(0x0000, /*dirty=*/true);
+  c.Insert(0x0200, false);
+  auto ev = c.Insert(0x0400, false);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->line_addr, 0x0000u);
+  EXPECT_TRUE(ev->dirty);
+  EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(CacheTest, InsertExistingLineRefreshesInsteadOfEvicting) {
+  SetAssocCache c(Tiny());
+  c.Insert(0x0000, false);
+  auto ev = c.Insert(0x0000, /*dirty=*/true);
+  EXPECT_FALSE(ev.has_value());
+  EXPECT_TRUE(c.IsDirty(0x0000));
+}
+
+TEST(CacheTest, InvalidateRemovesAndReportsDirty) {
+  SetAssocCache c(Tiny());
+  c.Insert(0x0000, /*dirty=*/true);
+  bool dirty = false;
+  EXPECT_TRUE(c.Invalidate(0x0000, &dirty));
+  EXPECT_TRUE(dirty);
+  EXPECT_FALSE(c.Contains(0x0000));
+  EXPECT_FALSE(c.Invalidate(0x0000));
+}
+
+TEST(CacheTest, CleanLineClearsDirtyBit) {
+  SetAssocCache c(Tiny());
+  c.Insert(0x0000, true);
+  c.CleanLine(0x0000);
+  EXPECT_FALSE(c.IsDirty(0x0000));
+  EXPECT_TRUE(c.Contains(0x0000));
+}
+
+TEST(CacheTest, ValidLinesEnumeratesContents) {
+  SetAssocCache c(Tiny());
+  c.Insert(0x0000, true);
+  c.Insert(0x0040, false);
+  c.Insert(0x0080, true);
+  EXPECT_EQ(c.ValidLines().size(), 3u);
+  const auto dirty = c.ValidLines(/*dirty_only=*/true);
+  EXPECT_EQ(dirty.size(), 2u);
+}
+
+TEST(CacheTest, ContainsDoesNotPerturbLruOrStats) {
+  SetAssocCache c(Tiny());
+  c.Insert(0x0000, false);
+  c.Insert(0x0200, false);
+  // Peek at 0x0000 (would make it MRU if it were an access).
+  EXPECT_TRUE(c.Contains(0x0000));
+  const auto hits_before = c.stats().hits;
+  auto ev = c.Insert(0x0400, false);
+  ASSERT_TRUE(ev.has_value());
+  // 0x0000 was still LRU despite Contains().
+  EXPECT_EQ(ev->line_addr, 0x0000u);
+  EXPECT_EQ(c.stats().hits, hits_before);
+}
+
+// Property-style sweep: for any power-of-two geometry, inserting exactly
+// `ways` lines per set never evicts, and one more insert always does.
+struct Geometry {
+  std::uint64_t size;
+  std::uint32_t line;
+  std::uint32_t ways;
+};
+
+class CacheGeometryTest : public ::testing::TestWithParam<Geometry> {};
+
+TEST_P(CacheGeometryTest, AssociativityIsExact) {
+  const Geometry g = GetParam();
+  SetAssocCache c(CacheConfig{g.size, g.line, g.ways});
+  const std::uint64_t set_stride = c.num_sets() * g.line;
+  for (std::uint32_t w = 0; w < g.ways; ++w) {
+    EXPECT_FALSE(c.Insert(set_stride * w, false).has_value());
+  }
+  EXPECT_TRUE(c.Insert(set_stride * g.ways, false).has_value());
+}
+
+TEST_P(CacheGeometryTest, EveryInsertedLineIsFindable) {
+  const Geometry g = GetParam();
+  SetAssocCache c(CacheConfig{g.size, g.line, g.ways});
+  // Fill the whole cache without conflict: walk sequential lines.
+  const std::uint64_t lines = g.size / g.line;
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    c.Insert(i * g.line, false);
+  }
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    EXPECT_TRUE(c.Contains(i * g.line)) << "line " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CacheGeometryTest,
+                         ::testing::Values(Geometry{1024, 64, 2}, Geometry{4096, 64, 4},
+                                           Geometry{32768, 64, 8}, Geometry{16384, 128, 2},
+                                           Geometry{65536, 64, 16}, Geometry{8192, 32, 4}));
+
+}  // namespace
+}  // namespace unifab

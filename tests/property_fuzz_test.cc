@@ -1,0 +1,298 @@
+// Randomized property tests: drive each stateful subsystem with a random
+// operation stream, run to quiescence, and check its structural invariants.
+// Failures print the seed, so any counterexample replays deterministically.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/baseline/policies.h"
+#include "src/core/runtime.h"
+#include "src/fabric/dispatch.h"
+#include "src/fabric/interconnect.h"
+#include "src/mem/ccnuma.h"
+#include "src/mem/coma.h"
+#include "src/mem/dram.h"
+#include "src/sim/random.h"
+#include "src/topo/presets.h"
+
+namespace unifab {
+namespace {
+
+// ----------------------- CC-NUMA protocol fuzz ---------------------------
+
+struct CohRig {
+  explicit CohRig(int hosts) : fabric(&engine, 71) {
+    auto* sw = fabric.AddSwitch(FabrexSwitch(), "sw");
+    dram = std::make_unique<DramDevice>(&engine, OmegaLocalDram(), "fam");
+    AdapterConfig fea_cfg = OmegaEndpointAdapter();
+    fea_cfg.request_proc_latency = FromNs(50);
+    auto* fea = fabric.AddEndpointAdapter(fea_cfg, "fea", dram.get());
+    fabric.Connect(sw, fea, OmegaLink());
+    fea_dispatch = std::make_unique<MessageDispatcher>(fea);
+    CcNumaConfig cfg;
+    cfg.port_cache = CacheConfig{4096, 64, 2};  // tiny: lots of evictions
+    dir = std::make_unique<DirectoryController>(&engine, cfg, fea_dispatch.get(), dram.get(),
+                                                "dir");
+    for (int i = 0; i < hosts; ++i) {
+      AdapterConfig fha = OmegaHostAdapter();
+      fha.request_proc_latency = FromNs(50);
+      fha.response_proc_latency = FromNs(50);
+      auto* adapter = fabric.AddHostAdapter(fha, "h" + std::to_string(i));
+      fabric.Connect(sw, adapter, OmegaLink());
+      dispatch.push_back(std::make_unique<MessageDispatcher>(adapter));
+      ports.push_back(std::make_unique<CcNumaPort>(&engine, cfg, dispatch.back().get(),
+                                                   dir.get(), "p" + std::to_string(i)));
+    }
+    fabric.ConfigureRouting();
+  }
+
+  Engine engine;
+  FabricInterconnect fabric;
+  std::unique_ptr<DramDevice> dram;
+  std::unique_ptr<MessageDispatcher> fea_dispatch;
+  std::unique_ptr<DirectoryController> dir;
+  std::vector<std::unique_ptr<MessageDispatcher>> dispatch;
+  std::vector<std::unique_ptr<CcNumaPort>> ports;
+};
+
+class CcNumaFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CcNumaFuzzTest, QuiescentStateSatisfiesProtocolInvariants) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  CohRig rig(3);
+  Rng rng(seed);
+
+  constexpr int kBlocks = 24;
+  int completions = 0;
+  constexpr int kOps = 400;
+  for (int i = 0; i < kOps; ++i) {
+    const int host = static_cast<int>(rng.NextBelow(3));
+    const std::uint64_t block = rng.NextBelow(kBlocks) * 64;
+    const bool write = rng.NextBool(0.4);
+    // Random submission times interleave transactions heavily.
+    rig.engine.Schedule(FromNs(100) * rng.NextBelow(400), [&, host, block, write] {
+      if (write) {
+        rig.ports[static_cast<std::size_t>(host)]->Write(block, [&] { ++completions; });
+      } else {
+        rig.ports[static_cast<std::size_t>(host)]->Read(block, [&] { ++completions; });
+      }
+    });
+  }
+  rig.engine.Run();
+  EXPECT_EQ(completions, kOps);  // nothing wedged
+
+  // Invariants at quiescence, for every block:
+  for (int b = 0; b < kBlocks; ++b) {
+    const std::uint64_t block = static_cast<std::uint64_t>(b) * 64;
+    int holders = 0;
+    int modified_holders = 0;
+    for (const auto& port : rig.ports) {
+      if (port->HoldsBlock(block)) {
+        ++holders;
+        if (port->HoldsModified(block)) {
+          ++modified_holders;
+        }
+      }
+    }
+    const auto state = rig.dir->StateOf(block);
+    switch (state) {
+      case DirectoryController::BlockState::kModified:
+        // Exactly one M copy exists, and no S copies next to it.
+        EXPECT_EQ(modified_holders, 1) << "block " << b;
+        EXPECT_EQ(holders, 1) << "block " << b;
+        break;
+      case DirectoryController::BlockState::kShared:
+        EXPECT_EQ(modified_holders, 0) << "block " << b;
+        EXPECT_GE(holders, 1) << "block " << b;
+        // The directory may conservatively remember more sharers than
+        // currently hold the block (silent-ish eviction windows), never
+        // fewer.
+        EXPECT_GE(rig.dir->SharerCount(block), static_cast<std::size_t>(holders))
+            << "block " << b;
+        break;
+      case DirectoryController::BlockState::kUncached:
+        EXPECT_EQ(holders, 0) << "block " << b;
+        break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CcNumaFuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// ------------------------------ COMA fuzz --------------------------------
+
+class ComaFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ComaFuzzTest, CopiesNeverVanishAndWritesLeaveOneCopy) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  Engine engine;
+  ComaConfig cfg;
+  cfg.num_nodes = 4;
+  cfg.blocks_per_node = 16;
+  ComaSystem coma(&engine, cfg);
+  Rng rng(seed);
+
+  constexpr int kBlocks = 40;  // total capacity 64 > blocks: injection works
+  for (int b = 0; b < kBlocks; ++b) {
+    coma.SeedBlock(static_cast<int>(rng.NextBelow(4)), static_cast<std::uint64_t>(b) * 64);
+  }
+
+  int completions = 0;
+  constexpr int kOps = 300;
+  for (int i = 0; i < kOps; ++i) {
+    const int node = static_cast<int>(rng.NextBelow(4));
+    const std::uint64_t block = rng.NextBelow(kBlocks) * 64;
+    if (rng.NextBool(0.3)) {
+      coma.Write(node, block, [&] { ++completions; });
+    } else {
+      coma.Read(node, block, [&] { ++completions; });
+    }
+    engine.Run();  // serialize ops: COMA state transitions are synchronous
+
+    // Invariants after every op.
+    ASSERT_GE(coma.CopyCount(block), 1) << "op " << i;
+    for (int n = 0; n < 4; ++n) {
+      ASSERT_LE(coma.NodeOccupancy(n), cfg.blocks_per_node);
+    }
+  }
+  EXPECT_EQ(completions, kOps);
+
+  // Every seeded block still exists somewhere.
+  for (int b = 0; b < kBlocks; ++b) {
+    EXPECT_GE(coma.CopyCount(static_cast<std::uint64_t>(b) * 64), 1) << "block " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComaFuzzTest, ::testing::Values(2u, 4u, 6u, 10u, 12u));
+
+// ------------------------------ Heap fuzz --------------------------------
+
+class HeapFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeapFuzzTest, AccountingStaysConsistentUnderRandomOps) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+
+  ClusterConfig ccfg;
+  ccfg.num_hosts = 1;
+  ccfg.num_fams = 1;
+  ccfg.num_faas = 0;
+  Cluster cluster(ccfg);
+  RuntimeOptions opts;
+  opts.heap_local_bytes = 256 * 1024;  // small: allocation pressure
+  opts.heap.migration_enabled = true;
+  opts.heap.promote_threshold = 0.4;
+  UniFabricRuntime runtime(&cluster, opts);
+  UnifiedHeap* heap = runtime.heap(0);
+
+  Rng rng(seed);
+  std::vector<ObjectId> live;
+  const std::uint32_t kSizes[] = {64, 256, 1024, 4096, 65536};
+
+  for (int i = 0; i < 500; ++i) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.4 || live.empty()) {
+      const ObjectId id = heap->Allocate(kSizes[rng.NextBelow(5)],
+                                         rng.NextBool(0.5) ? 0 : 1);
+      if (id != kInvalidObject) {
+        live.push_back(id);
+      }
+    } else if (roll < 0.6) {
+      const std::size_t idx = rng.NextBelow(live.size());
+      heap->Free(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    } else if (roll < 0.9) {
+      heap->Read(live[rng.NextBelow(live.size())], nullptr);
+    } else {
+      const ObjectId id = live[rng.NextBelow(live.size())];
+      const int dst = heap->TierOf(id) == 0 ? 1 : 0;
+      heap->Migrate(id, dst, nullptr);
+    }
+    if (i % 50 == 0) {
+      cluster.engine().Run();
+      heap->RunEpoch();
+    }
+  }
+  cluster.engine().Run();
+
+  // Invariant 1: live object spans never overlap within a tier.
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>> spans(
+      static_cast<std::size_t>(heap->num_tiers()));
+  for (const ObjectId id : live) {
+    const ObjectInfo info = heap->Info(id);
+    ASSERT_NE(info.id, kInvalidObject);
+    spans[static_cast<std::size_t>(info.tier)].emplace_back(info.addr, info.addr + info.size);
+  }
+  for (auto& tier_spans : spans) {
+    std::sort(tier_spans.begin(), tier_spans.end());
+    for (std::size_t i = 1; i < tier_spans.size(); ++i) {
+      EXPECT_LE(tier_spans[i - 1].second, tier_spans[i].first);
+    }
+  }
+
+  // Invariant 2: per-tier used bytes >= sum of live size classes there and
+  // never exceeds capacity.
+  for (int t = 0; t < heap->num_tiers(); ++t) {
+    EXPECT_LE(heap->TierUsed(t), heap->Tier(t).capacity);
+  }
+
+  // Invariant 3: stats balance.
+  EXPECT_EQ(heap->stats().allocations - heap->stats().frees, live.size());
+  EXPECT_EQ(heap->live_objects(), live.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapFuzzTest, ::testing::Values(11u, 22u, 33u, 44u));
+
+// -------------------------- Fabric traffic fuzz --------------------------
+
+class FabricFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FabricFuzzTest, RandomTrafficAlwaysDrainsAndConserves) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+
+  ClusterConfig cfg;
+  cfg.num_hosts = 3;
+  cfg.num_fams = 2;
+  cfg.num_faas = 1;
+  cfg.num_switches = 2;
+  cfg.seed = seed;
+  Cluster cluster(cfg);
+  Rng rng(seed * 7 + 1);
+
+  int submitted = 0;
+  int completed = 0;
+  for (int i = 0; i < 200; ++i) {
+    const int host = static_cast<int>(rng.NextBelow(3));
+    const int fam = static_cast<int>(rng.NextBelow(2));
+    MemRequest req;
+    req.type = rng.NextBool(0.5) ? MemRequest::Type::kRead : MemRequest::Type::kWrite;
+    req.addr = rng.NextBelow(1 << 28);
+    const std::uint32_t sizes[] = {64, 256, 4096, 16384};
+    req.bytes = sizes[rng.NextBelow(4)];
+    ++submitted;
+    cluster.engine().Schedule(FromNs(50) * rng.NextBelow(2000), [&, host, fam, req] {
+      cluster.host(host)->fha()->Submit(cluster.fam(fam)->id(), req, [&] { ++completed; });
+    });
+  }
+  cluster.engine().Run();
+  EXPECT_EQ(completed, submitted);
+
+  // Conservation: every adapter finished with empty outstanding tables.
+  for (int h = 0; h < 3; ++h) {
+    EXPECT_EQ(cluster.host(h)->fha()->Outstanding(), 0u);
+    EXPECT_EQ(cluster.host(h)->fha()->QueuedRequests(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FabricFuzzTest, ::testing::Values(100u, 200u, 300u, 400u));
+
+}  // namespace
+}  // namespace unifab

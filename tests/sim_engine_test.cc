@@ -1,0 +1,136 @@
+#include "src/sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+
+namespace unifab {
+namespace {
+
+TEST(EngineTest, StartsAtTimeZeroAndIdle) {
+  Engine e;
+  EXPECT_EQ(e.Now(), 0u);
+  EXPECT_TRUE(e.Idle());
+  EXPECT_EQ(e.PendingEvents(), 0u);
+}
+
+TEST(EngineTest, RunsEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.Schedule(FromNs(30), [&] { order.push_back(3); });
+  e.Schedule(FromNs(10), [&] { order.push_back(1); });
+  e.Schedule(FromNs(20), [&] { order.push_back(2); });
+  e.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.Now(), FromNs(30));
+}
+
+TEST(EngineTest, SameTickEventsFireInScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.Schedule(FromNs(5), [&order, i] { order.push_back(i); });
+  }
+  e.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EngineTest, NestedSchedulingAdvancesTime) {
+  Engine e;
+  Tick inner_fired_at = 0;
+  e.Schedule(FromNs(10), [&] {
+    e.Schedule(FromNs(5), [&] { inner_fired_at = e.Now(); });
+  });
+  e.Run();
+  EXPECT_EQ(inner_fired_at, FromNs(15));
+}
+
+TEST(EngineTest, RunUntilStopsAtDeadlineAndSetsNow) {
+  Engine e;
+  int fired = 0;
+  e.Schedule(FromNs(10), [&] { ++fired; });
+  e.Schedule(FromNs(100), [&] { ++fired; });
+  const std::size_t n = e.RunUntil(FromNs(50));
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.Now(), FromNs(50));
+  e.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EngineTest, RunForIsRelative) {
+  Engine e;
+  e.Schedule(FromNs(10), [] {});
+  e.RunFor(FromNs(20));
+  EXPECT_EQ(e.Now(), FromNs(20));
+  e.RunFor(FromNs(20));
+  EXPECT_EQ(e.Now(), FromNs(40));
+}
+
+TEST(EngineTest, StepLimitsEventCount) {
+  Engine e;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) {
+    e.Schedule(FromNs(i + 1), [&] { ++fired; });
+  }
+  EXPECT_EQ(e.Step(2), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(e.Step(10), 3u);
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(EngineTest, CancelPreventsFiring) {
+  Engine e;
+  int fired = 0;
+  const EventId id = e.Schedule(FromNs(10), [&] { ++fired; });
+  e.Schedule(FromNs(20), [&] { ++fired; });
+  EXPECT_TRUE(e.Cancel(id));
+  EXPECT_FALSE(e.Cancel(id));  // double-cancel reports failure
+  e.Run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EngineTest, CancelAfterFireReturnsFalse) {
+  Engine e;
+  const EventId id = e.Schedule(FromNs(1), [] {});
+  e.Run();
+  EXPECT_FALSE(e.Cancel(id));
+}
+
+TEST(EngineTest, TotalFiredCounts) {
+  Engine e;
+  for (int i = 0; i < 7; ++i) {
+    e.Schedule(FromNs(i), [] {});
+  }
+  e.Run();
+  EXPECT_EQ(e.TotalFired(), 7u);
+}
+
+TEST(EventQueueTest, EmptyAfterCancellingEverything) {
+  EventQueue q;
+  const EventId a = q.Push(5, [] {});
+  const EventId b = q.Push(10, [] {});
+  EXPECT_EQ(q.Size(), 2u);
+  q.Cancel(a);
+  q.Cancel(b);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, PopSkipsCancelledHead) {
+  EventQueue q;
+  int fired = 0;
+  const EventId a = q.Push(5, [&] { fired = 1; });
+  q.Push(10, [&] { fired = 2; });
+  q.Cancel(a);
+  auto [when, fn] = q.Pop();
+  EXPECT_EQ(when, 10u);
+  fn();
+  EXPECT_EQ(fired, 2);
+}
+
+}  // namespace
+}  // namespace unifab
