@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cfc_pathologies.dir/bench_cfc_pathologies.cc.o"
+  "CMakeFiles/bench_cfc_pathologies.dir/bench_cfc_pathologies.cc.o.d"
+  "bench_cfc_pathologies"
+  "bench_cfc_pathologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cfc_pathologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

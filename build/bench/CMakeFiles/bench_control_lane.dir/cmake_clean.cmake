@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_control_lane.dir/bench_control_lane.cc.o"
+  "CMakeFiles/bench_control_lane.dir/bench_control_lane.cc.o.d"
+  "bench_control_lane"
+  "bench_control_lane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_control_lane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

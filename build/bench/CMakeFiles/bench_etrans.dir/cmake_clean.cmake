@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_etrans.dir/bench_etrans.cc.o"
+  "CMakeFiles/bench_etrans.dir/bench_etrans.cc.o.d"
+  "bench_etrans"
+  "bench_etrans.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_etrans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

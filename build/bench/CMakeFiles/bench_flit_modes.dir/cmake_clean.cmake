@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_flit_modes.dir/bench_flit_modes.cc.o"
+  "CMakeFiles/bench_flit_modes.dir/bench_flit_modes.cc.o.d"
+  "bench_flit_modes"
+  "bench_flit_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_flit_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

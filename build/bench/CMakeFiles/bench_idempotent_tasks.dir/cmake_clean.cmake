@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_idempotent_tasks.dir/bench_idempotent_tasks.cc.o"
+  "CMakeFiles/bench_idempotent_tasks.dir/bench_idempotent_tasks.cc.o.d"
+  "bench_idempotent_tasks"
+  "bench_idempotent_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_idempotent_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_memory_nodes.dir/bench_memory_nodes.cc.o"
+  "CMakeFiles/bench_memory_nodes.dir/bench_memory_nodes.cc.o.d"
+  "bench_memory_nodes"
+  "bench_memory_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_memory_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

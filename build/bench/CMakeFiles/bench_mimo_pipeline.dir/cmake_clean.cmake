@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mimo_pipeline.dir/bench_mimo_pipeline.cc.o"
+  "CMakeFiles/bench_mimo_pipeline.dir/bench_mimo_pipeline.cc.o.d"
+  "bench_mimo_pipeline"
+  "bench_mimo_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mimo_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_node_replication.dir/bench_node_replication.cc.o"
+  "CMakeFiles/bench_node_replication.dir/bench_node_replication.cc.o.d"
+  "bench_node_replication"
+  "bench_node_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_node_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pcie_interference.dir/bench_pcie_interference.cc.o"
+  "CMakeFiles/bench_pcie_interference.dir/bench_pcie_interference.cc.o.d"
+  "bench_pcie_interference"
+  "bench_pcie_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pcie_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

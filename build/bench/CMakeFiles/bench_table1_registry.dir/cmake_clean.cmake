@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_registry.dir/bench_table1_registry.cc.o"
+  "CMakeFiles/bench_table1_registry.dir/bench_table1_registry.cc.o.d"
+  "bench_table1_registry"
+  "bench_table1_registry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unified_heap.dir/bench_unified_heap.cc.o"
+  "CMakeFiles/bench_unified_heap.dir/bench_unified_heap.cc.o.d"
+  "bench_unified_heap"
+  "bench_unified_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unified_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mimo_baseband.dir/mimo_baseband.cpp.o"
+  "CMakeFiles/mimo_baseband.dir/mimo_baseband.cpp.o.d"
+  "mimo_baseband"
+  "mimo_baseband.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mimo_baseband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/arbiter.cc" "src/core/CMakeFiles/uf_core.dir/arbiter.cc.o" "gcc" "src/core/CMakeFiles/uf_core.dir/arbiter.cc.o.d"
+  "/root/repo/src/core/etrans.cc" "src/core/CMakeFiles/uf_core.dir/etrans.cc.o" "gcc" "src/core/CMakeFiles/uf_core.dir/etrans.cc.o.d"
+  "/root/repo/src/core/heap.cc" "src/core/CMakeFiles/uf_core.dir/heap.cc.o" "gcc" "src/core/CMakeFiles/uf_core.dir/heap.cc.o.d"
+  "/root/repo/src/core/itask.cc" "src/core/CMakeFiles/uf_core.dir/itask.cc.o" "gcc" "src/core/CMakeFiles/uf_core.dir/itask.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/uf_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/uf_core.dir/runtime.cc.o.d"
+  "/root/repo/src/core/sfunc.cc" "src/core/CMakeFiles/uf_core.dir/sfunc.cc.o" "gcc" "src/core/CMakeFiles/uf_core.dir/sfunc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/uf_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/uf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/uf_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

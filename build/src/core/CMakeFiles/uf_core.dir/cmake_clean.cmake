@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uf_core.dir/arbiter.cc.o"
+  "CMakeFiles/uf_core.dir/arbiter.cc.o.d"
+  "CMakeFiles/uf_core.dir/etrans.cc.o"
+  "CMakeFiles/uf_core.dir/etrans.cc.o.d"
+  "CMakeFiles/uf_core.dir/heap.cc.o"
+  "CMakeFiles/uf_core.dir/heap.cc.o.d"
+  "CMakeFiles/uf_core.dir/itask.cc.o"
+  "CMakeFiles/uf_core.dir/itask.cc.o.d"
+  "CMakeFiles/uf_core.dir/runtime.cc.o"
+  "CMakeFiles/uf_core.dir/runtime.cc.o.d"
+  "CMakeFiles/uf_core.dir/sfunc.cc.o"
+  "CMakeFiles/uf_core.dir/sfunc.cc.o.d"
+  "libuf_core.a"
+  "libuf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/adapter.cc" "src/fabric/CMakeFiles/uf_fabric.dir/adapter.cc.o" "gcc" "src/fabric/CMakeFiles/uf_fabric.dir/adapter.cc.o.d"
+  "/root/repo/src/fabric/flit.cc" "src/fabric/CMakeFiles/uf_fabric.dir/flit.cc.o" "gcc" "src/fabric/CMakeFiles/uf_fabric.dir/flit.cc.o.d"
+  "/root/repo/src/fabric/interconnect.cc" "src/fabric/CMakeFiles/uf_fabric.dir/interconnect.cc.o" "gcc" "src/fabric/CMakeFiles/uf_fabric.dir/interconnect.cc.o.d"
+  "/root/repo/src/fabric/link.cc" "src/fabric/CMakeFiles/uf_fabric.dir/link.cc.o" "gcc" "src/fabric/CMakeFiles/uf_fabric.dir/link.cc.o.d"
+  "/root/repo/src/fabric/registry.cc" "src/fabric/CMakeFiles/uf_fabric.dir/registry.cc.o" "gcc" "src/fabric/CMakeFiles/uf_fabric.dir/registry.cc.o.d"
+  "/root/repo/src/fabric/switch.cc" "src/fabric/CMakeFiles/uf_fabric.dir/switch.cc.o" "gcc" "src/fabric/CMakeFiles/uf_fabric.dir/switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/uf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

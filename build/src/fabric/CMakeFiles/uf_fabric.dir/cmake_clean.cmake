@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uf_fabric.dir/adapter.cc.o"
+  "CMakeFiles/uf_fabric.dir/adapter.cc.o.d"
+  "CMakeFiles/uf_fabric.dir/flit.cc.o"
+  "CMakeFiles/uf_fabric.dir/flit.cc.o.d"
+  "CMakeFiles/uf_fabric.dir/interconnect.cc.o"
+  "CMakeFiles/uf_fabric.dir/interconnect.cc.o.d"
+  "CMakeFiles/uf_fabric.dir/link.cc.o"
+  "CMakeFiles/uf_fabric.dir/link.cc.o.d"
+  "CMakeFiles/uf_fabric.dir/registry.cc.o"
+  "CMakeFiles/uf_fabric.dir/registry.cc.o.d"
+  "CMakeFiles/uf_fabric.dir/switch.cc.o"
+  "CMakeFiles/uf_fabric.dir/switch.cc.o.d"
+  "libuf_fabric.a"
+  "libuf_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uf_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

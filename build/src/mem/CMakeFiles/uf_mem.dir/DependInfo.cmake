@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/uf_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/uf_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/ccnuma.cc" "src/mem/CMakeFiles/uf_mem.dir/ccnuma.cc.o" "gcc" "src/mem/CMakeFiles/uf_mem.dir/ccnuma.cc.o.d"
+  "/root/repo/src/mem/coma.cc" "src/mem/CMakeFiles/uf_mem.dir/coma.cc.o" "gcc" "src/mem/CMakeFiles/uf_mem.dir/coma.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/mem/CMakeFiles/uf_mem.dir/dram.cc.o" "gcc" "src/mem/CMakeFiles/uf_mem.dir/dram.cc.o.d"
+  "/root/repo/src/mem/expander.cc" "src/mem/CMakeFiles/uf_mem.dir/expander.cc.o" "gcc" "src/mem/CMakeFiles/uf_mem.dir/expander.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/mem/CMakeFiles/uf_mem.dir/hierarchy.cc.o" "gcc" "src/mem/CMakeFiles/uf_mem.dir/hierarchy.cc.o.d"
+  "/root/repo/src/mem/memnode.cc" "src/mem/CMakeFiles/uf_mem.dir/memnode.cc.o" "gcc" "src/mem/CMakeFiles/uf_mem.dir/memnode.cc.o.d"
+  "/root/repo/src/mem/noncc.cc" "src/mem/CMakeFiles/uf_mem.dir/noncc.cc.o" "gcc" "src/mem/CMakeFiles/uf_mem.dir/noncc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/uf_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uf_mem.dir/cache.cc.o"
+  "CMakeFiles/uf_mem.dir/cache.cc.o.d"
+  "CMakeFiles/uf_mem.dir/ccnuma.cc.o"
+  "CMakeFiles/uf_mem.dir/ccnuma.cc.o.d"
+  "CMakeFiles/uf_mem.dir/coma.cc.o"
+  "CMakeFiles/uf_mem.dir/coma.cc.o.d"
+  "CMakeFiles/uf_mem.dir/dram.cc.o"
+  "CMakeFiles/uf_mem.dir/dram.cc.o.d"
+  "CMakeFiles/uf_mem.dir/expander.cc.o"
+  "CMakeFiles/uf_mem.dir/expander.cc.o.d"
+  "CMakeFiles/uf_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/uf_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/uf_mem.dir/memnode.cc.o"
+  "CMakeFiles/uf_mem.dir/memnode.cc.o.d"
+  "CMakeFiles/uf_mem.dir/noncc.cc.o"
+  "CMakeFiles/uf_mem.dir/noncc.cc.o.d"
+  "libuf_mem.a"
+  "libuf_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uf_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uf_sim.dir/engine.cc.o"
+  "CMakeFiles/uf_sim.dir/engine.cc.o.d"
+  "CMakeFiles/uf_sim.dir/logging.cc.o"
+  "CMakeFiles/uf_sim.dir/logging.cc.o.d"
+  "CMakeFiles/uf_sim.dir/random.cc.o"
+  "CMakeFiles/uf_sim.dir/random.cc.o.d"
+  "CMakeFiles/uf_sim.dir/stats.cc.o"
+  "CMakeFiles/uf_sim.dir/stats.cc.o.d"
+  "libuf_sim.a"
+  "libuf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

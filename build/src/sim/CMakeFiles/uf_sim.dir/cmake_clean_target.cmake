@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuf_sim.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/accelerator.cc" "src/topo/CMakeFiles/uf_topo.dir/accelerator.cc.o" "gcc" "src/topo/CMakeFiles/uf_topo.dir/accelerator.cc.o.d"
+  "/root/repo/src/topo/chassis.cc" "src/topo/CMakeFiles/uf_topo.dir/chassis.cc.o" "gcc" "src/topo/CMakeFiles/uf_topo.dir/chassis.cc.o.d"
+  "/root/repo/src/topo/cluster.cc" "src/topo/CMakeFiles/uf_topo.dir/cluster.cc.o" "gcc" "src/topo/CMakeFiles/uf_topo.dir/cluster.cc.o.d"
+  "/root/repo/src/topo/host.cc" "src/topo/CMakeFiles/uf_topo.dir/host.cc.o" "gcc" "src/topo/CMakeFiles/uf_topo.dir/host.cc.o.d"
+  "/root/repo/src/topo/presets.cc" "src/topo/CMakeFiles/uf_topo.dir/presets.cc.o" "gcc" "src/topo/CMakeFiles/uf_topo.dir/presets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/uf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/uf_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

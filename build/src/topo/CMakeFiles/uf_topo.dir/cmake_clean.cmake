@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uf_topo.dir/accelerator.cc.o"
+  "CMakeFiles/uf_topo.dir/accelerator.cc.o.d"
+  "CMakeFiles/uf_topo.dir/chassis.cc.o"
+  "CMakeFiles/uf_topo.dir/chassis.cc.o.d"
+  "CMakeFiles/uf_topo.dir/cluster.cc.o"
+  "CMakeFiles/uf_topo.dir/cluster.cc.o.d"
+  "CMakeFiles/uf_topo.dir/host.cc.o"
+  "CMakeFiles/uf_topo.dir/host.cc.o.d"
+  "CMakeFiles/uf_topo.dir/presets.cc.o"
+  "CMakeFiles/uf_topo.dir/presets.cc.o.d"
+  "libuf_topo.a"
+  "libuf_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uf_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_etrans_test.dir/core_etrans_test.cc.o"
+  "CMakeFiles/core_etrans_test.dir/core_etrans_test.cc.o.d"
+  "core_etrans_test"
+  "core_etrans_test.pdb"
+  "core_etrans_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_etrans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_itask_sfunc_test.dir/core_itask_sfunc_test.cc.o"
+  "CMakeFiles/core_itask_sfunc_test.dir/core_itask_sfunc_test.cc.o.d"
+  "core_itask_sfunc_test"
+  "core_itask_sfunc_test.pdb"
+  "core_itask_sfunc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_itask_sfunc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_adapter_test.dir/fabric_adapter_test.cc.o"
+  "CMakeFiles/fabric_adapter_test.dir/fabric_adapter_test.cc.o.d"
+  "fabric_adapter_test"
+  "fabric_adapter_test.pdb"
+  "fabric_adapter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_adapter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

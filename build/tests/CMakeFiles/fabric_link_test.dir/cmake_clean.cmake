@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_link_test.dir/fabric_link_test.cc.o"
+  "CMakeFiles/fabric_link_test.dir/fabric_link_test.cc.o.d"
+  "fabric_link_test"
+  "fabric_link_test.pdb"
+  "fabric_link_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

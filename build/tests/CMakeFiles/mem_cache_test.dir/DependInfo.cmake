@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mem_cache_test.cc" "tests/CMakeFiles/mem_cache_test.dir/mem_cache_test.cc.o" "gcc" "tests/CMakeFiles/mem_cache_test.dir/mem_cache_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baseline/CMakeFiles/uf_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/uf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/uf_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/uf_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/uf_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/uf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

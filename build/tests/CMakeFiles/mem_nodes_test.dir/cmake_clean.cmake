@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_nodes_test.dir/mem_nodes_test.cc.o"
+  "CMakeFiles/mem_nodes_test.dir/mem_nodes_test.cc.o.d"
+  "mem_nodes_test"
+  "mem_nodes_test.pdb"
+  "mem_nodes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_nodes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

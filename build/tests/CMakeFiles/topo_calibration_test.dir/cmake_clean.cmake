@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_calibration_test.dir/topo_calibration_test.cc.o"
+  "CMakeFiles/topo_calibration_test.dir/topo_calibration_test.cc.o.d"
+  "topo_calibration_test"
+  "topo_calibration_test.pdb"
+  "topo_calibration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topo_cluster_test.dir/topo_cluster_test.cc.o"
+  "CMakeFiles/topo_cluster_test.dir/topo_cluster_test.cc.o.d"
+  "topo_cluster_test"
+  "topo_cluster_test.pdb"
+  "topo_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topo_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/topo_calibration_test[1]_include.cmake")
+include("/root/repo/build/tests/core_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_link_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_switch_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_nodes_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_adapter_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_stats_random_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_hierarchy_test[1]_include.cmake")
+include("/root/repo/build/tests/core_etrans_test[1]_include.cmake")
+include("/root/repo/build/tests/core_heap_test[1]_include.cmake")
+include("/root/repo/build/tests/core_itask_sfunc_test[1]_include.cmake")
+include("/root/repo/build/tests/fabric_failover_test[1]_include.cmake")
+include("/root/repo/build/tests/core_replicated_test[1]_include.cmake")
+include("/root/repo/build/tests/property_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/topo_cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_contention_test[1]_include.cmake")
