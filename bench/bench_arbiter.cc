@@ -26,7 +26,7 @@ struct Outcome {
   double probe_mean_ns = 0.0;
 };
 
-Outcome Run(bool arbiter_on) {
+Outcome Run(bool arbiter_on, BenchReport* report) {
   // Two switches: hosts 0 (probe) and 2 sit next to the FAM on switch 0;
   // hosts 1 and 3 reach it across the inter-switch trunk. Per-flit fairness
   // at switch 0 gives the near host half the output while the two far flows
@@ -81,6 +81,7 @@ Outcome Run(bool arbiter_on) {
     out.flow_mbps.push_back(static_cast<double>(runtime.host_agent(h)->stats().bytes_moved) /
                             ToSec(kHorizon) / 1e6);
   }
+  report->Capture(arbiter_on ? "arbiter" : "uncoordinated", cluster.engine().metrics());
   out.jain = JainFairnessIndex(out.flow_mbps);
   out.probe_p99_ns = probe.P99();
   out.probe_mean_ns = probe.Mean();
@@ -96,12 +97,21 @@ int main() {
               "3 bulk flows + 1 latency probe into one FAM: uncoordinated vs arbiter leases");
   std::printf("%-24s %-30s %-10s %-14s %-14s\n", "mode", "flow throughput (MB/s)", "Jain",
               "probe mean", "probe p99 (ns)");
+  BenchReport report("arbiter");
   for (const bool on : {false, true}) {
-    const Outcome o = Run(on);
+    const Outcome o = Run(on, &report);
+    const std::string mode = on ? "arbiter" : "uncoordinated";
     std::printf("%-24s %6.0f / %6.0f / %6.0f        %-10.3f %-14.1f %-14.1f\n",
                 on ? "arbiter leases" : "uncoordinated", o.flow_mbps[0], o.flow_mbps[1],
                 o.flow_mbps[2], o.jain, o.probe_mean_ns, o.probe_p99_ns);
+    for (std::size_t i = 0; i < o.flow_mbps.size(); ++i) {
+      report.Note(mode + "/flow" + std::to_string(i) + "_mbps", o.flow_mbps[i]);
+    }
+    report.Note(mode + "/jain", o.jain);
+    report.Note(mode + "/probe_mean_ns", o.probe_mean_ns);
+    report.Note(mode + "/probe_p99_ns", o.probe_p99_ns);
   }
+  report.WriteJson();
   std::printf("(expected shape: leases equalize flow shares — Jain -> 1 — and cap aggregate "
               "ingress below saturation, tightening the probe tail)\n");
   PrintFooter();

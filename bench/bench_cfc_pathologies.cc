@@ -141,6 +141,8 @@ LinkConfig EdgeLink() {
 
 // ----------------------------------------------------------------------
 // Pathology 1: credit allocation (exponential ramp-up vs static).
+BenchReport* g_report = nullptr;
+
 void CreditAllocation() {
   std::printf("1) credit allocation: heavy flow vs sporadic flow sharing one output\n");
   std::printf("%-22s %-16s %-16s %-18s %s\n", "allocator", "mean (ns)", "p99 (ns)",
@@ -174,6 +176,10 @@ void CreditAllocation() {
                 rampup ? "exponential ramp-up" : "static equal",
                 sp.Empty() ? 0.0 : sp.Mean(), sp.Empty() ? 0.0 : sp.P99(), sp.Count(),
                 c.sw0->InputWeight(heavy_port), c.sw0->InputWeight(sporadic_port));
+    const std::string key = rampup ? "alloc/rampup/" : "alloc/static/";
+    g_report->Note(key + "sporadic_mean_ns", sp.Empty() ? 0.0 : sp.Mean());
+    g_report->Note(key + "sporadic_p99_ns", sp.Empty() ? 0.0 : sp.P99());
+    g_report->Note(key + "sporadic_delivered", static_cast<std::uint64_t>(sp.Count()));
   }
   std::printf("(ramp-up hands the heavy port an ever-growing share; the sporadic port's "
               "flits are squeezed out — most never get through)\n\n");
@@ -212,6 +218,10 @@ void HolBlocking() {
     std::printf("%-22s %-20.1f %-20.1f %-16llu\n", voq ? "virtual output queues" : "single FIFO",
                 victim.Empty() ? 0.0 : victim.Mean(), ToUs(idle->last_arrival_),
                 static_cast<unsigned long long>(c.sw0->stats().hol_blocked_events));
+    const std::string key = voq ? "hol/voq/" : "hol/fifo/";
+    g_report->Note(key + "victim_mean_ns", victim.Empty() ? 0.0 : victim.Mean());
+    g_report->Note(key + "victim_done_us", ToUs(idle->last_arrival_));
+    g_report->Note(key + "hol_events", c.sw0->stats().hol_blocked_events);
   }
   std::printf("(FIFO pins idle-bound flits behind the congested head; VOQ releases them)\n\n");
 }
@@ -244,6 +254,9 @@ void StarvationBackprop() {
     std::printf("%-34s %-24.2f %-20.1f\n",
                 own_vc ? "dedicated virtual channel" : "shared VC with aggressor", tput,
                 vic.Empty() ? 0.0 : vic.P99());
+    const std::string key = own_vc ? "backprop/own_vc/" : "backprop/shared_vc/";
+    g_report->Note(key + "victim_tput_flits_per_us", tput);
+    g_report->Note(key + "victim_p99_ns", vic.Empty() ? 0.0 : vic.P99());
   }
   std::printf("(the hot sink exhausts the shared VC's trunk credits, so starvation "
               "back-propagates into sw0 and collapses a flow that shares nothing but the "
@@ -258,9 +271,13 @@ int main() {
   unifab::PrintHeader("D3b", "§3 Difference #3 (CFC pathologies)",
                       "credit allocation, credit-agnostic scheduling, and credit "
                       "coordination at scale");
+  unifab::BenchReport report("cfc_pathologies");
+  unifab::g_report = &report;
   unifab::CreditAllocation();
   unifab::HolBlocking();
   unifab::StarvationBackprop();
+  unifab::g_report = nullptr;
+  report.WriteJson();
   unifab::PrintFooter();
   return 0;
 }

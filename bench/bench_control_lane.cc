@@ -120,13 +120,18 @@ int main() {
   PrintHeader("D4", "§4 DP#4 (dedicated control lane)",
               "64B flit link-layer RTT and arbiter control-plane round trip");
 
+  BenchReport report("control_lane");
+  const double rtt_unloaded = MeasureRtt(false, true);
+  const double rtt_priority = MeasureRtt(true, true);
+  const double rtt_shared = MeasureRtt(true, false);
   std::printf("link-layer 64B flit RTT (direct link, CXL2.0 x16, 50 ns propagation):\n");
-  std::printf("%-44s %10.1f ns   (paper: 'up to 200 ns' unloaded)\n",
-              "unloaded", MeasureRtt(false, true));
-  std::printf("%-44s %10.1f ns\n", "loaded, control on dedicated priority lane",
-              MeasureRtt(true, true));
+  std::printf("%-44s %10.1f ns   (paper: 'up to 200 ns' unloaded)\n", "unloaded", rtt_unloaded);
+  std::printf("%-44s %10.1f ns\n", "loaded, control on dedicated priority lane", rtt_priority);
   std::printf("%-44s %10.1f ns\n", "loaded, control shares data lanes (no priority)",
-              MeasureRtt(true, false));
+              rtt_shared);
+  report.Note("rtt_unloaded_ns", rtt_unloaded);
+  report.Note("rtt_loaded_priority_ns", rtt_priority);
+  report.Note("rtt_loaded_shared_ns", rtt_shared);
 
   // Full arbiter round trip over the running composable infrastructure.
   ClusterConfig cfg;
@@ -156,6 +161,10 @@ int main() {
   std::printf("\narbiter control-plane op (query->response, loaded fabric): mean %.2f us, "
               "p99 %.2f us over %zu ops\n",
               ctrl_rtt.Mean(), ctrl_rtt.P99(), ctrl_rtt.Count());
+  report.Note("arbiter_query_mean_us", ctrl_rtt.Mean());
+  report.Note("arbiter_query_p99_us", ctrl_rtt.P99());
+  report.Capture("cluster", cluster.engine().metrics());
+  report.WriteJson();
   std::printf("(adapter processing dominates; the dedicated lane keeps queueing out of the "
               "control path, enabling compute-fabric co-design via query/reserve/reclaim)\n");
   PrintFooter();

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "src/mem/cache.h"
 #include "src/sim/engine.h"
 #include "src/sim/random.h"
@@ -98,7 +99,39 @@ void BM_SummaryPercentile(benchmark::State& state) {
 }
 BENCHMARK(BM_SummaryPercentile);
 
+// Deterministic self-check workload captured into the bench JSON: wall-time
+// numbers from the microbenchmarks above vary run to run, but this fixed
+// event mix (and the registry snapshot it produces) must not.
+void CaptureDeterministicWorkload(BenchReport* report) {
+  Engine engine;
+  TraceRecorder trace(/*capacity=*/1024);
+  engine.SetTraceSink(&trace);
+  Rng rng(99);
+  std::uint64_t fired = 0;
+  for (int i = 0; i < 10000; ++i) {
+    engine.Schedule(static_cast<Tick>(rng.Next() % 1000), [&fired] { ++fired; });
+  }
+  engine.Run();
+  report->Note("selfcheck/events_fired", fired);
+  report->Note("selfcheck/final_now_ns", ToNs(engine.Now()));
+  report->Note("selfcheck/trace_scheduled", trace.scheduled());
+  report->Note("selfcheck/trace_fired", trace.fired());
+  report->Capture("selfcheck", engine.metrics());
+}
+
 }  // namespace
 }  // namespace unifab
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  unifab::BenchReport report("engine_micro");
+  unifab::CaptureDeterministicWorkload(&report);
+  report.WriteJson();
+  return 0;
+}

@@ -124,12 +124,20 @@ int main() {
   std::printf("%-26s %-14s %-14s %-12s %-12s\n", "bulk strategy", "fg mean (ns)", "fg p99 (ns)",
               "fg ops", "bulk (ms)");
   const char* names[] = {"CPU synchronous copy", "eTrans delegated", "eTrans + arbiter lease"};
+  const char* keys[] = {"cpu_copy", "etrans", "etrans_leased"};
+  BenchReport report("etrans");
   double base_mean = 0.0;
   for (int mode = 0; mode < 3; ++mode) {
     const Result r = Run(mode);
     if (mode == 0) {
       base_mean = r.fg_mean_ns;
     }
+    const std::string key(keys[mode]);
+    report.Note(key + "/fg_mean_ns", r.fg_mean_ns);
+    report.Note(key + "/fg_p99_ns", r.fg_p99_ns);
+    report.Note(key + "/fg_ops", static_cast<std::uint64_t>(r.fg_ops));
+    report.Note(key + "/bulk_ms", r.bulk_ms);
+    report.Note(key + "/bulk_progress", r.bulk_progress);
     if (r.bulk_ms < 0.0) {
       std::printf("%-26s %-14.1f %-14.1f %-12llu >8 (%.0f%% done)\n", names[mode], r.fg_mean_ns,
                   r.fg_p99_ns, static_cast<unsigned long long>(r.fg_ops),
@@ -142,6 +150,7 @@ int main() {
   std::printf("(expected shape: delegation removes MSHR/stall interference from the foreground; "
               "the lease trades bulk completion time for foreground isolation; CPU-copy "
               "baseline fg mean = %.0f ns)\n", base_mean);
+  report.WriteJson();
   PrintFooter();
   return 0;
 }

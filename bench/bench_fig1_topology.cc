@@ -48,9 +48,18 @@ int main() {
   bool done = false;
   core->Access(cluster.FamBase(0), /*is_write=*/false, [&] { done = true; });
   cluster.engine().Run();
+  const double measured_ns = ToNs(cluster.engine().Now() - t0);
   std::printf("\nmeasured end-to-end (through %d switch hop(s)): %.1f ns%s\n",
               cluster.fabric().HopCount(cluster.host(0)->id(), cluster.fam(0)->id()) - 1,
-              ToNs(cluster.engine().Now() - t0), done ? "" : " [INCOMPLETE]");
+              measured_ns, done ? "" : " [INCOMPLETE]");
+
+  BenchReport report("fig1_topology");
+  report.Note("remote_load_ns", measured_ns);
+  report.Note("switch_hops",
+              static_cast<std::uint64_t>(
+                  cluster.fabric().HopCount(cluster.host(0)->id(), cluster.fam(0)->id()) - 1));
+  report.Capture("cluster", cluster.engine().metrics());
+  report.WriteJson();
 
   // Channel semantics inventory (Fig 1a, transaction layer).
   std::printf("\nCXL channels modelled: %s, %s, %s (+ dedicated %s lane for the arbiter)\n",

@@ -65,6 +65,7 @@ int main() {
               "68B vs 256B flits across transaction sizes (8 GT/s x16 link)");
   std::printf("%-10s %-8s %-16s %-16s %-18s %-18s\n", "size", "op", "68B lat (ns)",
               "256B lat (ns)", "68B wire/payload", "256B wire/payload");
+  BenchReport report("flit_modes");
   for (const std::uint32_t bytes : {64u, 256u, 1024u, 4096u, 65536u}) {
     for (const bool write : {false, true}) {
       const Result small = Measure(FlitMode::k68B, bytes, write);
@@ -72,8 +73,15 @@ int main() {
       std::printf("%-10u %-8s %-16.1f %-16.1f %-18.2f %-18.2f\n", bytes,
                   write ? "write" : "read", small.latency_ns, large.latency_ns,
                   small.wire_bytes_per_payload, large.wire_bytes_per_payload);
+      const std::string key =
+          std::to_string(bytes) + "B/" + (write ? "write" : "read") + "/";
+      report.Note(key + "lat68_ns", small.latency_ns);
+      report.Note(key + "lat256_ns", large.latency_ns);
+      report.Note(key + "wire68_per_payload", small.wire_bytes_per_payload);
+      report.Note(key + "wire256_per_payload", large.wire_bytes_per_payload);
     }
   }
+  report.WriteJson();
   std::printf("(expected shape: 68B wins small transactions — a 64B line needs one 68B flit "
               "vs one mostly-empty 256B flit; 256B wins bulk — 1.33 wire bytes per payload "
               "byte vs 1.06, but fewer headers and credit round trips)\n");

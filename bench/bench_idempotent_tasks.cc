@@ -119,9 +119,20 @@ int main() {
   std::printf("%-14s %-22s %-14s %-10s %-14s %-10s\n", "failure rate", "recovery mode",
               "makespan (ms)", "attempts", "re-exec/restart", "timeouts");
 
+  BenchReport report("idempotent_tasks");
   for (const double rate : {0.0, 0.5, 1.0, 2.0}) {
     for (const RecoveryMode mode : {RecoveryMode::kReexecute, RecoveryMode::kRestartAll}) {
       const Outcome o = Run(mode, rate);
+      {
+        char prefix[48];
+        std::snprintf(prefix, sizeof(prefix), "rate%.1f/%s/", rate,
+                      mode == RecoveryMode::kReexecute ? "reexec" : "restart_all");
+        report.Note(std::string(prefix) + "makespan_ms", o.makespan_ms);
+        report.Note(std::string(prefix) + "attempts", o.attempts);
+        report.Note(std::string(prefix) + "reexecutions", o.reexecutions);
+        report.Note(std::string(prefix) + "restarts", o.restarts);
+        report.Note(std::string(prefix) + "timeouts", o.timeouts);
+      }
       char makespan[32];
       if (o.makespan_ms < 0.0) {
         std::snprintf(makespan, sizeof(makespan), "DNF");
@@ -139,6 +150,7 @@ int main() {
   std::printf("(rate = chassis power cycles per ms; expected shape: idempotent re-execution "
               "degrades gracefully with failure rate while restart-all blows up and "
               "eventually cannot finish)\n");
+  report.WriteJson();
   PrintFooter();
   return 0;
 }

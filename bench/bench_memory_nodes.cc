@@ -32,8 +32,19 @@ double Measure(Engine& engine, F&& op) {
   return done ? ToNs(engine.Now() - t0) : -1.0;
 }
 
+BenchReport* g_report = nullptr;
+
 void Row(const char* node, const char* op, double ns, const char* note) {
   std::printf("%-16s %-30s %10.1f   %s\n", node, op, ns, note);
+  if (g_report != nullptr) {
+    std::string key = std::string(node) + "/" + op;
+    for (char& c : key) {
+      if (c == ' ') {
+        c = '_';
+      }
+    }
+    g_report->Note(key, ns);
+  }
 }
 
 // Shared fixture: two hosts + FAM directory node on one switch.
@@ -186,10 +197,14 @@ int main() {
               "measured access characteristics of the four fabric memory-node flavors");
   std::printf("%-16s %-30s %10s   %s\n", "node type", "operation", "ns", "notes");
   std::printf("%s\n", std::string(100, '-').c_str());
+  BenchReport report("memory_nodes");
+  g_report = &report;
   CpuLessNuma();
   CcNuma();
   NonCc();
   Coma();
+  g_report = nullptr;
+  report.WriteJson();
   std::printf("\n(these are the placement-cost inputs DP#2's heap uses: hardware coherence "
               "buys transparent sharing at recall/invalidate cost; software coherence is "
               "cheap but unsafe; COMA chases locality automatically)\n");

@@ -136,6 +136,19 @@ int main() {
   row("naive (all objects on FAM)", naive);
   row("UniFabric + FAA power cycle", failure);
 
+  BenchReport report("mimo_pipeline");
+  const struct { const char* key; const Outcome* o; } rows[] = {
+      {"unifabric", &uni}, {"naive", &naive}, {"failure", &failure}};
+  for (const auto& r : rows) {
+    const std::string key(r.key);
+    report.Note(key + "/frames", r.o->frames_done);
+    report.Note(key + "/mean_us", r.o->mean_us);
+    report.Note(key + "/p99_us", r.o->p99_us);
+    report.Note(key + "/reexecutions", r.o->reexecutions);
+  }
+  report.Note("placement_speedup", naive.mean_us / uni.mean_us);
+  report.WriteJson();
+
   std::printf("\nplacement speedup: %.2fx mean frame latency\n", naive.mean_us / uni.mean_us);
   std::printf("(expected shape: fast-tier staging shortens every capture/writeback leg; the "
               "power-cycled run still completes all frames via idempotent re-execution)\n");

@@ -162,14 +162,17 @@ int main() {
               "64B write latency to a disaggregated device: in-host vs fabric, concurrency "
               "sweep, and 16KB interleaving");
 
+  BenchReport report("pcie_interference");
   const double direct = DirectAttachLatency();
   std::printf("in-host (direct attach) 64B write:            %8.1f ns\n", direct);
+  report.Note("direct_attach_ns", direct);
 
   std::printf("\nconcurrent 64B writers through the FabreX switch:\n");
   std::printf("%-10s %-14s %-14s\n", "writers", "mean (ns)", "added vs in-host (ns)");
   for (int n : {1, 2, 4, 8, 16}) {
     const double lat = FabricLatency(n);
     std::printf("%-10d %-14.1f %-14.1f\n", n, lat, lat - direct);
+    report.Note("fabric_writers" + std::to_string(n) + "_ns", lat);
   }
   std::printf("(paper: concurrent 64B writes add ~600 ns one-way vs holding the card in-host)\n");
 
@@ -182,6 +185,13 @@ int main() {
               with_bulk.small_mean, with_bulk.small_p99);
   std::printf("degradation: %.1fx mean, %.1fx p99 (paper: 'degraded drastically')\n",
               with_bulk.small_mean / alone.small_mean, with_bulk.small_p99 / alone.small_p99);
+  report.Note("alone_mean_ns", alone.small_mean);
+  report.Note("alone_p99_ns", alone.small_p99);
+  report.Note("interleaved_mean_ns", with_bulk.small_mean);
+  report.Note("interleaved_p99_ns", with_bulk.small_p99);
+  report.Note("degradation_mean", with_bulk.small_mean / alone.small_mean);
+  report.Note("degradation_p99", with_bulk.small_p99 / alone.small_p99);
+  report.WriteJson();
   PrintFooter();
   return 0;
 }

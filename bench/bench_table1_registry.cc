@@ -20,6 +20,12 @@ int main() {
     }
   }
   std::printf("fabrics absorbed by CXL: %d (Gen-Z, CAPI/OpenCAPI)\n", merged);
+
+  unifab::BenchReport report("table1_registry");
+  report.Note("fabrics", static_cast<std::uint64_t>(unifab::CommodityFabrics().size()));
+  report.Note("merged_into_cxl", static_cast<std::uint64_t>(merged));
+  report.Note("mainstream", cxl->interconnect);
+  report.WriteJson();
   unifab::PrintFooter();
   return 0;
 }

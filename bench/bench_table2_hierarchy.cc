@@ -2,6 +2,7 @@
 // single-core throughput at each memory-hierarchy level of the Omega
 // Fabric testbed (L1, L2, local DIMM, remote DIMM through the fabric).
 
+#include <cctype>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -149,6 +150,20 @@ int main() {
   std::printf("\nshape checks: remote/local read latency = %.1fx (paper: 14.1x, 'nearly 10x "
               "slower than local complex')\n",
               remote.rd_lat / local.rd_lat);
+
+  BenchReport report("table2_hierarchy");
+  for (const Row* r : {&l1, &l2, &local, &remote}) {
+    std::string key(r->level);
+    for (char& c : key) {
+      c = c == ' ' ? '_' : static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    report.Note(key + "/read_latency_ns", r->rd_lat);
+    report.Note(key + "/write_latency_ns", r->wr_lat);
+    report.Note(key + "/read_mops", r->rd_mops);
+    report.Note(key + "/write_mops", r->wr_mops);
+  }
+  report.Note("remote_over_local_read", remote.rd_lat / local.rd_lat);
+  report.WriteJson();
   PrintFooter();
   return 0;
 }

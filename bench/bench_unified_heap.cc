@@ -157,6 +157,7 @@ int main() {
   PrintHeader("P2", "DP#2 ablation (unified heap)",
               "skewed object reads, 4 app threads, 100 ms horizon, three object regimes");
 
+  BenchReport report("unified_heap");
   for (const Regime& regime : kRegimes) {
     std::printf("\n--- %s ---\n", regime.name);
     std::printf("%-30s %-12s %-12s %-10s %-12s %-12s\n", "placement", "mean (ns)", "p99 (ns)",
@@ -178,6 +179,20 @@ int main() {
     row("all-local oracle", local);
     row("RDMA far memory (AIFM-like)", rdma);
 
+    const struct { const char* key; const Outcome* o; } rows[] = {
+        {"migration", &fcc}, {"static", &stat}, {"all_local", &local}, {"rdma", &rdma}};
+    for (const auto& r : rows) {
+      std::string key = std::string(regime.name) + "/" + r.key;
+      for (char& c : key) {
+        if (c == ' ') {
+          c = '_';
+        }
+      }
+      report.Note(key + "/mean_ns", r.o->mean_ns);
+      report.Note(key + "/p99_ns", r.o->p99_ns);
+      report.Note(key + "/ops", r.o->ops);
+    }
+
     std::printf("migration vs static: %.2fx mean latency, %.2fx throughput; vs RDMA far "
                 "memory: %.2fx mean latency\n",
                 stat.mean_ns / fcc.mean_ns,
@@ -188,6 +203,7 @@ int main() {
               "skew; cacheline load/store wins on small objects while whole-object RDMA "
               "swap amortizes better on large hot objects — the type-conscious heap is "
               "what lets the runtime pick placement per object)\n");
+  report.WriteJson();
   PrintFooter();
   return 0;
 }

@@ -1,12 +1,20 @@
 // Shared output helpers for the reproduction benches. Each bench binary
 // prints the paper artifact it regenerates (table rows / figure series)
-// with paper-reported values alongside simulated ones where applicable.
+// with paper-reported values alongside simulated ones where applicable,
+// and additionally writes a machine-readable BENCH_<name>.json blob via
+// BenchReport so sweeps and CI can diff results without screen-scraping.
 
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cinttypes>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "src/sim/metrics.h"
 
 namespace unifab {
 
@@ -19,6 +27,100 @@ inline void PrintHeader(const std::string& experiment, const std::string& artifa
 }
 
 inline void PrintFooter() { std::printf("\n"); }
+
+// Accumulates a bench run's headline numbers plus full MetricRegistry
+// snapshots and writes them as one JSON object to BENCH_<name>.json in the
+// working directory. Keys keep insertion order, so two runs of the same
+// bench produce byte-identical key sequences (values differ only if the
+// simulation did).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  void Note(const std::string& key, double value) { notes_.emplace_back(key, Num(value)); }
+  void Note(const std::string& key, std::uint64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    notes_.emplace_back(key, buf);
+  }
+  void Note(const std::string& key, int value) {
+    Note(key, static_cast<std::uint64_t>(value < 0 ? 0 : value));
+  }
+  void Note(const std::string& key, const std::string& value) {
+    notes_.emplace_back(key, "\"" + Escape(value) + "\"");
+  }
+  void Note(const std::string& key, const char* value) { Note(key, std::string(value)); }
+
+  // Folds a full registry snapshot in under `label` (e.g. one per scenario).
+  void Capture(const std::string& label, const MetricRegistry& registry) {
+    captures_.emplace_back(label, registry.SnapshotJson());
+  }
+
+  // Writes BENCH_<name>.json; returns the path (empty on I/O failure).
+  std::string WriteJson() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "BenchReport: cannot open %s\n", path.c_str());
+      return "";
+    }
+    std::fputs(ToJson().c_str(), f);
+    std::fclose(f);
+    std::printf("[bench json] %s\n", path.c_str());
+    return path;
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\"bench\":\"" + Escape(name_) + "\",\"results\":{";
+    for (std::size_t i = 0; i < notes_.size(); ++i) {
+      if (i != 0) {
+        out += ',';
+      }
+      out += "\"" + Escape(notes_[i].first) + "\":" + notes_[i].second;
+    }
+    out += "},\"metrics\":{";
+    for (std::size_t i = 0; i < captures_.size(); ++i) {
+      if (i != 0) {
+        out += ',';
+      }
+      out += "\"" + Escape(captures_[i].first) + "\":" + captures_[i].second;
+    }
+    out += "}}\n";
+    return out;
+  }
+
+ private:
+  static std::string Num(double v) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    // JSON has no inf/nan literals; an absent-sample placeholder is null.
+    std::string s(buf);
+    if (s.find("inf") != std::string::npos || s.find("nan") != std::string::npos) {
+      return "null";
+    }
+    return s;
+  }
+
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> notes_;     // key -> rendered value
+  std::vector<std::pair<std::string, std::string>> captures_;  // label -> snapshot JSON
+};
 
 }  // namespace unifab
 

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build + ctest twice — a normal build, then an
+# AddressSanitizer/UBSan build (UNIFAB_SANITIZE=ON). Run from anywhere.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_pass() {
+  local build_dir="$1"
+  shift
+  echo "=== configure: ${build_dir} ($*) ==="
+  cmake -B "${build_dir}" -S "${ROOT}" "$@"
+  echo "=== build: ${build_dir} ==="
+  cmake --build "${build_dir}" -j "${JOBS}"
+  echo "=== ctest: ${build_dir} ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${JOBS}"
+}
+
+run_pass "${ROOT}/build"
+run_pass "${ROOT}/build-asan" -DUNIFAB_SANITIZE=ON
+
+echo "=== all checks passed ==="

@@ -5,8 +5,18 @@
 
 namespace unifab {
 
+void RdmaStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "gets", [this] { return gets; });
+  group.AddCounterFn(prefix + "puts", [this] { return puts; });
+  group.AddCounterFn(prefix + "bytes", [this] { return bytes; });
+  group.AddSummaryFn(prefix + "op_latency_ns", [this] { return &op_latency_ns; });
+}
+
 RdmaFarMemory::RdmaFarMemory(Engine* engine, const RdmaConfig& config)
-    : engine_(engine), config_(config) {}
+    : engine_(engine), config_(config) {
+  metrics_ = MetricGroup(&engine_->metrics(), "baseline/rdma");
+  stats_.BindTo(metrics_);
+}
 
 void RdmaFarMemory::Get(std::uint64_t /*addr*/, std::uint32_t bytes, std::function<void()> done) {
   queue_.push_back(Op{/*is_put=*/false, bytes, std::move(done), engine_->Now()});
@@ -51,8 +61,19 @@ void RdmaFarMemory::Issue(Op op) {
   });
 }
 
+void RdmaHeapStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "reads", [this] { return reads; });
+  group.AddCounterFn(prefix + "writes", [this] { return writes; });
+  group.AddCounterFn(prefix + "hits", [this] { return hits; });
+  group.AddCounterFn(prefix + "misses", [this] { return misses; });
+  group.AddCounterFn(prefix + "writebacks", [this] { return writebacks; });
+}
+
 RdmaObjectHeap::RdmaObjectHeap(Engine* engine, const RdmaHeapConfig& config)
-    : engine_(engine), config_(config), rdma_(engine, config.rdma) {}
+    : engine_(engine), config_(config), rdma_(engine, config.rdma) {
+  metrics_ = MetricGroup(&engine_->metrics(), "baseline/rdma_heap");
+  stats_.BindTo(metrics_);
+}
 
 std::uint64_t RdmaObjectHeap::Allocate(std::uint32_t size) {
   const std::uint64_t id = next_id_++;

@@ -17,6 +17,7 @@
 #include <unordered_map>
 
 #include "src/sim/engine.h"
+#include "src/sim/metrics.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
 
@@ -36,6 +37,8 @@ struct RdmaStats {
   std::uint64_t puts = 0;
   std::uint64_t bytes = 0;
   Summary op_latency_ns;
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
 
 // One-sided verbs to a remote memory server.
@@ -65,6 +68,7 @@ class RdmaFarMemory {
   std::deque<Op> queue_;
   std::size_t outstanding_ = 0;
   RdmaStats stats_;
+  MetricGroup metrics_;
 };
 
 struct RdmaHeapConfig {
@@ -79,6 +83,8 @@ struct RdmaHeapStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   std::uint64_t writebacks = 0;
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
 
 // AIFM-like object far memory: whole objects swap between a local DRAM
@@ -114,6 +120,7 @@ class RdmaObjectHeap {
   std::uint64_t local_bytes_ = 0;
   std::uint64_t next_id_ = 1;
   RdmaHeapStats stats_;
+  MetricGroup metrics_;
 };
 
 }  // namespace unifab

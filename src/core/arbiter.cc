@@ -5,11 +5,21 @@
 
 namespace unifab {
 
+void ArbiterStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "queries", [this] { return queries; });
+  group.AddCounterFn(prefix + "reservations", [this] { return reservations; });
+  group.AddCounterFn(prefix + "releases", [this] { return releases; });
+  group.AddCounterFn(prefix + "rejections", [this] { return rejections; });
+  group.AddCounterFn(prefix + "expirations", [this] { return expirations; });
+}
+
 FabricArbiter::FabricArbiter(Engine* engine, const ArbiterConfig& config,
                              MessageDispatcher* dispatcher)
     : engine_(engine), config_(config), dispatcher_(dispatcher) {
   dispatcher_->RegisterService(kSvcArbiter,
                                [this](const FabricMessage& msg) { HandleMessage(msg); });
+  metrics_ = MetricGroup(&engine_->metrics(), "core/arbiter");
+  stats_.BindTo(metrics_);
 }
 
 void FabricArbiter::RegisterResource(PbrId node, double capacity_mbps) {

@@ -25,6 +25,7 @@
 #include "src/fabric/dispatch.h"
 #include "src/fabric/switch.h"
 #include "src/sim/engine.h"
+#include "src/sim/metrics.h"
 #include "src/sim/stats.h"
 
 namespace unifab {
@@ -51,6 +52,8 @@ struct ArbiterStats {
   std::uint64_t releases = 0;
   std::uint64_t rejections = 0;   // zero-bandwidth grants
   std::uint64_t expirations = 0;  // leases reclaimed on expiry
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
 
 // Server side. Attach to a MessageDispatcher whose adapter sits on the
@@ -105,6 +108,7 @@ class FabricArbiter {
   std::unordered_map<PbrId, Resource> resources_;
   std::vector<FabricSwitch*> switches_;
   ArbiterStats stats_;
+  MetricGroup metrics_;
 };
 
 // Client side: issues control-lane requests and delivers async replies.

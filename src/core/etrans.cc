@@ -18,13 +18,24 @@ struct DoneMsg {
 
 }  // namespace
 
+void AgentStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "jobs_executed", [this] { return jobs_executed; });
+  group.AddCounterFn(prefix + "bytes_moved", [this] { return bytes_moved; });
+  group.AddCounterFn(prefix + "throttle_waits", [this] { return throttle_waits; });
+  group.AddCounterFn(prefix + "lease_denials", [this] { return lease_denials; });
+  group.AddSummaryFn(prefix + "job_latency_us", [this] { return &job_latency_us; });
+}
+
 MigrationAgent::MigrationAgent(Engine* engine, MessageDispatcher* dispatcher,
                                DramDevice* local_mem, ArbiterClient* arbiter, std::string name)
     : engine_(engine),
       dispatcher_(dispatcher),
       local_mem_(local_mem),
       arbiter_(arbiter),
-      name_(std::move(name)) {}
+      name_(std::move(name)) {
+  metrics_ = MetricGroup(&engine_->metrics(), "core/etrans/agent/" + name_);
+  stats_.BindTo(metrics_);
+}
 
 std::pair<const Segment*, std::uint64_t> MigrationAgent::Locate(
     const std::vector<Segment>& segs, std::uint64_t offset) {
@@ -193,7 +204,16 @@ void MigrationAgent::WriteSegment(const Segment& seg, std::uint64_t offset, std:
   host->Submit(seg.node, req, std::move(done));
 }
 
-ETransEngine::ETransEngine(Engine* engine) : engine_(engine) {}
+void ETransStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "immediate_transfers", [this] { return immediate_transfers; });
+  group.AddCounterFn(prefix + "delegated_transfers", [this] { return delegated_transfers; });
+  group.AddCounterFn(prefix + "bytes_requested", [this] { return bytes_requested; });
+}
+
+ETransEngine::ETransEngine(Engine* engine) : engine_(engine) {
+  metrics_ = MetricGroup(&engine_->metrics(), "core/etrans/engine");
+  stats_.BindTo(metrics_);
+}
 
 void ETransEngine::RegisterAgent(PbrId domain_node, MigrationAgent* agent) {
   agents_[domain_node] = agent;

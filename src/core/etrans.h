@@ -30,6 +30,7 @@
 #include "src/fabric/dispatch.h"
 #include "src/mem/dram.h"
 #include "src/sim/engine.h"
+#include "src/sim/metrics.h"
 #include "src/sim/stats.h"
 
 namespace unifab {
@@ -70,6 +71,8 @@ struct AgentStats {
   std::uint64_t throttle_waits = 0;  // chunks delayed by the bandwidth lease
   std::uint64_t lease_denials = 0;
   Summary job_latency_us;
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
 
 // Executes transfer jobs near one memory domain. `local_mem`, when given,
@@ -134,12 +137,15 @@ class MigrationAgent {
   ArbiterClient* arbiter_;
   std::string name_;
   AgentStats stats_;
+  MetricGroup metrics_;
 };
 
 struct ETransStats {
   std::uint64_t immediate_transfers = 0;
   std::uint64_t delegated_transfers = 0;
   std::uint64_t bytes_requested = 0;
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
 
 // The engine: validates descriptors, picks executors, and tracks futures.
@@ -170,6 +176,7 @@ class ETransEngine {
   std::unordered_map<std::uint64_t, TransferFuture> pending_;   // job -> future
   std::uint64_t next_job_ = 1;
   ETransStats stats_;
+  MetricGroup metrics_;
 };
 
 }  // namespace unifab

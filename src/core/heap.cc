@@ -72,6 +72,18 @@ std::vector<MigrationPolicy::Move> TemperaturePolicy::Decide(
   return moves;
 }
 
+void HeapStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "allocations", [this] { return allocations; });
+  group.AddCounterFn(prefix + "frees", [this] { return frees; });
+  group.AddCounterFn(prefix + "failed_allocations", [this] { return failed_allocations; });
+  group.AddCounterFn(prefix + "reads", [this] { return reads; });
+  group.AddCounterFn(prefix + "writes", [this] { return writes; });
+  group.AddCounterFn(prefix + "promotions", [this] { return promotions; });
+  group.AddCounterFn(prefix + "demotions", [this] { return demotions; });
+  group.AddCounterFn(prefix + "bytes_migrated", [this] { return bytes_migrated; });
+  group.AddCounterFn(prefix + "epochs", [this] { return epochs; });
+}
+
 UnifiedHeap::UnifiedHeap(Engine* engine, const HeapConfig& config, MemoryHierarchy* core,
                          MigrationAgent* agent, ETransEngine* etrans)
     : engine_(engine),
@@ -81,6 +93,8 @@ UnifiedHeap::UnifiedHeap(Engine* engine, const HeapConfig& config, MemoryHierarc
       etrans_(etrans),
       policy_(std::make_unique<TemperaturePolicy>()) {
   next_epoch_at_ = engine_->Now() + config_.epoch_length;
+  metrics_ = MetricGroup(&engine_->metrics(), "core/heap");
+  stats_.BindTo(metrics_);
 }
 
 int UnifiedHeap::AddTier(const MemTier& tier) {

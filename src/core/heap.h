@@ -30,6 +30,7 @@
 #include "src/mem/hierarchy.h"
 #include "src/mem/memnode.h"
 #include "src/sim/engine.h"
+#include "src/sim/metrics.h"
 #include "src/sim/stats.h"
 
 namespace unifab {
@@ -78,6 +79,8 @@ struct HeapStats {
   std::uint64_t demotions = 0;
   std::uint64_t bytes_migrated = 0;
   std::uint64_t epochs = 0;
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
 
 // Pluggable epoch policy: returns objects to move this epoch.
@@ -179,6 +182,7 @@ class UnifiedHeap {
   ObjectId next_id_ = 1;
   Tick next_epoch_at_ = 0;
   HeapStats stats_;
+  MetricGroup metrics_;
 };
 
 }  // namespace unifab

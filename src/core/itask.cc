@@ -19,9 +19,24 @@ IdempotenceReport AnalyzeIdempotence(const TaskSpec& spec) {
   return report;
 }
 
+void ITaskStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "submitted", [this] { return submitted; });
+  group.AddCounterFn(prefix + "attempts", [this] { return attempts; });
+  group.AddCounterFn(prefix + "completed", [this] { return completed; });
+  group.AddCounterFn(prefix + "timeouts", [this] { return timeouts; });
+  group.AddCounterFn(prefix + "reexecutions", [this] { return reexecutions; });
+  group.AddCounterFn(prefix + "snapshots_created", [this] { return snapshots_created; });
+  group.AddCounterFn(prefix + "restarts", [this] { return restarts; });
+  group.AddCounterFn(prefix + "dropped_unsafe", [this] { return dropped_unsafe; });
+  group.AddSummaryFn(prefix + "task_latency_us", [this] { return &task_latency_us; });
+}
+
 ITaskRuntime::ITaskRuntime(Engine* engine, UnifiedHeap* heap, ETransEngine* etrans,
                            MigrationAgent* agent, const ITaskConfig& config)
-    : engine_(engine), heap_(heap), etrans_(etrans), agent_(agent), config_(config) {}
+    : engine_(engine), heap_(heap), etrans_(etrans), agent_(agent), config_(config) {
+  metrics_ = MetricGroup(&engine_->metrics(), "core/itask");
+  stats_.BindTo(metrics_);
+}
 
 void ITaskRuntime::AddWorker(FaaChassis* faa) { workers_.push_back(faa); }
 

@@ -33,6 +33,7 @@
 #include "src/core/etrans.h"
 #include "src/core/heap.h"
 #include "src/sim/engine.h"
+#include "src/sim/metrics.h"
 #include "src/sim/random.h"
 #include "src/sim/stats.h"
 #include "src/topo/chassis.h"
@@ -85,6 +86,8 @@ struct ITaskStats {
   std::uint64_t restarts = 0;        // whole-job restarts (kRestartAll)
   std::uint64_t dropped_unsafe = 0;  // non-idempotent task re-ran without snapshot
   Summary task_latency_us;           // submit -> commit per task
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
 
 class ITaskRuntime {
@@ -145,6 +148,7 @@ class ITaskRuntime {
   int rr_worker_ = 0;
   std::uint64_t scratch_bump_ = 0;
   ITaskStats stats_;
+  MetricGroup metrics_;
 };
 
 }  // namespace unifab

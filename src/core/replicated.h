@@ -30,6 +30,7 @@
 
 #include "src/mem/ccnuma.h"
 #include "src/sim/engine.h"
+#include "src/sim/metrics.h"
 #include "src/sim/stats.h"
 
 namespace unifab {
@@ -41,6 +42,15 @@ struct ReplicatedStats {
   std::uint64_t sync_fetches = 0;  // tail reads that missed (invalidated)
   Summary op_latency_ns;
   Summary read_latency_ns;
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const {
+    group.AddCounterFn(prefix + "ops_executed", [this] { return ops_executed; });
+    group.AddCounterFn(prefix + "reads", [this] { return reads; });
+    group.AddCounterFn(prefix + "entries_replayed", [this] { return entries_replayed; });
+    group.AddCounterFn(prefix + "sync_fetches", [this] { return sync_fetches; });
+    group.AddSummaryFn(prefix + "op_latency_ns", [this] { return &op_latency_ns; });
+    group.AddSummaryFn(prefix + "read_latency_ns", [this] { return &read_latency_ns; });
+  }
 };
 
 template <typename State, typename Op>
@@ -51,7 +61,10 @@ class NodeReplicated {
   // `log_base` must point at an unused region of the CC-NUMA node's
   // address space; `capacity` bounds the number of ops the log can hold.
   NodeReplicated(Engine* engine, std::uint64_t log_base, std::size_t capacity, ApplyFn apply)
-      : engine_(engine), log_base_(log_base), capacity_(capacity), apply_(std::move(apply)) {}
+      : engine_(engine), log_base_(log_base), capacity_(capacity), apply_(std::move(apply)) {
+    metrics_ = MetricGroup(&engine_->metrics(), "core/replicated");
+    stats_.BindTo(metrics_);
+  }
 
   // Registers a host's coherent port; returns the replica index.
   int AddReplica(CcNumaPort* port, State initial = State{}) {
@@ -149,6 +162,7 @@ class NodeReplicated {
   std::vector<Replica> replicas_;
   std::deque<Op> log_;  // host-side shadow of the op records
   ReplicatedStats stats_;
+  MetricGroup metrics_;
 };
 
 // The baseline a type-unconscious port uses: a single shared copy on the
@@ -163,7 +177,10 @@ class CentralizedShared {
 
   CentralizedShared(Engine* engine, std::uint64_t addr, ApplyFn apply,
                     std::uint32_t state_blocks = 1)
-      : engine_(engine), addr_(addr), apply_(std::move(apply)), state_blocks_(state_blocks) {}
+      : engine_(engine), addr_(addr), apply_(std::move(apply)), state_blocks_(state_blocks) {
+    metrics_ = MetricGroup(&engine_->metrics(), "core/centralized");
+    stats_.BindTo(metrics_);
+  }
 
   int AddHost(CcNumaPort* port) {
     ports_.push_back(port);
@@ -210,6 +227,7 @@ class CentralizedShared {
   std::vector<CcNumaPort*> ports_;
   State state_{};
   ReplicatedStats stats_;
+  MetricGroup metrics_;
 };
 
 }  // namespace unifab

@@ -5,11 +5,21 @@
 
 namespace unifab {
 
+void SFuncStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "messages_handled", [this] { return messages_handled; });
+  group.AddCounterFn(prefix + "messages_dropped", [this] { return messages_dropped; });
+  group.AddCounterFn(prefix + "local_sends", [this] { return local_sends; });
+  group.AddCounterFn(prefix + "remote_sends", [this] { return remote_sends; });
+  group.AddSummaryFn(prefix + "mailbox_wait_us", [this] { return &mailbox_wait_us; });
+}
+
 ScalableFunctionRuntime::ScalableFunctionRuntime(Engine* engine, FaaChassis* faa,
                                                  Tick local_coordination_latency)
     : engine_(engine), faa_(faa), local_latency_(local_coordination_latency) {
   faa_->dispatcher()->RegisterService(
       kSvcScalableFunc, [this](const FabricMessage& msg) { HandleFabricMessage(msg); });
+  metrics_ = MetricGroup(&engine_->metrics(), "core/sfunc/" + faa_->name());
+  stats_.BindTo(metrics_);
 }
 
 FunctionId ScalableFunctionRuntime::Install(SFuncSpec spec) {

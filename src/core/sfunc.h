@@ -25,6 +25,7 @@
 
 #include "src/fabric/dispatch.h"
 #include "src/sim/engine.h"
+#include "src/sim/metrics.h"
 #include "src/sim/stats.h"
 #include "src/topo/chassis.h"
 
@@ -86,6 +87,8 @@ struct SFuncStats {
   std::uint64_t local_sends = 0;
   std::uint64_t remote_sends = 0;
   Summary mailbox_wait_us;
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
 
 // The per-FAA runtime: installs functions, dispatches arriving messages to
@@ -127,6 +130,7 @@ class ScalableFunctionRuntime {
   std::unordered_map<FunctionId, Function> functions_;
   FunctionId next_fn_ = 1;
   SFuncStats stats_;
+  MetricGroup metrics_;
 };
 
 // Host-side invoker.

@@ -4,8 +4,19 @@
 
 namespace unifab {
 
+void AdapterStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "reads_completed", [this] { return reads_completed; });
+  group.AddCounterFn(prefix + "writes_completed", [this] { return writes_completed; });
+  group.AddCounterFn(prefix + "messages_sent", [this] { return messages_sent; });
+  group.AddCounterFn(prefix + "messages_delivered", [this] { return messages_delivered; });
+  group.AddSummaryFn(prefix + "txn_latency_ns", [this] { return &txn_latency_ns; });
+}
+
 AdapterBase::AdapterBase(Engine* engine, const AdapterConfig& config, PbrId id, std::string name)
-    : engine_(engine), config_(config), id_(id), name_(std::move(name)) {}
+    : engine_(engine), config_(config), id_(id), name_(std::move(name)) {
+  metrics_ = MetricGroup(&engine_->metrics(), "fabric/adapter/" + name_);
+  stats_.BindTo(metrics_);
+}
 
 void AdapterBase::AttachLink(LinkEndpoint* endpoint) {
   link_ = endpoint;

@@ -22,6 +22,7 @@
 #include "src/fabric/flit.h"
 #include "src/fabric/link.h"
 #include "src/sim/engine.h"
+#include "src/sim/metrics.h"
 #include "src/sim/stats.h"
 
 namespace unifab {
@@ -73,6 +74,8 @@ struct AdapterStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
   Summary txn_latency_ns;  // submit-to-completion, per transaction
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
 
 // Shared flit segmentation / egress machinery for both adapter kinds.
@@ -119,6 +122,7 @@ class AdapterBase : public FlitReceiver {
   std::unordered_map<std::uint64_t, std::uint32_t> rx_progress_;  // txn -> flits seen
   MessageHandler message_handler_;
   AdapterStats stats_;
+  MetricGroup metrics_;
   std::uint64_t next_txn_id_ = 1;
 };
 

@@ -40,6 +40,15 @@ FlitReceiver* LinkEndpoint::receiver() const { return link_->dirs_[1 - side_].re
 
 int LinkEndpoint::port() const { return link_->dirs_[1 - side_].receiver_port; }
 
+void LinkStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "flits_sent", [this] { return flits_sent; });
+  group.AddCounterFn(prefix + "flits_delivered", [this] { return flits_delivered; });
+  group.AddCounterFn(prefix + "bytes_delivered", [this] { return bytes_delivered; });
+  group.AddCounterFn(prefix + "replays", [this] { return replays; });
+  group.AddCounterFn(prefix + "credit_stalls", [this] { return credit_stalls; });
+  group.AddGaugeFn(prefix + "busy_time_ns", [this] { return ToNs(busy_time); });
+}
+
 Link::Link(Engine* engine, const LinkConfig& config, std::uint64_t seed, std::string name)
     : engine_(engine), config_(config), name_(std::move(name)), rng_(seed) {
   const auto advertised = static_cast<std::uint32_t>(
@@ -47,6 +56,9 @@ Link::Link(Engine* engine, const LinkConfig& config, std::uint64_t seed, std::st
   for (auto& dir : dirs_) {
     dir.credits.fill(advertised == 0 ? 1 : advertised);
   }
+  metrics_ = MetricGroup(&engine_->metrics(), "fabric/link/" + name_);
+  dirs_[0].stats.BindTo(metrics_, "tx0/");
+  dirs_[1].stats.BindTo(metrics_, "tx1/");
 }
 
 bool Link::CanSend(int side, Channel channel) const {

@@ -25,6 +25,7 @@
 
 #include "src/fabric/flit.h"
 #include "src/sim/engine.h"
+#include "src/sim/metrics.h"
 #include "src/sim/random.h"
 #include "src/sim/time.h"
 
@@ -80,6 +81,10 @@ struct LinkStats {
   std::uint64_t replays = 0;
   std::uint64_t credit_stalls = 0;  // times a send had to wait for credits
   Tick busy_time = 0;               // wire occupancy
+
+  // Registers live-value instruments (named `prefix` + field) reading this
+  // struct; the group must not outlive it.
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
 
 class Link;
@@ -179,6 +184,7 @@ class Link {
   std::uint64_t epoch_ = 0;  // bumped on Fail so in-flight deliveries drop
   Direction dirs_[2];        // dirs_[s] = state for traffic sent by side s
   LinkEndpoint endpoints_[2] = {LinkEndpoint(this, 0), LinkEndpoint(this, 1)};
+  MetricGroup metrics_;  // after dirs_: unregisters before the stats die
 };
 
 }  // namespace unifab

@@ -6,8 +6,18 @@
 
 namespace unifab {
 
+void SwitchStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "flits_forwarded", [this] { return flits_forwarded; });
+  group.AddCounterFn(prefix + "flits_dropped", [this] { return flits_dropped; });
+  group.AddCounterFn(prefix + "hol_blocked_events", [this] { return hol_blocked_events; });
+  group.AddSummaryFn(prefix + "queueing_ns", [this] { return &queueing_ns; });
+}
+
 FabricSwitch::FabricSwitch(Engine* engine, const SwitchConfig& config, std::string name)
-    : engine_(engine), config_(config), name_(std::move(name)) {}
+    : engine_(engine), config_(config), name_(std::move(name)) {
+  metrics_ = MetricGroup(&engine_->metrics(), "fabric/switch/" + name_);
+  stats_.BindTo(metrics_);
+}
 
 int FabricSwitch::AttachPort(LinkEndpoint* endpoint) {
   const int port = static_cast<int>(ports_.size());

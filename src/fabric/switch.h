@@ -22,6 +22,7 @@
 #include "src/fabric/flit.h"
 #include "src/fabric/link.h"
 #include "src/sim/engine.h"
+#include "src/sim/metrics.h"
 #include "src/sim/stats.h"
 
 namespace unifab {
@@ -64,6 +65,8 @@ struct SwitchStats {
   std::uint64_t flits_dropped = 0;       // output link failed mid-crossbar
   std::uint64_t hol_blocked_events = 0;  // head blocked while a later flit could go
   Summary queueing_ns;                   // input-buffer residency per flit
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
 
 class FabricSwitch : public FlitReceiver {
@@ -146,6 +149,7 @@ class FabricSwitch : public FlitReceiver {
   bool arb_scheduled_ = false;
   std::uint64_t arrival_counter_ = 0;
   SwitchStats stats_;
+  MetricGroup metrics_;
 };
 
 }  // namespace unifab

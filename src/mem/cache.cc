@@ -9,6 +9,14 @@ bool IsPowerOfTwo(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
 
 }  // namespace
 
+void CacheStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "hits", [this] { return hits; });
+  group.AddCounterFn(prefix + "misses", [this] { return misses; });
+  group.AddCounterFn(prefix + "evictions", [this] { return evictions; });
+  group.AddCounterFn(prefix + "writebacks", [this] { return writebacks; });
+  group.AddGaugeFn(prefix + "hit_rate", [this] { return HitRate(); });
+}
+
 SetAssocCache::SetAssocCache(const CacheConfig& config) : config_(config) {
   assert(IsPowerOfTwo(config_.line_bytes));
   assert(config_.ways >= 1);

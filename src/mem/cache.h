@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/metrics.h"
+
 namespace unifab {
 
 struct CacheConfig {
@@ -28,6 +30,8 @@ struct CacheStats {
     const std::uint64_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(total);
   }
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
 
 // Result of inserting a line: the evicted victim, if any.

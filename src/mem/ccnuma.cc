@@ -33,6 +33,18 @@ const char* CohOpName(CohOp op) {
 
 // --------------------------- CcNumaPort ----------------------------------
 
+void PortStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "read_hits", [this] { return read_hits; });
+  group.AddCounterFn(prefix + "read_misses", [this] { return read_misses; });
+  group.AddCounterFn(prefix + "write_hits", [this] { return write_hits; });
+  group.AddCounterFn(prefix + "upgrades", [this] { return upgrades; });
+  group.AddCounterFn(prefix + "write_misses", [this] { return write_misses; });
+  group.AddCounterFn(prefix + "invalidations_received",
+                     [this] { return invalidations_received; });
+  group.AddCounterFn(prefix + "recalls_received", [this] { return recalls_received; });
+  group.AddSummaryFn(prefix + "miss_latency_ns", [this] { return &miss_latency_ns; });
+}
+
 CcNumaPort::CcNumaPort(Engine* engine, const CcNumaConfig& config, MessageDispatcher* dispatcher,
                        DirectoryController* home, std::string name)
     : engine_(engine),
@@ -44,6 +56,9 @@ CcNumaPort::CcNumaPort(Engine* engine, const CcNumaConfig& config, MessageDispat
   dispatcher_->RegisterService(kSvcCcNuma,
                                [this](const FabricMessage& msg) { HandleMessage(msg); });
   host_index_ = home_->RegisterPort(this);
+  metrics_ = MetricGroup(&engine_->metrics(), "mem/ccnuma/port/" + name_);
+  stats_.BindTo(metrics_);
+  cache_.stats().BindTo(metrics_, "cache/");
 }
 
 void CcNumaPort::SendToHome(CohOp op, std::uint64_t block, bool with_data) {
@@ -201,6 +216,16 @@ void CcNumaPort::OnRecall(const CohMsg& msg) {
 
 // ------------------------ DirectoryController ----------------------------
 
+void DirectoryStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "gets", [this] { return gets; });
+  group.AddCounterFn(prefix + "getm", [this] { return getm; });
+  group.AddCounterFn(prefix + "putm", [this] { return putm; });
+  group.AddCounterFn(prefix + "puts", [this] { return puts; });
+  group.AddCounterFn(prefix + "recalls", [this] { return recalls; });
+  group.AddCounterFn(prefix + "invalidations", [this] { return invalidations; });
+  group.AddCounterFn(prefix + "queued_requests", [this] { return queued_requests; });
+}
+
 DirectoryController::DirectoryController(Engine* engine, const CcNumaConfig& config,
                                          MessageDispatcher* dispatcher, DramDevice* dram,
                                          std::string name)
@@ -211,6 +236,8 @@ DirectoryController::DirectoryController(Engine* engine, const CcNumaConfig& con
       name_(std::move(name)) {
   dispatcher_->RegisterService(kSvcCcNuma,
                                [this](const FabricMessage& msg) { HandleMessage(msg); });
+  metrics_ = MetricGroup(&engine_->metrics(), "mem/ccnuma/dir/" + name_);
+  stats_.BindTo(metrics_);
 }
 
 int DirectoryController::RegisterPort(CcNumaPort* port) {

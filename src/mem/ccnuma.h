@@ -29,6 +29,7 @@
 #include "src/mem/dram.h"
 #include "src/mem/memnode.h"
 #include "src/sim/engine.h"
+#include "src/sim/metrics.h"
 #include "src/sim/stats.h"
 
 namespace unifab {
@@ -66,6 +67,8 @@ struct DirectoryStats {
   std::uint64_t recalls = 0;
   std::uint64_t invalidations = 0;
   std::uint64_t queued_requests = 0;  // arrived while the block was busy
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
 
 struct PortStats {
@@ -77,6 +80,8 @@ struct PortStats {
   std::uint64_t invalidations_received = 0;
   std::uint64_t recalls_received = 0;
   Summary miss_latency_ns;
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
 
 struct CcNumaConfig {
@@ -134,6 +139,7 @@ class CcNumaPort {
   SetAssocCache cache_;
   std::unordered_map<std::uint64_t, PendingTxn> pending_;
   PortStats stats_;
+  MetricGroup metrics_;
 };
 
 // Home-node directory, attached to a FAM chassis FEA. Data lives in the
@@ -186,6 +192,7 @@ class DirectoryController {
   std::vector<CcNumaPort*> ports_;
   std::unordered_map<std::uint64_t, BlockEntry> blocks_;
   DirectoryStats stats_;
+  MetricGroup metrics_;
 };
 
 }  // namespace unifab

@@ -19,11 +19,24 @@ int CeilLog2(int v) {
 
 }  // namespace
 
+void ComaStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "hits", [this] { return hits; });
+  group.AddCounterFn(prefix + "misses", [this] { return misses; });
+  group.AddCounterFn(prefix + "replications", [this] { return replications; });
+  group.AddCounterFn(prefix + "migrations", [this] { return migrations; });
+  group.AddCounterFn(prefix + "invalidations", [this] { return invalidations; });
+  group.AddCounterFn(prefix + "injections", [this] { return injections; });
+  group.AddCounterFn(prefix + "evictions", [this] { return evictions; });
+  group.AddSummaryFn(prefix + "access_latency_ns", [this] { return &access_latency_ns; });
+}
+
 ComaSystem::ComaSystem(Engine* engine, const ComaConfig& config)
     : engine_(engine), config_(config) {
   assert(config_.num_nodes >= 1);
   nodes_.resize(static_cast<std::size_t>(config_.num_nodes));
   levels_ = CeilLog2(config_.num_nodes);
+  metrics_ = MetricGroup(&engine_->metrics(), "mem/coma");
+  stats_.BindTo(metrics_);
 }
 
 std::uint64_t ComaSystem::BlockOf(std::uint64_t addr) const {

@@ -20,6 +20,7 @@
 
 #include "src/mem/memnode.h"
 #include "src/sim/engine.h"
+#include "src/sim/metrics.h"
 #include "src/sim/stats.h"
 
 namespace unifab {
@@ -42,6 +43,8 @@ struct ComaStats {
   std::uint64_t injections = 0;     // last-copy eviction relocated the block
   std::uint64_t evictions = 0;
   Summary access_latency_ns;
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
 
 class ComaSystem {
@@ -93,6 +96,7 @@ class ComaSystem {
   std::unordered_map<std::uint64_t, std::vector<int>> holders_;  // block -> node ids
   int levels_;  // tree height
   ComaStats stats_;
+  MetricGroup metrics_;
 };
 
 }  // namespace unifab

@@ -5,10 +5,19 @@
 
 namespace unifab {
 
+void DramStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "reads", [this] { return reads; });
+  group.AddCounterFn(prefix + "writes", [this] { return writes; });
+  group.AddCounterFn(prefix + "bytes", [this] { return bytes; });
+  group.AddCounterFn(prefix + "queue_full_rejects", [this] { return queue_full_rejects; });
+}
+
 DramDevice::DramDevice(Engine* engine, const DramConfig& config, std::string name)
     : engine_(engine), config_(config), name_(std::move(name)) {
   assert(config_.num_banks >= 1);
   banks_.resize(config_.num_banks);
+  metrics_ = MetricGroup(&engine_->metrics(), "mem/dram/" + name_);
+  stats_.BindTo(metrics_);
 }
 
 std::uint32_t DramDevice::BankOf(std::uint64_t addr) const {

@@ -12,6 +12,7 @@
 
 #include "src/fabric/adapter.h"
 #include "src/sim/engine.h"
+#include "src/sim/metrics.h"
 #include "src/sim/time.h"
 
 namespace unifab {
@@ -29,6 +30,8 @@ struct DramStats {
   std::uint64_t writes = 0;
   std::uint64_t bytes = 0;
   std::uint64_t queue_full_rejects = 0;
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
 
 // Event-driven DRAM: each request occupies its bank for
@@ -67,6 +70,7 @@ class DramDevice : public FabricTarget {
   std::string name_;
   std::vector<Bank> banks_;
   DramStats stats_;
+  MetricGroup metrics_;
 };
 
 }  // namespace unifab

@@ -5,12 +5,22 @@
 
 namespace unifab {
 
+void ExpanderStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "reads", [this] { return reads; });
+  group.AddCounterFn(prefix + "writes", [this] { return writes; });
+  group.AddCounterFn(prefix + "partition_faults", [this] { return partition_faults; });
+  group.AddCounterFn(prefix + "serialized_conflicts", [this] { return serialized_conflicts; });
+}
+
 MemoryExpander::MemoryExpander(Engine* engine, DramDevice* dram, std::string name,
                                Tick device_serialization_latency)
     : engine_(engine),
       dram_(dram),
       name_(std::move(name)),
-      serialization_latency_(device_serialization_latency) {}
+      serialization_latency_(device_serialization_latency) {
+  metrics_ = MetricGroup(&engine_->metrics(), "mem/expander/" + name_);
+  stats_.BindTo(metrics_);
+}
 
 std::uint64_t MemoryExpander::CreatePartition(PbrId owner, std::uint64_t size) {
   assert(next_base_ + size <= dram_->config().capacity_bytes);

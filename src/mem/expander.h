@@ -20,6 +20,7 @@
 #include "src/mem/dram.h"
 #include "src/mem/memnode.h"
 #include "src/sim/engine.h"
+#include "src/sim/metrics.h"
 
 namespace unifab {
 
@@ -28,6 +29,8 @@ struct ExpanderStats {
   std::uint64_t writes = 0;
   std::uint64_t partition_faults = 0;   // access outside the caller's partition
   std::uint64_t serialized_conflicts = 0;  // shared-line accesses that had to wait
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
 
 class MemoryExpander : public FabricTarget {
@@ -96,6 +99,7 @@ class MemoryExpander : public FabricTarget {
   std::uint64_t address_base_ = 0;
   PbrId current_requester_ = kInvalidPbrId;
   ExpanderStats stats_;
+  MetricGroup metrics_;
 };
 
 }  // namespace unifab

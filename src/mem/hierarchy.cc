@@ -6,13 +6,35 @@
 
 namespace unifab {
 
+void HierarchyStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "loads", [this] { return loads; });
+  group.AddCounterFn(prefix + "stores", [this] { return stores; });
+  group.AddCounterFn(prefix + "l1_hits", [this] { return l1_hits; });
+  group.AddCounterFn(prefix + "l2_hits", [this] { return l2_hits; });
+  group.AddCounterFn(prefix + "llc_hits", [this] { return llc_hits; });
+  group.AddCounterFn(prefix + "local_mem_accesses", [this] { return local_mem_accesses; });
+  group.AddCounterFn(prefix + "remote_mem_accesses", [this] { return remote_mem_accesses; });
+  group.AddCounterFn(prefix + "writebacks_to_memory", [this] { return writebacks_to_memory; });
+  group.AddCounterFn(prefix + "prefetches_issued", [this] { return prefetches_issued; });
+  group.AddCounterFn(prefix + "prefetch_hits", [this] { return prefetch_hits; });
+  group.AddSummaryFn(prefix + "access_latency_ns", [this] { return &access_latency_ns; });
+}
+
 MemoryHierarchy::MemoryHierarchy(Engine* engine, const HierarchyConfig& config, std::string name)
     : engine_(engine),
       config_(config),
       name_(std::move(name)),
       l1_(config.l1),
       l2_(config.l2),
-      llc_(config.llc) {}
+      llc_(config.llc) {
+  metrics_ = MetricGroup(&engine_->metrics(), "mem/hierarchy/" + name_);
+  stats_.BindTo(metrics_);
+  l1_.stats().BindTo(metrics_, "l1/");
+  l2_.stats().BindTo(metrics_, "l2/");
+  if (config_.has_llc) {
+    llc_.stats().BindTo(metrics_, "llc/");
+  }
+}
 
 void MemoryHierarchy::MapLocal(std::uint64_t base, std::uint64_t size, DramDevice* dram) {
   ranges_.push_back(AddressRange{base, size, dram, kInvalidPbrId});

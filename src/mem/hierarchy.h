@@ -22,6 +22,7 @@
 #include "src/mem/cache.h"
 #include "src/mem/dram.h"
 #include "src/sim/engine.h"
+#include "src/sim/metrics.h"
 #include "src/sim/stats.h"
 
 namespace unifab {
@@ -76,6 +77,8 @@ struct HierarchyStats {
   std::uint64_t prefetches_issued = 0;
   std::uint64_t prefetch_hits = 0;
   Summary access_latency_ns;  // demand accesses, issue to completion
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
 
 // One core's cache/memory stack. Multiple hierarchies may share a DramDevice
@@ -160,6 +163,7 @@ class MemoryHierarchy {
   std::unordered_set<std::uint64_t> prefetched_lines_;
 
   HierarchyStats stats_;
+  MetricGroup metrics_;
 };
 
 }  // namespace unifab

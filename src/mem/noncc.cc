@@ -5,6 +5,15 @@
 
 namespace unifab {
 
+void NonCcStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "read_hits", [this] { return read_hits; });
+  group.AddCounterFn(prefix + "read_misses", [this] { return read_misses; });
+  group.AddCounterFn(prefix + "write_buffered", [this] { return write_buffered; });
+  group.AddCounterFn(prefix + "flushes", [this] { return flushes; });
+  group.AddCounterFn(prefix + "invalidates", [this] { return invalidates; });
+  group.AddCounterFn(prefix + "stale_reads", [this] { return stale_reads; });
+}
+
 NonCcPort::NonCcPort(Engine* engine, const NonCcConfig& config, HostAdapter* adapter,
                      PbrId remote_node, SharedStateOracle* oracle, std::string name)
     : engine_(engine),
@@ -13,7 +22,11 @@ NonCcPort::NonCcPort(Engine* engine, const NonCcConfig& config, HostAdapter* ada
       remote_(remote_node),
       oracle_(oracle),
       name_(std::move(name)),
-      cache_(config.sw_cache) {}
+      cache_(config.sw_cache) {
+  metrics_ = MetricGroup(&engine_->metrics(), "mem/noncc/" + name_);
+  stats_.BindTo(metrics_);
+  cache_.stats().BindTo(metrics_, "cache/");
+}
 
 std::uint64_t NonCcPort::CachedVersion(std::uint64_t addr) const {
   auto it = fetched_version_.find(cache_.LineBase(addr));

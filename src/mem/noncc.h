@@ -23,6 +23,7 @@
 #include "src/mem/cache.h"
 #include "src/mem/memnode.h"
 #include "src/sim/engine.h"
+#include "src/sim/metrics.h"
 #include "src/sim/stats.h"
 
 namespace unifab {
@@ -53,6 +54,8 @@ struct NonCcStats {
   std::uint64_t flushes = 0;
   std::uint64_t invalidates = 0;
   std::uint64_t stale_reads = 0;  // read served from a cached copy older than truth
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
 
 // Host-side software-coherence port onto a remote expander partition.
@@ -95,6 +98,7 @@ class NonCcPort {
   SetAssocCache cache_;
   std::unordered_map<std::uint64_t, std::uint64_t> fetched_version_;
   NonCcStats stats_;
+  MetricGroup metrics_;
 };
 
 }  // namespace unifab

@@ -5,16 +5,30 @@
 
 namespace unifab {
 
+Engine::Engine() {
+  metrics_.AddGaugeFn("sim/engine/now_ns", [this] { return ToNs(now_); });
+  metrics_.AddCounterFn("sim/engine/events_fired", [this] { return fired_; });
+  metrics_.AddCounterFn("sim/engine/events_pending",
+                        [this] { return static_cast<std::uint64_t>(queue_.Size()); });
+}
+
 EventId Engine::ScheduleAt(Tick when, EventFn fn) {
   assert(when >= now_ && "cannot schedule into the past");
-  return queue_.Push(when, std::move(fn));
+  const EventId id = queue_.Push(when, std::move(fn));
+  if (trace_ != nullptr) {
+    trace_->OnSchedule(now_, when, id);
+  }
+  return id;
 }
 
 void Engine::FireNext() {
-  auto [when, fn] = queue_.Pop();
+  auto [when, id, fn] = queue_.Pop();
   assert(when >= now_);
   now_ = when;
   ++fired_;
+  if (trace_ != nullptr) {
+    trace_->OnFire(when, id);
+  }
   if (fn) {
     fn();  // null callbacks are legal no-ops (completion-less operations)
   }

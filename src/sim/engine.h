@@ -12,13 +12,14 @@
 #include <cstdint>
 
 #include "src/sim/event_queue.h"
+#include "src/sim/metrics.h"
 #include "src/sim/time.h"
 
 namespace unifab {
 
 class Engine {
  public:
-  Engine() = default;
+  Engine();
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -27,7 +28,14 @@ class Engine {
   Tick Now() const { return now_; }
 
   // Schedules `fn` to run `delay` ticks from now.
-  EventId Schedule(Tick delay, EventFn fn) { return queue_.Push(now_ + delay, std::move(fn)); }
+  EventId Schedule(Tick delay, EventFn fn) {
+    const Tick when = now_ + delay;
+    const EventId id = queue_.Push(when, std::move(fn));
+    if (trace_ != nullptr) {
+      trace_->OnSchedule(now_, when, id);
+    }
+    return id;
+  }
 
   // Schedules `fn` at an absolute time, which must not be in the past.
   EventId ScheduleAt(Tick when, EventFn fn);
@@ -54,12 +62,24 @@ class Engine {
   std::size_t PendingEvents() const { return queue_.Size(); }
   std::uint64_t TotalFired() const { return fired_; }
 
+  // The central telemetry registry every component of this simulation
+  // registers its instruments with.
+  MetricRegistry& metrics() { return metrics_; }
+  const MetricRegistry& metrics() const { return metrics_; }
+
+  // Optional per-event sim-time tracing; pass nullptr to disable. An unset
+  // sink costs one pointer test per Schedule/fire.
+  void SetTraceSink(EventTraceSink* sink) { trace_ = sink; }
+  EventTraceSink* trace_sink() const { return trace_; }
+
  private:
   void FireNext();
 
+  MetricRegistry metrics_;  // first member: components register during setup
   EventQueue queue_;
   Tick now_ = 0;
   std::uint64_t fired_ = 0;
+  EventTraceSink* trace_ = nullptr;
 };
 
 }  // namespace unifab

@@ -63,14 +63,20 @@ class EventQueue {
     return heap_.top().when;
   }
 
+  struct PoppedEvent {
+    Tick when;
+    EventId id;
+    EventFn fn;
+  };
+
   // Removes and returns the earliest live event. Must not be called when
   // Empty().
-  std::pair<Tick, EventFn> Pop() {
+  PoppedEvent Pop() {
     SkipCancelled();
     Entry e = std::move(const_cast<Entry&>(heap_.top()));
     heap_.pop();
     pending_.erase(e.id);
-    return {e.when, std::move(e.fn)};
+    return {e.when, e.id, std::move(e.fn)};
   }
 
  private:

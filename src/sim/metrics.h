@@ -1,0 +1,217 @@
+// Unified telemetry layer: a central registry of named instruments.
+//
+// Every simulated component registers its counters and latency summaries
+// under a hierarchical path (e.g. "fabric/switch/s0/flits_forwarded",
+// "core/etrans/agent/a3/job_latency_us") at construction time. The registry
+// can then render one machine-readable snapshot of the whole simulation —
+// JSON for the BENCH_*.json perf trajectory, CSV for spreadsheets — instead
+// of each layer hand-rolling its own text dump.
+//
+// Two registration styles coexist:
+//   * owned instruments (Counter / Gauge / SummaryMetric) allocated by the
+//     registry, for new code that has no legacy stats struct;
+//   * live-value callbacks (Add*Fn) that read an existing `*Stats` field at
+//     snapshot time, which lets the 20+ legacy stats structs keep their
+//     exact accessor semantics while becoming registry-visible.
+//
+// Instruments registered through a MetricGroup are unregistered when the
+// group (i.e. the owning component) is destroyed, so callbacks never
+// outlive the state they read. Paths are uniquified deterministically
+// ("path", "path#2", ...) so identically named components coexist.
+//
+// The registry itself is engine-agnostic; Engine owns one (Engine::metrics)
+// and additionally exposes an optional EventTraceSink hook for per-event
+// sim-time tracing (a single pointer test on the scheduling hot path).
+
+#ifndef SRC_SIM_METRICS_H_
+#define SRC_SIM_METRICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/stats.h"
+#include "src/sim/time.h"
+
+namespace unifab {
+
+// A monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(std::uint64_t by = 1) { value_ += by; }
+  std::uint64_t Value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+// A point-in-time scalar (occupancy, temperature, bandwidth share).
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  void Add(double delta) { value_ += delta; }
+  double Value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+// A sample distribution; snapshots export count/sum/mean/min/max/p50/p99.
+class SummaryMetric {
+ public:
+  void Observe(double v) { summary_.Add(v); }
+  const Summary& summary() const { return summary_; }
+
+ private:
+  Summary summary_;
+};
+
+class MetricRegistry {
+ public:
+  using CounterFn = std::function<std::uint64_t()>;
+  using GaugeFn = std::function<double()>;
+  using SummaryFn = std::function<const Summary*()>;
+
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  // Owned instruments. The registry keeps the instrument alive until it is
+  // removed; the returned pointer stays valid exactly that long.
+  Counter* AddCounter(const std::string& path);
+  Gauge* AddGauge(const std::string& path);
+  SummaryMetric* AddSummary(const std::string& path);
+
+  // Live-value instruments: `fn` is invoked at snapshot time. The caller
+  // must Remove() the path (MetricGroup does this automatically) before the
+  // state the callback reads is destroyed. Returns the final path, which
+  // may carry a "#n" suffix when the requested one was taken.
+  std::string AddCounterFn(const std::string& path, CounterFn fn);
+  std::string AddGaugeFn(const std::string& path, GaugeFn fn);
+  std::string AddSummaryFn(const std::string& path, SummaryFn fn);
+
+  bool Remove(const std::string& path);
+  std::size_t RemovePrefix(const std::string& prefix);
+
+  // Reserves a deterministic unique component prefix ("a", then "a#2", ...).
+  std::string ClaimPrefix(const std::string& prefix);
+
+  bool Has(const std::string& path) const { return instruments_.count(path) != 0; }
+  std::size_t NumInstruments() const { return instruments_.size(); }
+
+  // One flat JSON object keyed by path, sorted, with summaries expanded to
+  // {"count":..,"sum":..,"mean":..,"min":..,"max":..,"p50":..,"p99":..}.
+  // Key set and formatting are deterministic for a deterministic sim.
+  std::string SnapshotJson() const;
+
+  // "path,kind,value" lines; summaries expand to path.count / path.mean / ...
+  std::string SnapshotCsv() const;
+
+ private:
+  struct Instrument {
+    enum class Kind { kCounter, kGauge, kSummary } kind;
+    CounterFn counter;
+    GaugeFn gauge;
+    SummaryFn summary;
+    // Backing storage for owned instruments (null for callback-backed).
+    std::shared_ptr<void> owned;
+  };
+
+  std::string Insert(const std::string& path, Instrument instrument);
+
+  std::map<std::string, Instrument> instruments_;  // ordered => stable output
+  std::unordered_map<std::string, int> prefix_claims_;
+};
+
+// RAII bundle of instruments under one component prefix. A component keeps
+// one MetricGroup member (declared after its stats so destruction
+// unregisters callbacks before the stats die) and registers all its
+// instruments through it at construction. A default-constructed group is
+// detached: registrations are no-ops, so components still work when no
+// registry is supplied.
+class MetricGroup {
+ public:
+  MetricGroup() = default;
+  MetricGroup(MetricRegistry* registry, const std::string& prefix);
+  ~MetricGroup() { RemoveAll(); }
+
+  MetricGroup(MetricGroup&& other) noexcept { *this = std::move(other); }
+  MetricGroup& operator=(MetricGroup&& other) noexcept;
+  MetricGroup(const MetricGroup&) = delete;
+  MetricGroup& operator=(const MetricGroup&) = delete;
+
+  bool attached() const { return registry_ != nullptr; }
+  // The claimed (uniquified) prefix; empty when detached.
+  const std::string& prefix() const { return prefix_; }
+
+  Counter* AddCounter(const std::string& name);
+  Gauge* AddGauge(const std::string& name);
+  SummaryMetric* AddSummary(const std::string& name);
+  void AddCounterFn(const std::string& name, MetricRegistry::CounterFn fn);
+  void AddGaugeFn(const std::string& name, MetricRegistry::GaugeFn fn);
+  void AddSummaryFn(const std::string& name, MetricRegistry::SummaryFn fn);
+
+  void RemoveAll();
+
+ private:
+  std::string Full(const std::string& name) const { return prefix_ + "/" + name; }
+
+  MetricRegistry* registry_ = nullptr;
+  std::string prefix_;
+  std::vector<std::string> registered_;
+  // Keeps owned instruments alive for detached groups, so callers can
+  // increment them unconditionally.
+  std::vector<std::shared_ptr<void>> detached_;
+};
+
+// Observer of engine scheduling activity (per-event sim-time tracing). The
+// engine holds a nullable pointer, so an unset sink costs one branch per
+// Schedule/fire — cheap enough to leave compiled in.
+class EventTraceSink {
+ public:
+  virtual ~EventTraceSink() = default;
+  virtual void OnSchedule(Tick now, Tick fire_at, std::uint64_t event_id) = 0;
+  virtual void OnFire(Tick fire_at, std::uint64_t event_id) = 0;
+};
+
+// Default sink: aggregates schedule/fire counts and queue-residency times,
+// and keeps the first `capacity` raw records for inspection/dumping.
+class TraceRecorder : public EventTraceSink {
+ public:
+  struct Record {
+    Tick scheduled_at = 0;
+    Tick fire_at = 0;
+    std::uint64_t event_id = 0;
+    bool fired = false;
+  };
+
+  explicit TraceRecorder(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void OnSchedule(Tick now, Tick fire_at, std::uint64_t event_id) override;
+  void OnFire(Tick fire_at, std::uint64_t event_id) override;
+
+  std::uint64_t scheduled() const { return scheduled_; }
+  std::uint64_t fired() const { return fired_; }
+  const Summary& queue_delay_ns() const { return queue_delay_ns_; }
+  const std::vector<Record>& records() const { return records_; }
+
+  // One JSON object per line, schedule order.
+  std::string ToJsonLines() const;
+
+ private:
+  std::size_t capacity_;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t fired_ = 0;
+  Summary queue_delay_ns_;
+  std::vector<Record> records_;
+  std::unordered_map<std::uint64_t, std::size_t> record_index_;
+  std::unordered_map<std::uint64_t, Tick> pending_;  // id -> scheduled_at
+};
+
+}  // namespace unifab
+
+#endif  // SRC_SIM_METRICS_H_

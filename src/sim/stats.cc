@@ -94,18 +94,30 @@ void Histogram::Add(double v) {
 }
 
 std::string Histogram::ToString() const {
+  if (total_ == 0) {
+    return "(no samples)\n";
+  }
   std::ostringstream out;
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
-  std::uint64_t max_count = 1;
+  std::uint64_t max_count = 0;
   for (auto c : counts_) {
     max_count = std::max(max_count, c);
   }
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const double b_lo = lo_ + width * static_cast<double>(i);
-    const int bar = static_cast<int>(50.0 * static_cast<double>(counts_[i]) /
-                                     static_cast<double>(max_count));
-    out << "[" << b_lo << ", " << (b_lo + width) << ") " << std::string(bar, '#') << " "
-        << counts_[i] << "\n";
+    const int bar = max_count == 0 ? 0
+                                   : static_cast<int>(50.0 * static_cast<double>(counts_[i]) /
+                                                      static_cast<double>(max_count));
+    // The edge buckets also absorb out-of-range samples; label them so the
+    // rendered ranges are honest.
+    if (i == 0) {
+      out << "[<" << (b_lo + width) << ")";
+    } else if (i + 1 == counts_.size()) {
+      out << "[" << b_lo << "+)";
+    } else {
+      out << "[" << b_lo << ", " << (b_lo + width) << ")";
+    }
+    out << " " << std::string(bar, '#') << " " << counts_[i] << "\n";
   }
   return out.str();
 }

@@ -4,8 +4,20 @@
 
 namespace unifab {
 
+void AcceleratorStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "kernels_started", [this] { return kernels_started; });
+  group.AddCounterFn(prefix + "kernels_completed", [this] { return kernels_completed; });
+  group.AddCounterFn(prefix + "kernels_dropped", [this] { return kernels_dropped; });
+  group.AddCounterFn(prefix + "failures", [this] { return failures; });
+  group.AddGaugeFn(prefix + "busy_time_ns", [this] { return ToNs(busy_time); });
+  group.AddSummaryFn(prefix + "queue_wait_ns", [this] { return &queue_wait_ns; });
+}
+
 Accelerator::Accelerator(Engine* engine, const AcceleratorConfig& config, std::string name)
-    : engine_(engine), config_(config), name_(std::move(name)) {}
+    : engine_(engine), config_(config), name_(std::move(name)) {
+  metrics_ = MetricGroup(&engine_->metrics(), "topo/accelerator/" + name_);
+  stats_.BindTo(metrics_);
+}
 
 void Accelerator::Execute(Tick duration, std::function<void()> done) {
   if (failed_ || queue_.size() >= config_.queue_depth) {

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "src/sim/engine.h"
+#include "src/sim/metrics.h"
 #include "src/sim/stats.h"
 #include "src/sim/time.h"
 
@@ -35,6 +36,8 @@ struct AcceleratorStats {
   std::uint64_t failures = 0;
   Tick busy_time = 0;
   Summary queue_wait_ns;
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
 
 class Accelerator {
@@ -76,6 +79,7 @@ class Accelerator {
   bool failed_ = false;
   std::uint64_t epoch_ = 0;  // bumped on Fail so in-flight completions drop
   AcceleratorStats stats_;
+  MetricGroup metrics_;
 };
 
 }  // namespace unifab

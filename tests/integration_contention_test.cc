@@ -6,6 +6,7 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "src/core/runtime.h"
 
@@ -27,15 +28,19 @@ double ChasedRemote(Cluster& cluster, int host, int core_idx, std::uint64_t base
   auto addr = std::make_shared<std::uint64_t>(base);
   auto lat = std::make_shared<Summary>();
   auto loop = std::make_shared<std::function<void()>>();
-  *loop = [&cluster, core, remaining, addr, lat, loop] {
+  // Capture a raw self-pointer, not the shared_ptr: a closure that owns its
+  // own shared_ptr is a reference cycle and leaks. The local `loop` outlives
+  // engine().Run(), which drains every pending callback.
+  std::function<void()>* self = loop.get();
+  *loop = [&cluster, core, remaining, addr, lat, self] {
     if (--*remaining < 0) {
       return;
     }
     *addr += 4160;
     const Tick t0 = cluster.engine().Now();
-    core->Access(*addr, false, [&cluster, lat, t0, loop] {
+    core->Access(*addr, false, [&cluster, lat, t0, self] {
       lat->Add(ToNs(cluster.engine().Now() - t0));
-      (*loop)();
+      (*self)();
     });
   };
   (*loop)();
@@ -54,12 +59,14 @@ TEST(ContentionTest, CoresShareTheHostFha) {
   // with 4 KiB reads submitted straight at the adapter.
   HostAdapter* fha = busy.host(0)->fha();
   const PbrId fam = busy.fam(0)->id();
+  std::vector<std::shared_ptr<std::function<void()>>> chains;
   for (int chain = 0; chain < 16; ++chain) {
     auto addr = std::make_shared<std::uint64_t>(busy.FamBase(0) +
                                                 (static_cast<std::uint64_t>(chain) << 22));
     auto ops = std::make_shared<int>(200);
     auto loop = std::make_shared<std::function<void()>>();
-    *loop = [fha, fam, addr, ops, loop] {
+    std::function<void()>* self = loop.get();
+    *loop = [fha, fam, addr, ops, self] {
       if (--*ops < 0) {
         return;
       }
@@ -68,8 +75,9 @@ TEST(ContentionTest, CoresShareTheHostFha) {
       req.type = MemRequest::Type::kRead;
       req.addr = *addr;
       req.bytes = 4096;
-      fha->Submit(fam, req, *loop);
+      fha->Submit(fam, req, *self);
     };
+    chains.push_back(loop);  // keep-alive: the closure no longer owns itself
     (*loop)();
   }
   const double contended = ChasedRemote(busy, 0, 0, busy.FamBase(0) + (40ULL << 20), 64);
@@ -84,19 +92,22 @@ TEST(ContentionTest, HostsContendAtTheFamNotAtEachOther) {
 
   Cluster both(Shape(2, 2, 0));
   // Host 1 hammers FAM1 while host 0 measures FAM0.
+  std::vector<std::shared_ptr<std::function<void()>>> chains;
   for (int chain = 0; chain < 8; ++chain) {
     MemoryHierarchy* core = both.host(1)->core(0);
     auto addr = std::make_shared<std::uint64_t>(both.FamBase(1) +
                                                 (static_cast<std::uint64_t>(chain) << 22));
     auto ops = std::make_shared<int>(400);
     auto loop = std::make_shared<std::function<void()>>();
-    *loop = [core, addr, ops, loop] {
+    std::function<void()>* self = loop.get();
+    *loop = [core, addr, ops, self] {
       if (--*ops < 0) {
         return;
       }
       *addr += 4160;
-      core->Access(*addr, false, *loop);
+      core->Access(*addr, false, *self);
     };
+    chains.push_back(loop);  // keep-alive: the closure no longer owns itself
     (*loop)();
   }
   const double h0_with_neighbor = ChasedRemote(both, 0, 0, both.FamBase(0), 48);

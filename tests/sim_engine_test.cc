@@ -126,8 +126,9 @@ TEST(EventQueueTest, PopSkipsCancelledHead) {
   const EventId a = q.Push(5, [&] { fired = 1; });
   q.Push(10, [&] { fired = 2; });
   q.Cancel(a);
-  auto [when, fn] = q.Pop();
+  auto [when, id, fn] = q.Pop();
   EXPECT_EQ(when, 10u);
+  EXPECT_NE(id, kInvalidEventId);
   fn();
   EXPECT_EQ(fired, 2);
 }

@@ -1,0 +1,168 @@
+// Tests for the metric registry, instrument groups, the event-trace sink,
+// and Summary::Percentile edge cases.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/engine.h"
+#include "src/sim/metrics.h"
+#include "src/sim/random.h"
+#include "src/sim/stats.h"
+#include "src/topo/cluster.h"
+
+namespace unifab {
+namespace {
+
+TEST(SummaryPercentileTest, SingleSampleEveryPercentile) {
+  Summary s;
+  s.Add(42.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100.0), 42.0);
+}
+
+TEST(SummaryPercentileTest, ZeroAndHundredAreMinAndMax) {
+  Summary s;
+  for (double v : {5.0, 1.0, 9.0, 3.0, 7.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100.0), 9.0);
+  EXPECT_DOUBLE_EQ(s.Min(), s.Percentile(0.0));
+  EXPECT_DOUBLE_EQ(s.Max(), s.Percentile(100.0));
+}
+
+TEST(SummaryPercentileTest, RepeatedValuesAreStable) {
+  Summary s;
+  for (int i = 0; i < 100; ++i) {
+    s.Add(3.0);
+  }
+  for (double p : {0.0, 25.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(s.Percentile(p), 3.0) << "p=" << p;
+  }
+}
+
+TEST(SummaryPercentileTest, NearestRankOnSmallSets) {
+  Summary s;
+  s.Add(10.0);
+  s.Add(20.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50.0), 10.0);  // nearest-rank: ceil(0.5*2)=1st
+  EXPECT_DOUBLE_EQ(s.Percentile(51.0), 20.0);
+}
+
+TEST(MetricRegistryTest, CounterGaugeSummaryRoundTrip) {
+  MetricRegistry reg;
+  Counter* c = reg.AddCounter("a/count");
+  Gauge* g = reg.AddGauge("a/gauge");
+  SummaryMetric* s = reg.AddSummary("a/lat");
+  c->Increment(3);
+  g->Set(2.5);
+  s->Observe(1.0);
+  s->Observe(3.0);
+
+  const std::string json = reg.SnapshotJson();
+  EXPECT_NE(json.find("\"a/count\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"a/gauge\": 2.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"a/lat\": {\"count\":2"), std::string::npos) << json;
+}
+
+TEST(MetricRegistryTest, CallbackInstrumentsReadLiveValues) {
+  MetricRegistry reg;
+  std::uint64_t hits = 0;
+  reg.AddCounterFn("cache/hits", [&hits] { return hits; });
+  EXPECT_NE(reg.SnapshotJson().find("\"cache/hits\": 0"), std::string::npos);
+  hits = 7;
+  EXPECT_NE(reg.SnapshotJson().find("\"cache/hits\": 7"), std::string::npos);
+}
+
+TEST(MetricRegistryTest, DuplicatePathsGetDeterministicSuffixes) {
+  MetricRegistry reg;
+  std::uint64_t v = 0;
+  EXPECT_EQ(reg.AddCounterFn("x/n", [&v] { return v; }), "x/n");
+  EXPECT_EQ(reg.AddCounterFn("x/n", [&v] { return v; }), "x/n#2");
+  EXPECT_EQ(reg.AddCounterFn("x/n", [&v] { return v; }), "x/n#3");
+}
+
+TEST(MetricRegistryTest, GroupUnregistersOnDestruction) {
+  MetricRegistry reg;
+  {
+    MetricGroup group(&reg, "tmp/thing");
+    group.AddCounter("c");
+    EXPECT_TRUE(reg.Has("tmp/thing/c"));
+  }
+  EXPECT_FALSE(reg.Has("tmp/thing/c"));
+}
+
+TEST(MetricRegistryTest, EngineRegistersItsOwnInstruments) {
+  Engine engine;
+  EXPECT_TRUE(engine.metrics().Has("sim/engine/events_fired"));
+  engine.Schedule(5, [] {});
+  engine.Run();
+  EXPECT_NE(engine.metrics().SnapshotJson().find("\"sim/engine/events_fired\": 1"),
+            std::string::npos);
+}
+
+TEST(MetricRegistryTest, CsvListsSummaryComponents) {
+  MetricRegistry reg;
+  SummaryMetric* s = reg.AddSummary("m/lat");
+  s->Observe(4.0);
+  const std::string csv = reg.SnapshotCsv();
+  EXPECT_NE(csv.find("m/lat.count,summary,1"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("m/lat.p99,summary,4"), std::string::npos) << csv;
+}
+
+// Two identical sim runs must produce byte-identical registry snapshots —
+// the property the bench JSON blobs rely on.
+std::string RunClusterAndSnapshot() {
+  ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  cfg.num_fams = 1;
+  cfg.num_faas = 1;
+  Cluster cluster(cfg);
+  MemoryHierarchy* core = cluster.host(0)->core(0);
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    cluster.engine().Schedule(FromNs(100.0) * static_cast<Tick>(i), [&cluster, core, &rng] {
+      core->Access(cluster.FamBase(0) + (rng.Next() % (1 << 20)) / 64 * 64,
+                   rng.NextBool(0.3), nullptr);
+    });
+  }
+  cluster.engine().Run();
+  return cluster.engine().metrics().SnapshotJson();
+}
+
+TEST(MetricRegistryTest, SnapshotDeterministicAcrossIdenticalRuns) {
+  const std::string a = RunClusterAndSnapshot();
+  const std::string b = RunClusterAndSnapshot();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(TraceRecorderTest, CountsSchedulesAndFires) {
+  Engine engine;
+  TraceRecorder trace(/*capacity=*/8);
+  engine.SetTraceSink(&trace);
+  int fired = 0;
+  for (int i = 0; i < 4; ++i) {
+    engine.Schedule(static_cast<Tick>(i + 1), [&fired] { ++fired; });
+  }
+  engine.Run();
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(trace.scheduled(), 4u);
+  EXPECT_EQ(trace.fired(), 4u);
+  EXPECT_EQ(trace.records().size(), 4u);
+  // Queue residency equals the schedule delay for these events.
+  EXPECT_GT(trace.queue_delay_ns().Max(), 0.0);
+  EXPECT_NE(trace.ToJsonLines().find("\"fired\":true"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, DetachedSinkCostsNothing) {
+  Engine engine;
+  EXPECT_EQ(engine.trace_sink(), nullptr);
+  engine.Schedule(1, [] {});
+  engine.Run();  // no sink installed: must simply not crash
+}
+
+}  // namespace
+}  // namespace unifab

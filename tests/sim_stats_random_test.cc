@@ -81,13 +81,21 @@ TEST(HistogramTest, OutOfRangeClampsToEdges) {
 }
 
 TEST(HistogramTest, ToStringRendersBars) {
-  Histogram h(0.0, 2.0, 2);
+  Histogram h(0.0, 3.0, 3);
   h.Add(0.5);
   h.Add(1.5);
   h.Add(1.6);
   const std::string out = h.ToString();
   EXPECT_NE(out.find('#'), std::string::npos);
-  EXPECT_NE(out.find("[0, 1)"), std::string::npos);
+  EXPECT_NE(out.find("[1, 2)"), std::string::npos);
+  // Edge buckets absorb out-of-range samples and say so.
+  EXPECT_NE(out.find("[<1)"), std::string::npos);
+  EXPECT_NE(out.find("[2+)"), std::string::npos);
+}
+
+TEST(HistogramTest, ToStringOnEmptyHistogramIsSafe) {
+  Histogram h(0.0, 2.0, 2);
+  EXPECT_EQ(h.ToString(), "(no samples)\n");
 }
 
 // ---------------------------- Jain fairness ------------------------------
