@@ -1,0 +1,160 @@
+// R1: failure recovery — eTrans deadline/retry machinery under scripted
+// link-flap campaigns. Closed-loop delegated transfers stream host -> FAM
+// while the FaultScheduler flaps the FAM uplink at increasing rates; the
+// sweep reports goodput, tail latency, and the recovery counters
+// (retries, reroutes, aborts, time-to-recover). Every submitted transfer
+// must reach a terminal state — wedged futures are reported and count as a
+// bench failure.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/runtime.h"
+#include "src/sim/stats.h"
+#include "src/topo/faults.h"
+
+namespace unifab {
+namespace {
+
+constexpr Tick kHorizon = FromMs(40.0);
+constexpr Tick kDrain = FromMs(80.0);  // post-horizon grace for retries
+constexpr std::uint64_t kTransferBytes = 64 * 1024;
+constexpr int kStreams = 4;
+
+struct Scenario {
+  std::string name;
+  std::string plan;  // FaultPlan source; empty = fault-free baseline
+};
+
+struct Outcome {
+  std::uint64_t completed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t wedged = 0;  // futures with no terminal result: must be 0
+  double goodput_mbps = 0.0;
+  double p99_us = 0.0;
+  ETransRecoveryStats recovery;
+};
+
+Outcome Run(const Scenario& scenario) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 1;
+  cfg.num_fams = 1;
+  cfg.num_faas = 1;
+  Cluster cluster(cfg);
+
+  RuntimeOptions opts;
+  UniFabricRuntime runtime(&cluster, opts);
+  Engine& engine = cluster.engine();
+
+  FaultScheduler faults(&engine, &cluster.fabric());
+  faults.RegisterChassis("fam0", cluster.fam(0), cluster.fabric().LinkTo(cluster.fam(0)->id()));
+  const FaultPlan plan = FaultPlan::Parse(scenario.plan);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "bad plan for %s\n", scenario.name.c_str());
+  }
+  faults.Schedule(plan);
+
+  // Closed-loop streams: each completion immediately submits the next
+  // transfer, so goodput directly reflects recovery stalls.
+  MigrationAgent* agent = runtime.host_agent(0);
+  ETransEngine* etrans = runtime.etrans();
+  const PbrId host_node = cluster.host(0)->id();
+  const PbrId fam_node = cluster.fam(0)->id();
+  const std::uint64_t fam_base = cluster.FamBase(0);
+
+  Outcome out;
+  Summary latency_us;
+  std::uint64_t in_flight = 0;
+
+  std::function<void(int)> pump = [&](int stream) {
+    if (engine.Now() >= kHorizon) {
+      return;
+    }
+    ETransDescriptor d;
+    d.src.push_back(Segment{host_node, (1ULL << 28) +
+                                           static_cast<std::uint64_t>(stream) * kTransferBytes,
+                            kTransferBytes});
+    d.dst.push_back(Segment{fam_node, fam_base +
+                                          static_cast<std::uint64_t>(stream) * kTransferBytes,
+                            kTransferBytes});
+    d.ownership = Ownership::kInitiator;
+    const Tick started = engine.Now();
+    ++in_flight;
+    TransferFuture f = etrans->Submit(agent, d);
+    f.Then([&, stream, started](const TransferResult& r) {
+      --in_flight;
+      if (r.ok) {
+        ++out.completed;
+        latency_us.Add(ToUs(engine.Now() - started));
+      } else {
+        ++out.aborted;
+      }
+      pump(stream);
+    });
+  };
+  for (int s = 0; s < kStreams; ++s) {
+    pump(s);
+  }
+
+  engine.RunUntil(kHorizon);
+  engine.RunUntil(kHorizon + kDrain);  // drain retries/backoffs to quiescence
+
+  out.wedged = in_flight;
+  // MB/s == bytes/us; measured over the submission window.
+  out.goodput_mbps = static_cast<double>(out.completed * kTransferBytes) / ToUs(kHorizon);
+  out.p99_us = latency_us.Empty() ? 0.0 : latency_us.P99();
+  out.recovery = etrans->recovery_stats();
+  return out;
+}
+
+}  // namespace
+}  // namespace unifab
+
+int main() {
+  using namespace unifab;
+  PrintHeader("R1", "failure recovery sweep",
+              "closed-loop host->FAM eTrans streams vs scripted uplink flap campaigns");
+
+  const std::vector<Scenario> scenarios = {
+      {"baseline", ""},
+      {"flap_10ms", "flap fam0 start=5000 period=10000 down=300 cycles=3"},
+      {"flap_5ms", "flap fam0 start=2500 period=5000 down=300 cycles=7"},
+      {"flap_2ms", "# aggressive campaign\n"
+                   "flap fam0 start=1000 period=2000 down=400 cycles=18\n"
+                   "recover fam0 @39000"},
+  };
+
+  BenchReport report("fault_recovery");
+  std::printf("%-10s %-14s %-10s %-9s %-8s %-9s %-9s %-8s %-7s\n", "scenario", "goodput MB/s",
+              "p99 us", "complete", "abort", "retries", "reroutes", "recov", "wedged");
+
+  bool any_wedged = false;
+  for (const Scenario& scenario : scenarios) {
+    const Outcome out = Run(scenario);
+    any_wedged = any_wedged || out.wedged != 0;
+    std::printf("%-10s %-14.1f %-10.1f %-9llu %-8llu %-9llu %-9llu %-8llu %-7llu\n",
+                scenario.name.c_str(), out.goodput_mbps, out.p99_us,
+                static_cast<unsigned long long>(out.completed),
+                static_cast<unsigned long long>(out.aborted),
+                static_cast<unsigned long long>(out.recovery.retries),
+                static_cast<unsigned long long>(out.recovery.reroutes),
+                static_cast<unsigned long long>(out.recovery.jobs_recovered),
+                static_cast<unsigned long long>(out.wedged));
+
+    report.Note(scenario.name + "/goodput_mbps", out.goodput_mbps);
+    report.Note(scenario.name + "/p99_us", out.p99_us);
+    report.Note(scenario.name + "/completed", out.completed);
+    report.Note(scenario.name + "/aborted", out.aborted);
+    report.Note(scenario.name + "/retries", out.recovery.retries);
+    report.Note(scenario.name + "/reroutes", out.recovery.reroutes);
+    report.Note(scenario.name + "/jobs_recovered", out.recovery.jobs_recovered);
+    report.Note(scenario.name + "/jobs_aborted", out.recovery.jobs_aborted);
+    report.Note(scenario.name + "/wedged", out.wedged);
+  }
+  report.Note("any_wedged", any_wedged ? std::uint64_t{1} : std::uint64_t{0});
+  report.WriteJson();
+  PrintFooter();
+  return any_wedged ? 1 : 0;
+}

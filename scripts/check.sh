@@ -18,6 +18,14 @@ run_pass() {
 }
 
 run_pass "${ROOT}/build"
+
+# Recovery regression gate: the fault-injection sweep is fully deterministic,
+# so its JSON must match the checked-in golden bit-for-bit.
+echo "=== bench: fault recovery golden ==="
+(cd "${ROOT}/build/bench" && ./bench_fault_recovery)
+diff -u "${ROOT}/bench/golden/BENCH_fault_recovery.json" \
+        "${ROOT}/build/bench/BENCH_fault_recovery.json"
+
 run_pass "${ROOT}/build-asan" -DUNIFAB_SANITIZE=ON
 
 echo "=== all checks passed ==="

@@ -20,6 +20,8 @@ struct DoneMsg {
 
 void AgentStats::BindTo(MetricGroup& group, const std::string& prefix) const {
   group.AddCounterFn(prefix + "jobs_executed", [this] { return jobs_executed; });
+  group.AddCounterFn(prefix + "jobs_timed_out", [this] { return jobs_timed_out; });
+  group.AddCounterFn(prefix + "chunks_failed", [this] { return chunks_failed; });
   group.AddCounterFn(prefix + "bytes_moved", [this] { return bytes_moved; });
   group.AddCounterFn(prefix + "throttle_waits", [this] { return throttle_waits; });
   group.AddCounterFn(prefix + "lease_denials", [this] { return lease_denials; });
@@ -48,6 +50,32 @@ std::pair<const Segment*, std::uint64_t> MigrationAgent::Locate(
   return {nullptr, 0};
 }
 
+Tick MigrationAgent::AttemptDeadline(const ETransDescriptor& desc, double rate_mbps) {
+  const ETransAttributes& attrs = desc.attributes;
+  std::uint64_t total = 0;
+  for (const auto& s : desc.src) {
+    total += s.bytes;
+  }
+  if (rate_mbps <= 0.0) {
+    rate_mbps = attrs.request_mbps > 0.0 ? attrs.request_mbps : 8000.0;
+  }
+  // MB/s is bytes/us, so the ideal copy time in us is bytes / rate.
+  const double ideal_us = static_cast<double>(total) / rate_mbps;
+  return attrs.deadline_floor +
+         static_cast<Tick>(attrs.deadline_factor * ideal_us * static_cast<double>(kTicksPerUs));
+}
+
+Tick MigrationAgent::LeaseBackoff(int retries) {
+  constexpr Tick kCap = FromUs(100.0);
+  if (retries < 0) {
+    retries = 0;
+  }
+  // Bound the shift before clamping so a large retry count cannot overflow.
+  const int shift = retries > 5 ? 5 : retries;
+  const Tick backoff = FromUs(5.0) << shift;
+  return backoff > kCap ? kCap : backoff;
+}
+
 void MigrationAgent::ExecuteTransfer(const TransferJob& job,
                                      std::function<void(TransferResult)> done) {
   auto active = std::make_shared<ActiveJob>();
@@ -55,7 +83,44 @@ void MigrationAgent::ExecuteTransfer(const TransferJob& job,
   active->done = std::move(done);
   active->started_at = engine_->Now();
   active->total = ETransEngine::ValidateAndSize(job.desc);
+  // Armed before any lease traffic, at the requested rate, so even a lost
+  // arbiter control message cannot wedge the attempt; re-armed at the
+  // (slower) granted rate once the lease lands.
+  ArmWatchdog(active, 0.0);
   StartJob(active);
+}
+
+void MigrationAgent::ArmWatchdog(const std::shared_ptr<ActiveJob>& job, double rate_mbps) {
+  if (job->watchdog != kInvalidEventId) {
+    engine_->Cancel(job->watchdog);
+  }
+  const Tick deadline = AttemptDeadline(job->job.desc, rate_mbps);
+  job->watchdog = engine_->Schedule(deadline, [this, job] {
+    job->watchdog = kInvalidEventId;
+    if (job->dead || job->completed >= job->total) {
+      return;
+    }
+    ++stats_.jobs_timed_out;
+    FailJob(job, TransferStatus::kTimedOut);
+  });
+}
+
+void MigrationAgent::FailJob(const std::shared_ptr<ActiveJob>& job, TransferStatus status) {
+  if (job->dead || job->completed >= job->total) {
+    return;  // already failed, or the attempt raced to completion
+  }
+  job->dead = true;
+  if (job->watchdog != kInvalidEventId) {
+    engine_->Cancel(job->watchdog);
+    job->watchdog = kInvalidEventId;
+  }
+  if (job->granted_mbps > 0.0 && arbiter_ != nullptr) {
+    arbiter_->Release(job->lease_resource, job->granted_mbps);
+    job->granted_mbps = 0.0;
+  }
+  if (job->done) {
+    job->done(TransferResult{false, status, engine_->Now(), job->completed});
+  }
 }
 
 void MigrationAgent::StartJob(std::shared_ptr<ActiveJob> job) {
@@ -68,12 +133,19 @@ void MigrationAgent::StartJob(std::shared_ptr<ActiveJob> job) {
     // the granted rate.
     job->lease_resource = job->job.desc.dst.front().node;
     arbiter_->Reserve(job->lease_resource, attrs.request_mbps, [this, job](double granted) {
+      if (job->dead) {
+        // The watchdog already killed this attempt; hand the late grant
+        // straight back.
+        if (granted > 0.0 && arbiter_ != nullptr) {
+          arbiter_->Release(job->lease_resource, granted);
+        }
+        return;
+      }
       if (granted <= 0.0) {
         ++stats_.lease_denials;
         if (++job->lease_retries <= kMaxLeaseRetries) {
-          // Congestion: exponential backoff before asking again.
-          const Tick backoff = FromUs(5.0) << job->lease_retries;
-          engine_->Schedule(backoff, [this, job] { StartJob(job); });
+          // Congestion: bounded exponential backoff before asking again.
+          engine_->Schedule(LeaseBackoff(job->lease_retries), [this, job] { StartJob(job); });
           return;
         }
         // The resource is unmanaged or persistently saturated; fall through
@@ -85,6 +157,10 @@ void MigrationAgent::StartJob(std::shared_ptr<ActiveJob> job) {
       job->granted_mbps = granted;
       job->next_issue_at = engine_->Now();
       job->lease_renew_at = engine_->Now() + arbiter_->lease_duration();
+      if (granted < job->job.desc.attributes.request_mbps) {
+        // Paced below the requested rate: stretch the deadline to match.
+        ArmWatchdog(job, granted);
+      }
       PumpChunks(job);
     });
     return;
@@ -94,7 +170,7 @@ void MigrationAgent::StartJob(std::shared_ptr<ActiveJob> job) {
 }
 
 void MigrationAgent::MaybeRenewLease(const std::shared_ptr<ActiveJob>& job) {
-  if (job->granted_mbps <= 0.0 || arbiter_ == nullptr || job->renew_pending ||
+  if (job->dead || job->granted_mbps <= 0.0 || arbiter_ == nullptr || job->renew_pending ||
       engine_->Now() < job->lease_renew_at) {
     return;
   }
@@ -105,6 +181,12 @@ void MigrationAgent::MaybeRenewLease(const std::shared_ptr<ActiveJob>& job) {
   arbiter_->Reserve(job->lease_resource, job->job.desc.attributes.request_mbps,
                     [this, job](double granted) {
                       job->renew_pending = false;
+                      if (job->dead) {
+                        if (granted > 0.0 && arbiter_ != nullptr) {
+                          arbiter_->Release(job->lease_resource, granted);
+                        }
+                        return;
+                      }
                       if (granted > 0.0) {
                         job->granted_mbps = granted;
                       }
@@ -114,6 +196,9 @@ void MigrationAgent::MaybeRenewLease(const std::shared_ptr<ActiveJob>& job) {
 }
 
 void MigrationAgent::PumpChunks(const std::shared_ptr<ActiveJob>& job) {
+  if (job->dead) {
+    return;
+  }
   const ETransAttributes& attrs = job->job.desc.attributes;
   MaybeRenewLease(job);
   while (job->offset < job->total && job->in_flight < attrs.pipeline_depth) {
@@ -147,23 +232,43 @@ void MigrationAgent::IssueChunk(const std::shared_ptr<ActiveJob>& job, std::uint
   const std::uint32_t n =
       static_cast<std::uint32_t>(std::min<std::uint64_t>(bytes, src->bytes - src_off));
 
-  ReadSegment(*src, src_off, n, [this, job, offset, n] {
+  ReadSegment(*src, src_off, n, [this, job, offset, n](bool ok) {
+    if (job->dead) {
+      return;  // late completion of an abandoned attempt
+    }
+    if (!ok) {
+      ++stats_.chunks_failed;
+      FailJob(job, TransferStatus::kTimedOut);
+      return;
+    }
     const auto [dst, dst_off] = Locate(job->job.desc.dst, offset);
     assert(dst != nullptr);
     const std::uint32_t w =
         static_cast<std::uint32_t>(std::min<std::uint64_t>(n, dst->bytes - dst_off));
-    WriteSegment(*dst, dst_off, w, [this, job, w] {
+    WriteSegment(*dst, dst_off, w, [this, job, w](bool ok2) {
+      if (job->dead) {
+        return;
+      }
+      if (!ok2) {
+        ++stats_.chunks_failed;
+        FailJob(job, TransferStatus::kTimedOut);
+        return;
+      }
       job->completed += w;
       --job->in_flight;
       stats_.bytes_moved += w;
       if (job->completed >= job->total) {
+        if (job->watchdog != kInvalidEventId) {
+          engine_->Cancel(job->watchdog);
+          job->watchdog = kInvalidEventId;
+        }
         ++stats_.jobs_executed;
         stats_.job_latency_us.Add(ToUs(engine_->Now() - job->started_at));
         if (job->granted_mbps > 0.0 && arbiter_ != nullptr) {
           arbiter_->Release(job->lease_resource, job->granted_mbps);
         }
         if (job->done) {
-          job->done(TransferResult{true, engine_->Now(), job->total});
+          job->done(TransferResult{true, TransferStatus::kOk, engine_->Now(), job->total});
         }
         return;
       }
@@ -173,9 +278,10 @@ void MigrationAgent::IssueChunk(const std::shared_ptr<ActiveJob>& job, std::uint
 }
 
 void MigrationAgent::ReadSegment(const Segment& seg, std::uint64_t offset, std::uint32_t bytes,
-                                 std::function<void()> done) {
+                                 std::function<void(bool)> done) {
   if (seg.node == fabric_id() && local_mem_ != nullptr) {
-    local_mem_->Access(seg.addr + offset, bytes, /*is_write=*/false, std::move(done));
+    local_mem_->Access(seg.addr + offset, bytes, /*is_write=*/false,
+                       [cb = std::move(done)] { cb(true); });
     return;
   }
   auto* host = dynamic_cast<HostAdapter*>(dispatcher_->adapter());
@@ -185,13 +291,14 @@ void MigrationAgent::ReadSegment(const Segment& seg, std::uint64_t offset, std::
   req.addr = seg.addr + offset;
   req.bytes = bytes;
   req.channel = Channel::kMem;
-  host->Submit(seg.node, req, std::move(done));
+  host->SubmitWithStatus(seg.node, req, std::move(done));
 }
 
 void MigrationAgent::WriteSegment(const Segment& seg, std::uint64_t offset, std::uint32_t bytes,
-                                  std::function<void()> done) {
+                                  std::function<void(bool)> done) {
   if (seg.node == fabric_id() && local_mem_ != nullptr) {
-    local_mem_->Access(seg.addr + offset, bytes, /*is_write=*/true, std::move(done));
+    local_mem_->Access(seg.addr + offset, bytes, /*is_write=*/true,
+                       [cb = std::move(done)] { cb(true); });
     return;
   }
   auto* host = dynamic_cast<HostAdapter*>(dispatcher_->adapter());
@@ -201,7 +308,7 @@ void MigrationAgent::WriteSegment(const Segment& seg, std::uint64_t offset, std:
   req.addr = seg.addr + offset;
   req.bytes = bytes;
   req.channel = Channel::kMem;
-  host->Submit(seg.node, req, std::move(done));
+  host->SubmitWithStatus(seg.node, req, std::move(done));
 }
 
 void ETransStats::BindTo(MetricGroup& group, const std::string& prefix) const {
@@ -210,9 +317,21 @@ void ETransStats::BindTo(MetricGroup& group, const std::string& prefix) const {
   group.AddCounterFn(prefix + "bytes_requested", [this] { return bytes_requested; });
 }
 
-ETransEngine::ETransEngine(Engine* engine) : engine_(engine) {
+void ETransRecoveryStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "attempt_failures", [this] { return attempt_failures; });
+  group.AddCounterFn(prefix + "retries", [this] { return retries; });
+  group.AddCounterFn(prefix + "reroutes", [this] { return reroutes; });
+  group.AddCounterFn(prefix + "jobs_recovered", [this] { return jobs_recovered; });
+  group.AddCounterFn(prefix + "jobs_aborted", [this] { return jobs_aborted; });
+  group.AddSummaryFn(prefix + "time_to_recover_us", [this] { return &time_to_recover_us; });
+}
+
+ETransEngine::ETransEngine(Engine* engine, ETransRecoveryConfig recovery)
+    : engine_(engine), recovery_(recovery) {
   metrics_ = MetricGroup(&engine_->metrics(), "core/etrans/engine");
   stats_.BindTo(metrics_);
+  recovery_metrics_ = MetricGroup(&engine_->metrics(), "recovery/etrans");
+  recovery_stats_.BindTo(recovery_metrics_);
 }
 
 void ETransEngine::RegisterAgent(PbrId domain_node, MigrationAgent* agent) {
@@ -274,40 +393,128 @@ MigrationAgent* ETransEngine::PickExecutor(MigrationAgent* initiator,
 TransferFuture ETransEngine::Submit(MigrationAgent* initiator, const ETransDescriptor& desc) {
   const std::uint64_t total = ValidateAndSize(desc);
   stats_.bytes_requested += total;
-
-  TransferFuture future;
-  future.set_ownership(desc.ownership);
-  future.set_owner(initiator->fabric_id());
-
   if (desc.immediate) {
-    // Synchronous urgent path: the initiator moves the data itself.
     ++stats_.immediate_transfers;
-    TransferJob job;
-    job.job_id = next_job_++;
-    job.desc = desc;
-    initiator->ExecuteTransfer(job, [future](TransferResult r) mutable { future.Fulfill(r); });
-    return future;
+  } else {
+    ++stats_.delegated_transfers;
   }
 
-  ++stats_.delegated_transfers;
-  MigrationAgent* executor = PickExecutor(initiator, desc);
+  auto pt = std::make_shared<PendingTransfer>();
+  pt->desc = desc;
+  pt->initiator = initiator;
+  pt->future.set_ownership(desc.ownership);
+  pt->future.set_owner(initiator->fabric_id());
+  Dispatch(pt);
+  return pt->future;
+}
+
+Tick ETransEngine::RetryBackoff(int failed_attempts) const {
+  double backoff = static_cast<double>(recovery_.initial_backoff);
+  for (int i = 1; i < failed_attempts; ++i) {
+    backoff *= recovery_.backoff_multiplier;
+  }
+  const double cap = static_cast<double>(recovery_.max_backoff);
+  return static_cast<Tick>(backoff > cap ? cap : backoff);
+}
+
+void ETransEngine::Dispatch(const std::shared_ptr<PendingTransfer>& pt) {
+  // Each attempt gets a fresh job id so a stale kTagDone (or a late chunk
+  // completion) from an abandoned attempt can never be credited to a retry.
   TransferJob job;
   job.job_id = next_job_++;
-  job.desc = desc;
-  job.reply_to = desc.ownership == Ownership::kInitiator ? initiator->fabric_id() : kInvalidPbrId;
+  job.desc = pt->desc;
+  pt->job_id = job.job_id;
 
-  if (executor == initiator) {
-    executor->ExecuteTransfer(job, [future](TransferResult r) mutable { future.Fulfill(r); });
-    return future;
+  if (pt->desc.immediate) {
+    // Synchronous urgent path: the initiator moves the data itself.
+    pt->initiator->ExecuteTransfer(
+        job, [this, pt](TransferResult r) { OnAttemptDone(pt, r); });
+    return;
+  }
+
+  // The executor is re-picked per attempt: after a reroute the same domain
+  // may be reachable again, or the initiator takes over as fallback.
+  MigrationAgent* executor = PickExecutor(pt->initiator, pt->desc);
+  job.reply_to =
+      pt->desc.ownership == Ownership::kInitiator ? pt->initiator->fabric_id() : kInvalidPbrId;
+
+  if (executor == pt->initiator) {
+    executor->ExecuteTransfer(
+        job, [this, pt](TransferResult r) { OnAttemptDone(pt, r); });
+    return;
   }
 
   // Delegate over the fabric: small control message carries the descriptor.
-  if (desc.ownership == Ownership::kInitiator) {
-    pending_[job.job_id] = future;
+  if (pt->desc.ownership == Ownership::kInitiator) {
+    tracked_[job.job_id] = pt;
+    // The executor-side deadline cannot help when the kTagJob/kTagDone
+    // control messages themselves are lost, so the engine arms a laxer
+    // watchdog of its own per remote attempt.
+    const Tick deadline =
+        2 * MigrationAgent::AttemptDeadline(pt->desc, pt->desc.attributes.request_mbps);
+    const std::uint64_t job_id = job.job_id;
+    pt->deadline_event = engine_->Schedule(deadline, [this, job_id] {
+      auto it = tracked_.find(job_id);
+      if (it == tracked_.end()) {
+        return;  // a kTagDone beat the timeout
+      }
+      const std::shared_ptr<PendingTransfer> late = it->second;
+      tracked_.erase(it);
+      late->deadline_event = kInvalidEventId;
+      OnAttemptDone(late,
+                    TransferResult{false, TransferStatus::kTimedOut, engine_->Now(), 0});
+    });
   }
-  initiator->dispatcher()->Send(executor->fabric_id(), kSvcETrans, kTagJob, 64,
-                                std::make_shared<TransferJob>(job), desc.attributes.channel);
-  return future;
+  pt->initiator->dispatcher()->Send(executor->fabric_id(), kSvcETrans, kTagJob, 64,
+                                    std::make_shared<TransferJob>(job),
+                                    pt->desc.attributes.channel);
+}
+
+void ETransEngine::OnAttemptDone(const std::shared_ptr<PendingTransfer>& pt,
+                                 TransferResult result) {
+  if (pt->deadline_event != kInvalidEventId) {
+    engine_->Cancel(pt->deadline_event);
+    pt->deadline_event = kInvalidEventId;
+  }
+  tracked_.erase(pt->job_id);
+  ++pt->attempts;
+
+  if (result.ok) {
+    result.status = TransferStatus::kOk;
+    if (pt->first_failure_at != 0) {
+      ++recovery_stats_.jobs_recovered;
+      recovery_stats_.time_to_recover_us.Add(ToUs(engine_->Now() - pt->first_failure_at));
+    }
+    pt->future.Fulfill(result);
+    return;
+  }
+
+  ++recovery_stats_.attempt_failures;
+  if (pt->first_failure_at == 0) {
+    pt->first_failure_at = engine_->Now();
+  }
+
+  if (pt->attempts > recovery_.max_retries) {
+    // Terminal: keep the last attempt's status when retries were disabled,
+    // report kAborted when the retry budget was actually spent.
+    if (recovery_.max_retries > 0) {
+      result.status = TransferStatus::kAborted;
+    }
+    result.ok = false;
+    result.completed_at = engine_->Now();
+    ++recovery_stats_.jobs_aborted;
+    pt->future.Fulfill(result);
+    return;
+  }
+
+  ++recovery_stats_.retries;
+  if (recovery_.reroute_on_retry && reroute_) {
+    // Let the fabric manager rebuild routing tables around whatever died
+    // before the redrive resolves its path.
+    reroute_();
+    ++recovery_stats_.reroutes;
+  }
+  engine_->Schedule(RetryBackoff(pt->attempts), [this, pt] { Dispatch(pt); });
 }
 
 void ETransEngine::HandleAgentMessage(MigrationAgent* agent, const FabricMessage& msg) {
@@ -315,10 +522,11 @@ void ETransEngine::HandleAgentMessage(MigrationAgent* agent, const FabricMessage
     case kTagJob: {
       const auto job = std::static_pointer_cast<TransferJob>(msg.body);
       assert(job != nullptr);
-      agent->ExecuteTransfer(*job, [this, agent, job](TransferResult result) {
+      agent->ExecuteTransfer(*job, [agent, job](TransferResult result) {
         if (job->reply_to == kInvalidPbrId) {
           return;  // executor/detached ownership: no notification
         }
+        // Failures travel back too: the initiator-side engine owns retry.
         auto done = std::make_shared<DoneMsg>(DoneMsg{job->job_id, result});
         agent->dispatcher()->Send(job->reply_to, kSvcETrans, kTagDone, 64, std::move(done),
                                   Channel::kMem);
@@ -328,12 +536,13 @@ void ETransEngine::HandleAgentMessage(MigrationAgent* agent, const FabricMessage
     case kTagDone: {
       const auto done = std::static_pointer_cast<DoneMsg>(msg.body);
       assert(done != nullptr);
-      auto it = pending_.find(done->job_id);
-      if (it != pending_.end()) {
-        TransferFuture f = it->second;
-        pending_.erase(it);
-        f.Fulfill(done->result);
+      auto it = tracked_.find(done->job_id);
+      if (it == tracked_.end()) {
+        return;  // stale: this attempt already timed out and was redriven
       }
+      const std::shared_ptr<PendingTransfer> pt = it->second;
+      tracked_.erase(it);
+      OnAttemptDone(pt, done->result);
       return;
     }
     default:

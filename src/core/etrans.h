@@ -13,6 +13,14 @@
 //
 // Completion handling follows the descriptor's ownership field (distributed
 // futures, DP#4).
+//
+// Failure recovery (FCC DP#3, passive failure domains): every execution
+// attempt runs under a per-job deadline scaled from the transfer size and
+// its pacing rate. A missed deadline (or an MSHR failed by a link epoch
+// change) fails the attempt; the engine re-resolves the route through the
+// fabric manager, backs off exponentially, and redrives the job on a fresh
+// executor until it succeeds or retries are exhausted. Futures always reach
+// a terminal TransferStatus — kOk, or kAborted after the last retry.
 
 #ifndef SRC_CORE_ETRANS_H_
 #define SRC_CORE_ETRANS_H_
@@ -48,6 +56,12 @@ struct ETransAttributes {
   bool throttled = true;        // ask the arbiter for a bandwidth lease
   double request_mbps = 8000.0; // lease ask when throttled
   Channel channel = Channel::kMem;
+
+  // Per-attempt deadline = floor + factor * (bytes / pacing rate). The floor
+  // absorbs fixed costs (lease RTT, flit latency); the factor leaves slack
+  // for congestion before a slow transfer is declared dead.
+  Tick deadline_floor = FromUs(200.0);
+  double deadline_factor = 8.0;
 };
 
 struct ETransDescriptor {
@@ -67,6 +81,8 @@ struct TransferJob {
 
 struct AgentStats {
   std::uint64_t jobs_executed = 0;
+  std::uint64_t jobs_timed_out = 0;  // attempts killed by the per-job deadline
+  std::uint64_t chunks_failed = 0;   // chunk ops failed by the fabric (MSHR death)
   std::uint64_t bytes_moved = 0;
   std::uint64_t throttle_waits = 0;  // chunks delayed by the bandwidth lease
   std::uint64_t lease_denials = 0;
@@ -83,7 +99,8 @@ class MigrationAgent {
   MigrationAgent(Engine* engine, MessageDispatcher* dispatcher, DramDevice* local_mem,
                  ArbiterClient* arbiter, std::string name);
 
-  // Runs a job; `done` fires when every dst byte is durable.
+  // Runs a job; `done` fires exactly once: when every dst byte is durable,
+  // or when the attempt fails (deadline missed / fabric failure).
   void ExecuteTransfer(const TransferJob& job, std::function<void(TransferResult)> done);
 
   // Whether this agent can touch every segment of `desc`: either the
@@ -91,6 +108,15 @@ class MigrationAgent {
   // adapter that can issue fabric transactions. FAM-controller agents can
   // only execute jobs local to their chassis.
   bool CanExecute(const ETransDescriptor& desc) const;
+
+  // Deadline for one execution attempt of `desc` at `rate_mbps` pacing
+  // (<= 0 falls back to the descriptor's requested rate).
+  static Tick AttemptDeadline(const ETransDescriptor& desc, double rate_mbps);
+
+  // Bounded exponential backoff before re-asking the arbiter after a lease
+  // denial: 5us << retries, clamped so persistent congestion cannot push
+  // the wait beyond 100us per round.
+  static Tick LeaseBackoff(int retries);
 
   PbrId fabric_id() const { return dispatcher_->adapter()->id(); }
   const AgentStats& stats() const { return stats_; }
@@ -114,19 +140,23 @@ class MigrationAgent {
     int lease_retries = 0;
     Tick lease_renew_at = 0;
     bool renew_pending = false;
+    bool dead = false;  // attempt failed; late chunk completions are ignored
+    EventId watchdog = kInvalidEventId;
   };
 
   static constexpr int kMaxLeaseRetries = 4;
 
   void StartJob(std::shared_ptr<ActiveJob> job);
+  void ArmWatchdog(const std::shared_ptr<ActiveJob>& job, double rate_mbps);
+  void FailJob(const std::shared_ptr<ActiveJob>& job, TransferStatus status);
   void MaybeRenewLease(const std::shared_ptr<ActiveJob>& job);
   void PumpChunks(const std::shared_ptr<ActiveJob>& job);
   void IssueChunk(const std::shared_ptr<ActiveJob>& job, std::uint64_t offset,
                   std::uint32_t bytes);
   void ReadSegment(const Segment& seg, std::uint64_t offset, std::uint32_t bytes,
-                   std::function<void()> done);
+                   std::function<void(bool ok)> done);
   void WriteSegment(const Segment& seg, std::uint64_t offset, std::uint32_t bytes,
-                    std::function<void()> done);
+                    std::function<void(bool ok)> done);
   // Maps a job-relative offset to (segment, in-segment offset).
   static std::pair<const Segment*, std::uint64_t> Locate(const std::vector<Segment>& segs,
                                                          std::uint64_t offset);
@@ -148,10 +178,30 @@ struct ETransStats {
   void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
 
+// Engine-level retry policy for failed execution attempts.
+struct ETransRecoveryConfig {
+  int max_retries = 4;               // attempts = 1 + max_retries
+  Tick initial_backoff = FromUs(25.0);
+  Tick max_backoff = FromUs(800.0);
+  double backoff_multiplier = 2.0;
+  bool reroute_on_retry = true;      // re-resolve routes before each retry
+};
+
+struct ETransRecoveryStats {
+  std::uint64_t attempt_failures = 0;  // attempts that ended not-ok
+  std::uint64_t retries = 0;           // redrives scheduled
+  std::uint64_t reroutes = 0;          // fabric-manager re-resolutions invoked
+  std::uint64_t jobs_recovered = 0;    // succeeded after >= 1 failed attempt
+  std::uint64_t jobs_aborted = 0;      // terminal failures (retries exhausted)
+  Summary time_to_recover_us;          // first failure -> eventual success
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
+};
+
 // The engine: validates descriptors, picks executors, and tracks futures.
 class ETransEngine {
  public:
-  explicit ETransEngine(Engine* engine);
+  explicit ETransEngine(Engine* engine, ETransRecoveryConfig recovery = {});
 
   // Registers an agent; `domain_node` is the memory node whose data this
   // agent can touch directly (its own host's DRAM / its chassis rDIMMs).
@@ -161,22 +211,50 @@ class ETransEngine {
   // with the submitting host). Returns a future per the ownership field.
   TransferFuture Submit(MigrationAgent* initiator, const ETransDescriptor& desc);
 
+  // Hook invoked before each retry so the fabric manager can re-resolve
+  // routes around whatever failed (FabricInterconnect::ConfigureRouting).
+  void SetRerouteHook(std::function<void()> hook) { reroute_ = std::move(hook); }
+
   // Total bytes a descriptor moves; asserts src/dst symmetry.
   static std::uint64_t ValidateAndSize(const ETransDescriptor& desc);
 
   const ETransStats& stats() const { return stats_; }
+  const ETransRecoveryStats& recovery_stats() const { return recovery_stats_; }
+  const ETransRecoveryConfig& recovery_config() const { return recovery_; }
 
  private:
+  // One logical transfer across all its execution attempts.
+  struct PendingTransfer {
+    ETransDescriptor desc;
+    MigrationAgent* initiator = nullptr;
+    TransferFuture future;
+    int attempts = 0;
+    Tick first_failure_at = 0;      // 0 until an attempt fails
+    std::uint64_t job_id = 0;       // job id of the current attempt
+    EventId deadline_event = kInvalidEventId;  // engine-side watchdog (remote)
+  };
+
   MigrationAgent* PickExecutor(MigrationAgent* initiator, const ETransDescriptor& desc) const;
   void HandleAgentMessage(MigrationAgent* agent, const FabricMessage& msg);
+  // Launches one execution attempt (local, immediate, or delegated).
+  void Dispatch(const std::shared_ptr<PendingTransfer>& pt);
+  // Terminal-or-retry decision for a finished attempt.
+  void OnAttemptDone(const std::shared_ptr<PendingTransfer>& pt, TransferResult result);
+  Tick RetryBackoff(int failed_attempts) const;
 
   Engine* engine_;
+  ETransRecoveryConfig recovery_;
   std::unordered_map<PbrId, MigrationAgent*> agents_;           // by memory domain
   std::unordered_map<PbrId, MigrationAgent*> agents_by_self_;   // by adapter id
-  std::unordered_map<std::uint64_t, TransferFuture> pending_;   // job -> future
+  // job id of the in-flight attempt -> transfer, for remote kInitiator
+  // delegations awaiting a kTagDone (or an engine-side timeout).
+  std::unordered_map<std::uint64_t, std::shared_ptr<PendingTransfer>> tracked_;
+  std::function<void()> reroute_;
   std::uint64_t next_job_ = 1;
   ETransStats stats_;
+  ETransRecoveryStats recovery_stats_;
   MetricGroup metrics_;
+  MetricGroup recovery_metrics_;
 };
 
 }  // namespace unifab

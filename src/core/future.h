@@ -73,9 +73,18 @@ class DistFuture {
   std::shared_ptr<State> state_;
 };
 
+// Terminal disposition of a transfer. Every submitted eTrans job ends in
+// exactly one of these — a future left unfulfilled is a runtime bug.
+enum class TransferStatus {
+  kOk,        // every destination byte is durable
+  kTimedOut,  // an execution attempt missed its deadline (may be retried)
+  kAborted,   // retries exhausted; the transfer permanently failed
+};
+
 // The payload most runtime futures carry: completion time plus a status.
 struct TransferResult {
   bool ok = true;
+  TransferStatus status = TransferStatus::kOk;
   Tick completed_at = 0;
   std::uint64_t bytes = 0;
 };

@@ -81,6 +81,7 @@ void HeapStats::BindTo(MetricGroup& group, const std::string& prefix) const {
   group.AddCounterFn(prefix + "promotions", [this] { return promotions; });
   group.AddCounterFn(prefix + "demotions", [this] { return demotions; });
   group.AddCounterFn(prefix + "bytes_migrated", [this] { return bytes_migrated; });
+  group.AddCounterFn(prefix + "migrations_failed", [this] { return migrations_failed; });
   group.AddCounterFn(prefix + "epochs", [this] { return epochs; });
 }
 
@@ -278,7 +279,41 @@ void UnifiedHeap::Migrate(ObjectId id, int dst_tier, std::function<void(bool)> d
 
   const std::uint32_t size = obj.info.size;
   TransferFuture f = etrans_->Submit(agent_, desc);
-  f.Then([this, id, src_tier, src_addr, sc, size, done](const TransferResult& r) {
+  f.Then([this, id, src_tier, src_addr, dst_tier, dst_addr, sc, size,
+          done](const TransferResult& r) {
+    auto it2 = objects_.find(id);
+
+    if (!r.ok) {
+      // The copy aborted (fabric failure, retries exhausted). The source
+      // bytes were never released, so the object simply stays where it was.
+      ++stats_.migrations_failed;
+      if (it2 == objects_.end()) {
+        // Freed mid-migration: Free() already returned the eagerly recorded
+        // dst block, so only the src block is still ours.
+        for (std::uint64_t a = src_addr; a < src_addr + size; a += 64) {
+          core_->InvalidateLine(a);
+        }
+        ReleaseBlock(src_tier, sc, src_addr);
+        tier_used_[static_cast<std::size_t>(src_tier)] -= sc;
+      } else {
+        // Drop any lines cached against the dst placement (accesses during
+        // the migration used the new address), return the dst block, and
+        // restore the source placement.
+        for (std::uint64_t a = dst_addr; a < dst_addr + size; a += 64) {
+          core_->InvalidateLine(a);
+        }
+        ReleaseBlock(dst_tier, sc, dst_addr);
+        tier_used_[static_cast<std::size_t>(dst_tier)] -= sc;
+        it2->second.info.addr = src_addr;
+        it2->second.info.tier = src_tier;
+        it2->second.info.migrating = false;
+      }
+      if (done) {
+        done(false);
+      }
+      return;
+    }
+
     // The source block is only reusable once the copy finished.
     for (std::uint64_t a = src_addr; a < src_addr + size; a += 64) {
       // Stale cached lines of the old location are dropped (a real system
@@ -289,7 +324,6 @@ void UnifiedHeap::Migrate(ObjectId id, int dst_tier, std::function<void(bool)> d
     tier_used_[static_cast<std::size_t>(src_tier)] -= sc;
     stats_.bytes_migrated += r.bytes;
 
-    auto it2 = objects_.find(id);
     if (it2 == objects_.end()) {
       if (done) {
         done(false);  // freed mid-migration

@@ -78,6 +78,7 @@ struct HeapStats {
   std::uint64_t promotions = 0;
   std::uint64_t demotions = 0;
   std::uint64_t bytes_migrated = 0;
+  std::uint64_t migrations_failed = 0;  // eTrans aborted; object rolled back to src
   std::uint64_t epochs = 0;
 
   void BindTo(MetricGroup& group, const std::string& prefix = "") const;

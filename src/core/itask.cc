@@ -24,6 +24,7 @@ void ITaskStats::BindTo(MetricGroup& group, const std::string& prefix) const {
   group.AddCounterFn(prefix + "attempts", [this] { return attempts; });
   group.AddCounterFn(prefix + "completed", [this] { return completed; });
   group.AddCounterFn(prefix + "timeouts", [this] { return timeouts; });
+  group.AddCounterFn(prefix + "transfer_failures", [this] { return transfer_failures; });
   group.AddCounterFn(prefix + "reexecutions", [this] { return reexecutions; });
   group.AddCounterFn(prefix + "snapshots_created", [this] { return snapshots_created; });
   group.AddCounterFn(prefix + "restarts", [this] { return restarts; });
@@ -160,6 +161,7 @@ void ITaskRuntime::StartAttempt(TaskId id) {
   }
 
   const std::uint64_t attempt_tag = ++attempt_counter_;
+  task->attempt_tag = attempt_tag;
   task->timeout_event = engine_->Schedule(config_.attempt_timeout, [this, id, attempt_tag] {
     OnTimeout(id, attempt_tag);
   });
@@ -197,7 +199,15 @@ void ITaskRuntime::CaptureInputs(const std::shared_ptr<Task>& task, int worker,
     d.immediate = true;  // input capture is on the task's critical path
     d.ownership = Ownership::kInitiator;
     TransferFuture f = etrans_->Submit(agent_, d);
-    f.Then([fanin](const TransferResult&) { fanin(); });
+    f.Then([this, fanin, id = task->id, tag = task->attempt_tag](const TransferResult& r) {
+      if (!r.ok) {
+        // A lost input capture would otherwise stall the fan-in until the
+        // attempt timeout; fail fast into the recovery path instead.
+        FailAttempt(id, tag);
+        return;
+      }
+      fanin();
+    });
   }
 }
 
@@ -242,7 +252,13 @@ void ITaskRuntime::WriteOutputs(const std::shared_ptr<Task>& task, int worker,
     d.immediate = true;
     d.ownership = Ownership::kInitiator;
     TransferFuture f = etrans_->Submit(agent_, d);
-    f.Then([fanin](const TransferResult&) { fanin(); });
+    f.Then([this, fanin, id = task->id, attempt_tag](const TransferResult& r) {
+      if (!r.ok) {
+        FailAttempt(id, attempt_tag);
+        return;
+      }
+      fanin();
+    });
   }
   fanin();  // the +1 guard
 }
@@ -270,10 +286,10 @@ void ITaskRuntime::Commit(const std::shared_ptr<Task>& task) {
   }
 }
 
-void ITaskRuntime::OnTimeout(TaskId id, std::uint64_t /*attempt_tag*/) {
+void ITaskRuntime::OnTimeout(TaskId id, std::uint64_t attempt_tag) {
   auto it = tasks_.find(id);
-  if (it == tasks_.end() || it->second->done) {
-    return;
+  if (it == tasks_.end() || it->second->done || it->second->attempt_tag != attempt_tag) {
+    return;  // unknown, committed, or a newer attempt already took over
   }
   ++stats_.timeouts;
   Task& task = *it->second;
@@ -284,6 +300,23 @@ void ITaskRuntime::OnTimeout(TaskId id, std::uint64_t /*attempt_tag*/) {
     return;
   }
   // Idempotent recovery: just run it again somewhere else.
+  MaybeStart(id);
+}
+
+void ITaskRuntime::FailAttempt(TaskId id, std::uint64_t attempt_tag) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end() || it->second->done || it->second->attempt_tag != attempt_tag) {
+    return;  // stale failure from an attempt the timeout already replaced
+  }
+  ++stats_.transfer_failures;
+  Task& task = *it->second;
+  engine_->Cancel(task.timeout_event);
+  task.running = false;
+
+  if (config_.recovery == RecoveryMode::kRestartAll) {
+    RestartEverything();
+    return;
+  }
   MaybeStart(id);
 }
 

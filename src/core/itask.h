@@ -81,6 +81,7 @@ struct ITaskStats {
   std::uint64_t attempts = 0;
   std::uint64_t completed = 0;
   std::uint64_t timeouts = 0;
+  std::uint64_t transfer_failures = 0;  // attempts killed by a failed eTrans
   std::uint64_t reexecutions = 0;
   std::uint64_t snapshots_created = 0;
   std::uint64_t restarts = 0;        // whole-job restarts (kRestartAll)
@@ -119,6 +120,7 @@ class ITaskRuntime {
     Tick submitted_at = 0;
     EventId timeout_event = kInvalidEventId;
     int worker = -1;
+    std::uint64_t attempt_tag = 0;  // tag of the current (latest) attempt
   };
 
   void MaybeStart(TaskId id);
@@ -129,6 +131,10 @@ class ITaskRuntime {
   void WriteOutputs(const std::shared_ptr<Task>& task, int worker, std::uint64_t attempt_tag);
   void Commit(const std::shared_ptr<Task>& task);
   void OnTimeout(TaskId id, std::uint64_t attempt_tag);
+  // A capture/write-back transfer of attempt `attempt_tag` came back failed:
+  // abandon the attempt immediately (no need to wait for the timeout) and
+  // route into the configured recovery mode.
+  void FailAttempt(TaskId id, std::uint64_t attempt_tag);
   void RestartEverything();
   int PickWorker();
   bool DepsDone(const Task& task) const;

@@ -43,7 +43,11 @@ UniFabricRuntime::UniFabricRuntime(Cluster* cluster, const RuntimeOptions& optio
   }
 
   // --- eTrans engine with agents at every host and FAM controller. ------
-  etrans_ = std::make_unique<ETransEngine>(engine);
+  etrans_ = std::make_unique<ETransEngine>(engine, options.etrans_recovery);
+  // Retries ask the fabric manager to re-resolve routes first, so a redrive
+  // takes whatever redundant path survived the failure. The fabric outlives
+  // the runtime (the cluster owns it), so capturing it by reference is safe.
+  etrans_->SetRerouteHook([&fabric] { fabric.ConfigureRouting(); });
   for (int h = 0; h < cluster->num_hosts(); ++h) {
     HostServer* host = cluster->host(h);
     arbiter_clients_.push_back(std::make_unique<ArbiterClient>(

@@ -31,6 +31,7 @@ struct RuntimeOptions {
   ArbiterConfig arbiter;
   HeapConfig heap;
   ITaskConfig itask;
+  ETransRecoveryConfig etrans_recovery;
   double fam_capacity_mbps = 8000.0;  // arbiter-managed ingress per FAM
   double faa_capacity_mbps = 8000.0;
   double host_capacity_mbps = 16000.0;

@@ -9,6 +9,8 @@ void AdapterStats::BindTo(MetricGroup& group, const std::string& prefix) const {
   group.AddCounterFn(prefix + "writes_completed", [this] { return writes_completed; });
   group.AddCounterFn(prefix + "messages_sent", [this] { return messages_sent; });
   group.AddCounterFn(prefix + "messages_delivered", [this] { return messages_delivered; });
+  group.AddCounterFn(prefix + "mshr_failures", [this] { return mshr_failures; });
+  group.AddCounterFn(prefix + "mshr_timeouts", [this] { return mshr_timeouts; });
   group.AddSummaryFn(prefix + "txn_latency_ns", [this] { return &txn_latency_ns; });
 }
 
@@ -33,6 +35,15 @@ void AdapterBase::PumpEgress() {
   assert(link_ != nullptr && "adapter has no link attached");
   while (!egress_.empty() && link_->Send(egress_.front())) {
     egress_.pop_front();
+  }
+}
+
+void AdapterBase::OnLinkEpochChange(int /*port*/, bool link_up) {
+  if (!link_up) {
+    // Partially reassembled transactions lost flits to the failure; their
+    // remainders will never arrive. Senders redrive whole transactions, so
+    // stale partial progress must not be credited to the retry's flits.
+    rx_progress_.clear();
   }
 }
 
@@ -98,7 +109,39 @@ void AdapterBase::DeliverMessage(const Flit& last_flit) {
 }
 
 void HostAdapter::Submit(PbrId dst, const MemRequest& request, MemCompletion on_complete) {
+  SubmitWithStatus(dst, request, [cb = std::move(on_complete)](bool ok) {
+    if (ok && cb) {
+      cb();
+    }
+  });
+}
+
+void HostAdapter::SubmitWithStatus(PbrId dst, const MemRequest& request,
+                                   MemStatusCompletion on_complete) {
   pending_.push_back(PendingRequest{dst, request, std::move(on_complete)});
+  IssueReady();
+}
+
+void HostAdapter::OnLinkEpochChange(int port, bool link_up) {
+  AdapterBase::OnLinkEpochChange(port, link_up);
+  if (link_up || outstanding_.empty()) {
+    return;
+  }
+  // Every issued transaction's request or response was riding the dead
+  // epoch; fail them all so the submitter can redrive (requests still queued
+  // in egress_ survive the outage and drain after Recover, but their MSHRs
+  // cannot be told apart, so they fail too and redrive redundantly).
+  auto failed = std::move(outstanding_);
+  outstanding_.clear();
+  stats_.mshr_failures += failed.size();
+  for (auto& [txn_id, txn] : failed) {
+    if (txn.timeout != kInvalidEventId) {
+      engine_->Cancel(txn.timeout);
+    }
+    if (txn.on_complete) {
+      txn.on_complete(false);
+    }
+  }
   IssueReady();
 }
 
@@ -112,7 +155,12 @@ void HostAdapter::IssueReady() {
 
 void HostAdapter::IssueNow(PendingRequest pr) {
   const std::uint64_t txn = NextTxnId();
-  outstanding_.emplace(txn, OutstandingTxn{pr.request, std::move(pr.on_complete), engine_->Now()});
+  EventId timeout = kInvalidEventId;
+  if (config_.mshr_timeout > 0) {
+    timeout = engine_->Schedule(config_.mshr_timeout, [this, txn] { TimeoutTxn(txn); });
+  }
+  outstanding_.emplace(
+      txn, OutstandingTxn{pr.request, std::move(pr.on_complete), engine_->Now(), timeout});
 
   const std::uint32_t cap = PayloadCap();
   const bool is_write = pr.request.type == MemRequest::Type::kWrite;
@@ -179,6 +227,9 @@ void HostAdapter::CompleteTxn(std::uint64_t txn_id) {
   OutstandingTxn txn = std::move(it->second);
   outstanding_.erase(it);
 
+  if (txn.timeout != kInvalidEventId) {
+    engine_->Cancel(txn.timeout);
+  }
   stats_.txn_latency_ns.Add(ToNs(engine_->Now() - txn.submitted_at));
   if (txn.request.type == MemRequest::Type::kRead) {
     ++stats_.reads_completed;
@@ -186,7 +237,25 @@ void HostAdapter::CompleteTxn(std::uint64_t txn_id) {
     ++stats_.writes_completed;
   }
   if (txn.on_complete) {
-    txn.on_complete();
+    txn.on_complete(true);
+  }
+  IssueReady();
+}
+
+void HostAdapter::TimeoutTxn(std::uint64_t txn_id) {
+  auto it = outstanding_.find(txn_id);
+  if (it == outstanding_.end()) {
+    return;
+  }
+  // The request or its response was lost somewhere in the fabric (e.g.
+  // black-holed at a switch whose output link failed); reclaim the MSHR so
+  // the pool cannot wedge. A response arriving after this point finds no
+  // MSHR and is dropped.
+  OutstandingTxn txn = std::move(it->second);
+  outstanding_.erase(it);
+  ++stats_.mshr_timeouts;
+  if (txn.on_complete) {
+    txn.on_complete(false);
   }
   IssueReady();
 }

@@ -40,6 +40,11 @@ struct MemRequest {
 // response has been processed by the adapter.
 using MemCompletion = std::function<void()>;
 
+// Status-carrying completion: `ok` is false when the transaction was failed
+// by the adapter (its link epoch changed underneath the outstanding MSHR)
+// rather than completed by a response.
+using MemStatusCompletion = std::function<void(bool ok)>;
+
 // A runtime message delivered by an adapter.
 struct FabricMessage {
   PbrId src = kInvalidPbrId;
@@ -66,6 +71,12 @@ struct AdapterConfig {
   Tick response_proc_latency = FromNs(50.0);  // completion parse and delivery
   std::uint32_t max_outstanding = 16;         // MSHR-like transaction limit
   FlitMode flit_mode = FlitMode::k68B;        // must match the attached link
+  // A transaction whose response hasn't arrived by then is failed and its
+  // MSHR reclaimed — without this, a request black-holed by a failed link
+  // elsewhere in the fabric strands an MSHR forever and the (small) pool
+  // wedges the adapter permanently. 0 disables. Far above any legitimate
+  // completion time so it only fires on loss.
+  Tick mshr_timeout = FromUs(250.0);
 };
 
 struct AdapterStats {
@@ -73,7 +84,9 @@ struct AdapterStats {
   std::uint64_t writes_completed = 0;
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
-  Summary txn_latency_ns;  // submit-to-completion, per transaction
+  std::uint64_t mshr_failures = 0;  // outstanding txns failed by a link epoch change
+  std::uint64_t mshr_timeouts = 0;  // outstanding txns failed by the response deadline
+  Summary txn_latency_ns;           // submit-to-completion, per transaction
 
   void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
@@ -94,6 +107,10 @@ class AdapterBase : public FlitReceiver {
                    std::uint32_t bytes, std::shared_ptr<void> body);
 
   void SetMessageHandler(MessageHandler handler) { message_handler_ = std::move(handler); }
+
+  // FlitReceiver: a link epoch change invalidates partially reassembled
+  // transactions from the dead epoch (their missing flits will never come).
+  void OnLinkEpochChange(int port, bool link_up) override;
 
   PbrId id() const { return id_; }
   const std::string& name() const { return name_; }
@@ -132,30 +149,39 @@ class HostAdapter : public AdapterBase {
   using AdapterBase::AdapterBase;
 
   // Submits a memory transaction to the remote node `dst`. Requests beyond
-  // the MSHR limit queue inside the adapter.
+  // the MSHR limit queue inside the adapter. The legacy completion only
+  // fires on success; callers that must observe failure (the eTrans retry
+  // path) use SubmitWithStatus.
   void Submit(PbrId dst, const MemRequest& request, MemCompletion on_complete);
+  void SubmitWithStatus(PbrId dst, const MemRequest& request, MemStatusCompletion on_complete);
 
   std::size_t Outstanding() const { return outstanding_.size(); }
   std::size_t QueuedRequests() const { return pending_.size(); }
 
   void ReceiveFlit(const Flit& flit, int port) override;
 
+  // On the down transition, fails every MSHR whose request already left for
+  // the fabric: its response died with the old epoch.
+  void OnLinkEpochChange(int port, bool link_up) override;
+
  private:
   struct PendingRequest {
     PbrId dst;
     MemRequest request;
-    MemCompletion on_complete;
+    MemStatusCompletion on_complete;
   };
 
   struct OutstandingTxn {
     MemRequest request;
-    MemCompletion on_complete;
+    MemStatusCompletion on_complete;
     Tick submitted_at;
+    EventId timeout = kInvalidEventId;
   };
 
   void IssueReady();
   void IssueNow(PendingRequest pr);
   void CompleteTxn(std::uint64_t txn_id);
+  void TimeoutTxn(std::uint64_t txn_id);
 
   std::deque<PendingRequest> pending_;
   std::unordered_map<std::uint64_t, OutstandingTxn> outstanding_;

@@ -184,6 +184,15 @@ AdapterBase* FabricInterconnect::AdapterById(PbrId id) const {
   return it == by_id_.end() ? nullptr : it->second;
 }
 
+Link* FabricInterconnect::LinkTo(PbrId adapter_id) const {
+  const AdapterBase* adapter = AdapterById(adapter_id);
+  if (adapter == nullptr) {
+    return nullptr;
+  }
+  const Node& node = nodes_[static_cast<std::size_t>(NodeIndexOf(adapter))];
+  return node.edges.empty() ? nullptr : node.edges.front().link;
+}
+
 int FabricInterconnect::HopCount(PbrId from, PbrId to) const {
   const AdapterBase* a = AdapterById(from);
   const AdapterBase* b = AdapterById(to);

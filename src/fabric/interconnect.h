@@ -60,7 +60,13 @@ class FabricInterconnect {
   // --- Lookup / introspection ------------------------------------------
 
   AdapterBase* AdapterById(PbrId id) const;
+  // The (single) link wired to an adapter's fabric port; nullptr when the
+  // adapter is unknown or unwired. Fault campaigns use this to fail the edge
+  // an endpoint hangs off without threading Link pointers through topology
+  // construction.
+  Link* LinkTo(PbrId adapter_id) const;
   const std::vector<std::unique_ptr<FabricSwitch>>& switches() const { return switches_; }
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
   std::size_t num_adapters() const { return adapters_.size(); }
   std::size_t num_links() const { return links_.size(); }
   std::size_t num_hbr_links() const { return hbr_links_; }

@@ -41,10 +41,12 @@ FlitReceiver* LinkEndpoint::receiver() const { return link_->dirs_[1 - side_].re
 int LinkEndpoint::port() const { return link_->dirs_[1 - side_].receiver_port; }
 
 void LinkStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "flits_accepted", [this] { return flits_accepted; });
   group.AddCounterFn(prefix + "flits_sent", [this] { return flits_sent; });
   group.AddCounterFn(prefix + "flits_delivered", [this] { return flits_delivered; });
   group.AddCounterFn(prefix + "bytes_delivered", [this] { return bytes_delivered; });
   group.AddCounterFn(prefix + "replays", [this] { return replays; });
+  group.AddCounterFn(prefix + "dropped_on_fail", [this] { return dropped_on_fail; });
   group.AddCounterFn(prefix + "credit_stalls", [this] { return credit_stalls; });
   group.AddGaugeFn(prefix + "busy_time_ns", [this] { return ToNs(busy_time); });
 }
@@ -76,6 +78,7 @@ bool Link::Send(int side, const Flit& flit) {
     return false;
   }
   q.push_back(flit);
+  ++dir.stats.flits_accepted;
   TryTransmit(side);
   return true;
 }
@@ -119,6 +122,7 @@ void Link::TryTransmit(int side) {
   dir.tx_queues[vc].pop_front();
   --dir.credits[vc];
   dir.wire_busy = true;
+  ++dir.in_flight;
   ++dir.stats.flits_sent;
 
   const Tick serialize = config_.SerializeTime();
@@ -150,6 +154,7 @@ void Link::TryTransmit(int side) {
       // Replay bypasses the credit gate: the slot is already reserved.
       d.tx_queues[static_cast<int>(flit.channel)].push_front(flit);
       ++d.credits[static_cast<int>(flit.channel)];
+      --d.in_flight;  // back in the tx queue until retransmitted
       TryTransmit(side);
     });
     return;
@@ -160,6 +165,7 @@ void Link::TryTransmit(int side) {
       return;
     }
     Direction& dir2 = dirs_[side];
+    --dir2.in_flight;
     ++dir2.stats.flits_delivered;
     dir2.stats.bytes_delivered += flit.payload_bytes;
     assert(dir2.receiver != nullptr && "link endpoint not bound");
@@ -193,10 +199,14 @@ void Link::Fail() {
   ++epoch_;  // orphan in-flight deliveries, replays, and credit returns
   for (auto& dir : dirs_) {
     for (auto& q : dir.tx_queues) {
+      dir.stats.dropped_on_fail += q.size();
       q.clear();
     }
+    dir.stats.dropped_on_fail += dir.in_flight;
+    dir.in_flight = 0;
     dir.wire_busy = false;
   }
+  NotifyEpochChange(/*link_up=*/false);
 }
 
 void Link::Recover() {
@@ -210,6 +220,7 @@ void Link::Recover() {
   for (auto& dir : dirs_) {
     dir.credits.fill(advertised == 0 ? 1 : advertised);
   }
+  NotifyEpochChange(/*link_up=*/true);
   // Wake both senders so any retained upper-layer egress drains again.
   NotifyDrain(0);
   NotifyDrain(1);
@@ -218,6 +229,16 @@ void Link::Recover() {
 void Link::NotifyDrain(int side) {
   if (dirs_[side].drain_cb) {
     dirs_[side].drain_cb();
+  }
+}
+
+void Link::NotifyEpochChange(bool link_up) {
+  // dirs_[s].receiver is the component on side 1-s, so this reaches both
+  // attached components (when bound) with their own port index.
+  for (auto& dir : dirs_) {
+    if (dir.receiver != nullptr) {
+      dir.receiver->OnLinkEpochChange(dir.receiver_port, link_up);
+    }
   }
 }
 

@@ -40,6 +40,15 @@ class FlitReceiver {
   // receiver owns an input-buffer slot for the flit and must call
   // LinkEndpoint::ReturnCredit on that port's endpoint once the slot frees.
   virtual void ReceiveFlit(const Flit& flit, int port) = 0;
+
+  // Invoked when the link attached at `port` changes epoch: `link_up` false
+  // on Fail() (everything in flight died), true on Recover(). Adapters use
+  // the down transition to fail outstanding MSHR transactions whose
+  // responses died with the old epoch instead of waiting forever.
+  virtual void OnLinkEpochChange(int port, bool link_up) {
+    (void)port;
+    (void)link_up;
+  }
 };
 
 struct LinkConfig {
@@ -75,12 +84,17 @@ struct LinkConfig {
 };
 
 struct LinkStats {
-  std::uint64_t flits_sent = 0;
+  std::uint64_t flits_accepted = 0;   // unique flits accepted by Send()
+  std::uint64_t flits_sent = 0;       // wire transmissions (counts replays)
   std::uint64_t flits_delivered = 0;
   std::uint64_t bytes_delivered = 0;
   std::uint64_t replays = 0;
-  std::uint64_t credit_stalls = 0;  // times a send had to wait for credits
-  Tick busy_time = 0;               // wire occupancy
+  std::uint64_t dropped_on_fail = 0;  // queued + in-flight flits lost to Fail()
+  std::uint64_t credit_stalls = 0;    // times a send had to wait for credits
+  Tick busy_time = 0;                 // wire occupancy
+
+  // At quiescence with empty tx queues the accounting closes:
+  //   flits_accepted == flits_delivered + dropped_on_fail.
 
   // Registers live-value instruments (named `prefix` + field) reading this
   // struct; the group must not outlive it.
@@ -160,6 +174,7 @@ class Link {
     // Sender-side state for one direction (side -> 1-side).
     std::array<std::deque<Flit>, kNumChannels> tx_queues;
     std::array<std::uint32_t, kNumChannels> credits{};
+    std::uint32_t in_flight = 0;  // flits serialized/propagating/awaiting replay
     bool wire_busy = false;
     int rr_next_vc = 0;  // round-robin pointer over VCs
     LinkStats stats;
@@ -174,6 +189,7 @@ class Link {
   void TryTransmit(int side);
   void FinishTransmit(int side, const Flit& flit);
   void NotifyDrain(int side);
+  void NotifyEpochChange(bool link_up);
   int PickVc(const Direction& dir) const;
 
   Engine* engine_;

@@ -172,6 +172,111 @@ TEST_F(ETransTest, StatsAccumulateBytes) {
   EXPECT_EQ(runtime_.host_agent(0)->stats().job_latency_us.Count(), 1u);
 }
 
+// --- Failure recovery: deadlines, backoff retries, terminal status. -------
+
+TEST(ETransBackoffTest, LeaseBackoffIsMonotoneAndCapped) {
+  EXPECT_EQ(MigrationAgent::LeaseBackoff(0), FromUs(5.0));
+  EXPECT_EQ(MigrationAgent::LeaseBackoff(1), FromUs(10.0));
+  for (int r = 1; r < 8; ++r) {
+    EXPECT_GE(MigrationAgent::LeaseBackoff(r), MigrationAgent::LeaseBackoff(r - 1));
+  }
+  // The cap holds for any retry count, including ones that would overflow a
+  // naive 5us << retries.
+  EXPECT_EQ(MigrationAgent::LeaseBackoff(5), FromUs(100.0));
+  EXPECT_EQ(MigrationAgent::LeaseBackoff(50), MigrationAgent::LeaseBackoff(6));
+  EXPECT_LE(MigrationAgent::LeaseBackoff(1000), FromUs(100.0));
+}
+
+TEST(ETransBackoffTest, AttemptDeadlineScalesWithSizeAndRate) {
+  ETransDescriptor small;
+  small.src = {Segment{1, 0, 4096}};
+  small.dst = {Segment{2, 0, 4096}};
+  ETransDescriptor big = small;
+  big.src[0].bytes = 4 << 20;
+  big.dst[0].bytes = 4 << 20;
+
+  const Tick floor = small.attributes.deadline_floor;
+  EXPECT_GE(MigrationAgent::AttemptDeadline(small, 8000.0), floor);
+  EXPECT_GT(MigrationAgent::AttemptDeadline(big, 8000.0),
+            MigrationAgent::AttemptDeadline(small, 8000.0));
+  // Slower pacing leaves proportionally more time.
+  EXPECT_GT(MigrationAgent::AttemptDeadline(big, 500.0),
+            MigrationAgent::AttemptDeadline(big, 8000.0));
+}
+
+TEST_F(ETransTest, UnreachableDestinationAbortsAfterRetries) {
+  // Kill FAM0's only uplink permanently: every chunk write black-holes, so
+  // each attempt dies (MSHR timeout or job watchdog) until retries run out.
+  cluster_.fabric().LinkTo(cluster_.fam(0)->id())->Fail();
+
+  ETransDescriptor d;
+  d.src = {Segment{cluster_.host(0)->id(), 0, 4096}};
+  d.dst = {Segment{cluster_.fam(0)->id(), 0, 4096}};
+  d.attributes.throttled = false;
+  d.ownership = Ownership::kInitiator;
+
+  TransferFuture f = runtime_.etrans()->Submit(runtime_.host_agent(0), d);
+  cluster_.engine().Run();
+
+  ASSERT_TRUE(f.Ready());  // terminal, not wedged
+  EXPECT_FALSE(f.Value().ok);
+  EXPECT_EQ(f.Value().status, TransferStatus::kAborted);
+  const auto& rec = runtime_.etrans()->recovery_stats();
+  EXPECT_EQ(rec.jobs_aborted, 1u);
+  EXPECT_EQ(rec.retries,
+            static_cast<std::uint64_t>(runtime_.etrans()->recovery_config().max_retries));
+  EXPECT_EQ(rec.attempt_failures, rec.retries + 1);
+  EXPECT_EQ(rec.jobs_recovered, 0u);
+}
+
+TEST_F(ETransTest, TransientLinkFailureRecoversViaRetry) {
+  Link* uplink = cluster_.fabric().LinkTo(cluster_.fam(0)->id());
+  uplink->Fail();
+  cluster_.engine().ScheduleAt(FromUs(500.0), [uplink] { uplink->Recover(); });
+
+  ETransDescriptor d;
+  d.src = {Segment{cluster_.host(0)->id(), 0, 4096}};
+  d.dst = {Segment{cluster_.fam(0)->id(), 0, 4096}};
+  d.attributes.throttled = false;
+  d.ownership = Ownership::kInitiator;
+
+  TransferFuture f = runtime_.etrans()->Submit(runtime_.host_agent(0), d);
+  cluster_.engine().Run();
+
+  ASSERT_TRUE(f.Ready());
+  EXPECT_TRUE(f.Value().ok);
+  EXPECT_EQ(f.Value().status, TransferStatus::kOk);
+  EXPECT_EQ(f.Value().bytes, 4096u);
+  const auto& rec = runtime_.etrans()->recovery_stats();
+  EXPECT_EQ(rec.jobs_recovered, 1u);
+  EXPECT_GE(rec.retries, 1u);
+  EXPECT_EQ(rec.jobs_aborted, 0u);
+  EXPECT_EQ(rec.time_to_recover_us.Count(), 1u);
+}
+
+TEST_F(ETransTest, RemoteDelegationTimesOutWhenExecutorUnreachable) {
+  // FAM1-local copy delegates to FAM1's controller agent, but its uplink is
+  // dead before the job message is even sent: the engine-side watchdog (not
+  // the executor's) must terminate the future.
+  cluster_.fabric().LinkTo(cluster_.fam(1)->id())->Fail();
+
+  ETransDescriptor d;
+  d.src = {Segment{cluster_.fam(1)->id(), 0, 4096}};
+  d.dst = {Segment{cluster_.fam(1)->id(), 1 << 20, 4096}};
+  d.attributes.throttled = false;
+  d.ownership = Ownership::kInitiator;
+
+  TransferFuture f = runtime_.etrans()->Submit(runtime_.host_agent(0), d);
+  cluster_.engine().Run();
+
+  ASSERT_TRUE(f.Ready());
+  EXPECT_FALSE(f.Value().ok);
+  EXPECT_EQ(f.Value().status, TransferStatus::kAborted);
+  // The executor never ran anything; the failure was detected initiator-side.
+  EXPECT_EQ(runtime_.fam_agent(1)->stats().jobs_executed, 0u);
+  EXPECT_GT(runtime_.etrans()->recovery_stats().jobs_aborted, 0u);
+}
+
 // Futures unit behavior.
 TEST(FutureTest, ThenAfterFulfillRunsImmediately) {
   DistFuture<int> f;

@@ -5,10 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
+#include "src/core/runtime.h"
 #include "src/fabric/dispatch.h"
 #include "src/fabric/interconnect.h"
 #include "src/mem/dram.h"
+#include "src/topo/faults.h"
 #include "src/topo/presets.h"
 
 namespace unifab {
@@ -90,6 +93,38 @@ TEST(LinkFailureTest, InFlightFlitsAreDropped) {
   link.Fail();
   engine.Run();
   EXPECT_EQ(rx.received, 0);
+  // The loss is accounted, not silent: at quiescence every accepted flit
+  // was either delivered or recorded as dropped by the failure.
+  EXPECT_EQ(link.stats(0).dropped_on_fail, 1u);
+  EXPECT_EQ(link.stats(0).flits_accepted,
+            link.stats(0).flits_delivered + link.stats(0).dropped_on_fail);
+}
+
+TEST(LinkFailureTest, EpochChangeNotifiesBoundReceivers) {
+  Engine engine;
+  Link link(&engine, LinkConfig{}, 1, "l");
+
+  struct EpochWatcher : FlitReceiver {
+    int downs = 0;
+    int ups = 0;
+    void ReceiveFlit(const Flit&, int) override {}
+    void OnLinkEpochChange(int, bool link_up) override {
+      if (link_up) {
+        ++ups;
+      } else {
+        ++downs;
+      }
+    }
+  } a, b;
+  link.end(0).Bind(&b, 0);  // dirs_[0].receiver is side 1's component
+  link.end(1).Bind(&a, 0);
+
+  link.Fail();
+  EXPECT_EQ(a.downs, 1);
+  EXPECT_EQ(b.downs, 1);
+  link.Recover();
+  EXPECT_EQ(a.ups, 1);
+  EXPECT_EQ(b.ups, 1);
 }
 
 TEST(FailoverTest, TrunkFailureReroutesOverRedundantPath) {
@@ -154,6 +189,257 @@ TEST(FailoverTest, EdgeLinkFailureIsolatesOnlyThatAdapter) {
   engine.RunFor(FromUs(50));
   EXPECT_TRUE(h1_done);
   EXPECT_EQ(fabric.HopCount(h0->id(), fea->id()), -1);
+}
+
+// ------------------------- MSHR failure handling -------------------------
+
+// Single switch, one host, one FEA-fronted DRAM. Returns via out-params so
+// tests can poke the links directly.
+struct MshrRig {
+  MshrRig() : fabric(&engine, 31) {
+    sw = fabric.AddSwitch(SwitchConfig{}, "sw");
+    dram = std::make_unique<DramDevice>(&engine, OmegaLocalDram(), "dram");
+    fea = fabric.AddEndpointAdapter(Lean(), "fea", dram.get());
+    fea_link = fabric.Connect(sw, fea, LinkConfig{});
+    host = fabric.AddHostAdapter(Lean(), "host");
+    host_link = fabric.Connect(sw, host, LinkConfig{});
+    fabric.ConfigureRouting();
+  }
+
+  Engine engine;
+  FabricInterconnect fabric;
+  FabricSwitch* sw;
+  std::unique_ptr<DramDevice> dram;
+  EndpointAdapter* fea;
+  HostAdapter* host;
+  Link* fea_link;
+  Link* host_link;
+};
+
+TEST(MshrTest, OwnLinkEpochChangeFailsOutstandingTransactions) {
+  MshrRig rig;
+  int ok_count = 0;
+  int fail_count = 0;
+  MemRequest req;
+  req.type = MemRequest::Type::kRead;
+  req.bytes = 64;
+  rig.host->SubmitWithStatus(rig.fea->id(), req, [&](bool ok) {
+    ok ? ++ok_count : ++fail_count;
+  });
+  // Let the request leave the adapter (MSHR allocated), then cut the host's
+  // own link before the response can return.
+  rig.engine.RunFor(FromNs(100));
+  ASSERT_EQ(rig.host->Outstanding(), 1u);
+  rig.host_link->Fail();
+  EXPECT_EQ(fail_count, 1);  // failed synchronously by the epoch change
+  EXPECT_EQ(rig.host->Outstanding(), 0u);
+  EXPECT_GE(rig.host->stats().mshr_failures, 1u);
+  rig.engine.Run();
+  EXPECT_EQ(ok_count, 0);  // a late response finds no MSHR
+}
+
+TEST(MshrTest, BlackholedRequestTimesOutAndReclaimsMshr) {
+  MshrRig rig;
+  // The REMOTE edge fails: the host's own link never changes epoch, so the
+  // request is silently dropped at the switch and only the response deadline
+  // can reclaim the MSHR.
+  rig.fea_link->Fail();
+  bool completed = false;
+  bool status_ok = true;
+  MemRequest req;
+  req.type = MemRequest::Type::kWrite;
+  req.bytes = 256;
+  rig.host->SubmitWithStatus(rig.fea->id(), req, [&](bool ok) {
+    completed = true;
+    status_ok = ok;
+  });
+  rig.engine.Run();
+  EXPECT_TRUE(completed);
+  EXPECT_FALSE(status_ok);
+  EXPECT_EQ(rig.host->Outstanding(), 0u);
+  EXPECT_EQ(rig.host->stats().mshr_timeouts, 1u);
+}
+
+// --------------------------- Fault-plan parsing ---------------------------
+
+TEST(FaultPlanTest, ParsesDirectivesCommentsAndSeparators) {
+  const FaultPlan plan = FaultPlan::Parse(
+      "# campaign\n"
+      "fail trunk @100; recover trunk @350\n"
+      "\n"
+      "fail fam0 @500   # inline trailing directive-free comment line\n");
+  ASSERT_TRUE(plan.ok()) << (plan.errors.empty() ? "" : plan.errors.front());
+  ASSERT_EQ(plan.events.size(), 3u);
+  EXPECT_EQ(plan.events[0].kind, FaultEvent::Kind::kFail);
+  EXPECT_EQ(plan.events[0].target, "trunk");
+  EXPECT_EQ(plan.events[0].at, FromUs(100.0));
+  EXPECT_EQ(plan.events[1].kind, FaultEvent::Kind::kRecover);
+  EXPECT_EQ(plan.events[1].at, FromUs(350.0));
+  EXPECT_EQ(plan.events[2].target, "fam0");
+}
+
+TEST(FaultPlanTest, FlapExpandsIntoFailRecoverPairs) {
+  const FaultPlan plan =
+      FaultPlan::Parse("flap lnk start=100 period=1000 down=200 cycles=3");
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan.events.size(), 6u);
+  for (int k = 0; k < 3; ++k) {
+    const auto& f = plan.events[static_cast<std::size_t>(2 * k)];
+    const auto& r = plan.events[static_cast<std::size_t>(2 * k + 1)];
+    EXPECT_EQ(f.kind, FaultEvent::Kind::kFail);
+    EXPECT_EQ(f.at, FromUs(100.0 + 1000.0 * k));
+    EXPECT_EQ(r.kind, FaultEvent::Kind::kRecover);
+    EXPECT_EQ(r.at, FromUs(300.0 + 1000.0 * k));
+  }
+}
+
+TEST(FaultPlanTest, MalformedDirectivesAreReported) {
+  const FaultPlan plan = FaultPlan::Parse(
+      "fail trunk\n"                                      // missing @time
+      "explode trunk @10\n"                               // unknown verb
+      "flap l start=0 period=100 down=150 cycles=2\n");   // down >= period
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.errors.size(), 3u);
+  EXPECT_TRUE(plan.events.empty());
+}
+
+TEST(FaultSchedulerTest, UnknownTargetsAreCountedNotFatal) {
+  Engine engine;
+  FaultScheduler faults(&engine, nullptr);
+  faults.Schedule(FaultPlan::Parse("fail ghost @10; recover ghost @20"));
+  engine.Run();
+  EXPECT_EQ(faults.stats().unknown_targets, 2u);
+  EXPECT_EQ(faults.stats().faults_injected, 0u);
+}
+
+// ----------------------- Runtime-level recovery ---------------------------
+
+struct RuntimeRecoveryRig {
+  explicit RuntimeRecoveryRig(int faas = 0) {
+    ClusterConfig cfg;
+    cfg.num_hosts = 1;
+    cfg.num_fams = 1;
+    cfg.num_faas = faas;
+    cluster = std::make_unique<Cluster>(cfg);
+    runtime = std::make_unique<UniFabricRuntime>(cluster.get(), RuntimeOptions{});
+    faults = std::make_unique<FaultScheduler>(&cluster->engine(), &cluster->fabric());
+    faults->RegisterChassis("fam0", cluster->fam(0),
+                            cluster->fabric().LinkTo(cluster->fam(0)->id()));
+    if (faas > 0) {
+      faults->RegisterChassis("faa0", cluster->faa(0),
+                              cluster->fabric().LinkTo(cluster->faa(0)->id()));
+    }
+  }
+
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<UniFabricRuntime> runtime;
+  std::unique_ptr<FaultScheduler> faults;
+};
+
+TEST(RuntimeRecoveryTest, HeapMigrationRecoversAcrossLinkOutage) {
+  RuntimeRecoveryRig rig;
+  UnifiedHeap* heap = rig.runtime->heap(0);
+  const ObjectId id = heap->Allocate(65536, 0);
+  ASSERT_NE(id, kInvalidObject);
+
+  rig.faults->Schedule(FaultPlan::Parse("fail fam0 @1\nrecover fam0 @600"));
+
+  bool done = false;
+  bool migrated_ok = false;
+  heap->Migrate(id, 1, [&](bool ok) {
+    done = true;
+    migrated_ok = ok;
+  });
+  rig.cluster->engine().Run();
+
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(migrated_ok);
+  EXPECT_EQ(heap->TierOf(id), 1);
+  EXPECT_EQ(heap->stats().migrations_failed, 0u);
+  EXPECT_EQ(heap->stats().bytes_migrated, 65536u);
+  // The outage was survived via the retry path, and the campaign ran fully.
+  EXPECT_GE(rig.runtime->etrans()->recovery_stats().retries, 1u);
+  EXPECT_EQ(rig.runtime->etrans()->recovery_stats().jobs_recovered, 1u);
+  EXPECT_EQ(rig.runtime->etrans()->recovery_stats().jobs_aborted, 0u);
+  EXPECT_EQ(rig.faults->stats().faults_injected, 1u);
+  EXPECT_EQ(rig.faults->stats().recoveries, 1u);
+}
+
+TEST(RuntimeRecoveryTest, PermanentFailureRollsBackMigration) {
+  RuntimeRecoveryRig rig;
+  UnifiedHeap* heap = rig.runtime->heap(0);
+  const ObjectId id = heap->Allocate(65536, 0);
+  ASSERT_NE(id, kInvalidObject);
+  const std::uint64_t tier0_used = heap->TierUsed(0);
+
+  rig.faults->Schedule(FaultPlan::Parse("fail fam0 @1"));  // never recovers
+
+  bool done = false;
+  bool migrated_ok = true;
+  heap->Migrate(id, 1, [&](bool ok) {
+    done = true;
+    migrated_ok = ok;
+  });
+  rig.cluster->engine().Run();
+
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(migrated_ok);
+  // Rolled back cleanly: same tier, dst reservation returned, still usable.
+  EXPECT_EQ(heap->TierOf(id), 0);
+  EXPECT_EQ(heap->TierUsed(1), 0u);
+  EXPECT_EQ(heap->TierUsed(0), tier0_used);
+  EXPECT_EQ(heap->stats().migrations_failed, 1u);
+  EXPECT_FALSE(heap->Info(id).migrating);
+  EXPECT_GE(rig.runtime->etrans()->recovery_stats().jobs_aborted, 1u);
+
+  bool read_done = false;
+  heap->Read(id, [&] { read_done = true; });
+  rig.cluster->engine().Run();
+  EXPECT_TRUE(read_done);
+
+  // The recovery telemetry is part of the registry snapshot.
+  const std::string snap = rig.cluster->engine().metrics().SnapshotJson();
+  EXPECT_NE(snap.find("recovery/etrans"), std::string::npos);
+  EXPECT_NE(snap.find("recovery/faults"), std::string::npos);
+}
+
+TEST(RuntimeRecoveryTest, TaskJobCompletesAcrossFaaOutage) {
+  RuntimeRecoveryRig rig(/*faas=*/1);
+  UnifiedHeap* heap = rig.runtime->heap(0);
+  ITaskRuntime* itasks = rig.runtime->itasks();
+
+  const ObjectId in = heap->Allocate(65536, 0);
+  const ObjectId out = heap->Allocate(65536, 0);
+  ASSERT_NE(in, kInvalidObject);
+  ASSERT_NE(out, kInvalidObject);
+
+  // Chassis power loss mid-job: uplink AND accelerator down, queued kernels
+  // lost. The idempotent-task runtime must redrive until commit.
+  rig.faults->Schedule(FaultPlan::Parse("fail faa0 @20\nrecover faa0 @900"));
+
+  int committed = 0;
+  std::vector<TaskId> ids;
+  for (int i = 0; i < 3; ++i) {
+    TaskSpec spec;
+    spec.name = "t" + std::to_string(i);
+    spec.inputs = {in};
+    spec.outputs = {out};
+    spec.compute_cost = FromUs(15.0);
+    spec.apply = [&] { ++committed; };
+    ids.push_back(itasks->Submit(spec));
+  }
+  bool all_done = false;
+  itasks->OnAllComplete([&] { all_done = true; });
+  rig.cluster->engine().Run();
+
+  EXPECT_TRUE(all_done);
+  EXPECT_EQ(committed, 3);
+  for (const TaskId id : ids) {
+    EXPECT_TRUE(itasks->TaskDone(id));
+  }
+  EXPECT_EQ(itasks->stats().completed, 3u);
+  EXPECT_GE(itasks->stats().attempts, 3u);
+  EXPECT_EQ(itasks->tasks_pending(), 0u);
 }
 
 }  // namespace

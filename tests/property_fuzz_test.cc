@@ -6,6 +6,7 @@
 
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "src/baseline/policies.h"
@@ -16,6 +17,7 @@
 #include "src/mem/coma.h"
 #include "src/mem/dram.h"
 #include "src/sim/random.h"
+#include "src/topo/faults.h"
 #include "src/topo/presets.h"
 
 namespace unifab {
@@ -293,6 +295,102 @@ TEST_P(FabricFuzzTest, RandomTrafficAlwaysDrainsAndConserves) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FabricFuzzTest, ::testing::Values(100u, 200u, 300u, 400u));
+
+// -------------------------- Fault campaign fuzz ---------------------------
+//
+// Random eTrans traffic under a random (but always-healing) fault campaign.
+// The recovery contract: every observed future reaches a terminal state (ok
+// or aborted, never wedged), and at quiescence every fabric link accounts
+// for each accepted flit as either delivered or dropped-by-failure.
+
+class FaultCampaignFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultCampaignFuzzTest, NoWedgedFuturesAndFlitsConserved) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+
+  ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  cfg.num_fams = 2;
+  cfg.num_faas = 0;
+  cfg.num_switches = 2;
+  cfg.seed = seed;
+  Cluster cluster(cfg);
+  UniFabricRuntime runtime(&cluster, RuntimeOptions{});
+  Rng rng(seed * 13 + 5);
+
+  FaultScheduler faults(&cluster.engine(), &cluster.fabric());
+  std::string plan;
+  for (int f = 0; f < 2; ++f) {
+    const std::string name = "fam" + std::to_string(f);
+    faults.RegisterLink(name, cluster.fabric().LinkTo(cluster.fam(f)->id()));
+    // One or two outages per link; every outage heals well before the
+    // traffic's retry budget runs out, and nothing stays down at the end.
+    const int cycles = 1 + static_cast<int>(rng.NextBelow(2));
+    for (int c = 0; c < cycles; ++c) {
+      const std::uint64_t down_at = 50 + c * 1200 + rng.NextBelow(700);
+      const std::uint64_t up_at = down_at + 100 + rng.NextBelow(300);
+      plan += "fail " + name + " @" + std::to_string(down_at) + "\n";
+      plan += "recover " + name + " @" + std::to_string(up_at) + "\n";
+    }
+  }
+  const FaultPlan parsed = FaultPlan::Parse(plan);
+  ASSERT_TRUE(parsed.ok());
+  faults.Schedule(parsed);
+
+  // Random host->FAM transfers across the campaign window. Only ownership
+  // modes whose futures are *supposed* to resolve participate (kExecutor is
+  // fire-and-forget toward the initiator by design).
+  std::vector<TransferFuture> futures;
+  constexpr int kTransfers = 40;
+  for (int i = 0; i < kTransfers; ++i) {
+    const int host = static_cast<int>(rng.NextBelow(2));
+    const int fam = static_cast<int>(rng.NextBelow(2));
+    ETransDescriptor d;
+    const std::uint64_t bytes = 4096u << rng.NextBelow(4);  // 4K..32K
+    d.src = {Segment{cluster.host(host)->id(), rng.NextBelow(1 << 24), bytes}};
+    d.dst = {Segment{cluster.fam(fam)->id(), rng.NextBelow(1 << 24), bytes}};
+    d.ownership = Ownership::kInitiator;
+    d.immediate = rng.NextBool(0.5);
+    d.attributes.throttled = rng.NextBool(0.4);
+    cluster.engine().Schedule(FromUs(1.0) * rng.NextBelow(2500), [&, host, d] {
+      futures.push_back(runtime.etrans()->Submit(runtime.host_agent(host), d));
+    });
+  }
+  cluster.engine().Run();
+
+  // No wedged futures: each one is terminal — completed or aborted.
+  ASSERT_EQ(futures.size(), static_cast<std::size_t>(kTransfers));
+  int resolved_ok = 0;
+  for (const TransferFuture& f : futures) {
+    ASSERT_TRUE(f.Ready());
+    if (f.Value().ok) {
+      ++resolved_ok;
+      EXPECT_EQ(f.Value().status, TransferStatus::kOk);
+    } else {
+      EXPECT_EQ(f.Value().status, TransferStatus::kAborted);
+    }
+  }
+  // The campaign always heals, so traffic is never extinguished entirely.
+  EXPECT_GT(resolved_ok, 0);
+
+  // Flit conservation at quiescence, per link direction.
+  for (const auto& link : cluster.fabric().links()) {
+    for (int side = 0; side < 2; ++side) {
+      const LinkStats& s = link->stats(side);
+      EXPECT_EQ(s.flits_accepted, s.flits_delivered + s.dropped_on_fail)
+          << link->name() << " side " << side;
+    }
+  }
+
+  // Both MSHR pools drained (nothing stranded by the black-hole windows).
+  for (int h = 0; h < 2; ++h) {
+    EXPECT_EQ(cluster.host(h)->fha()->Outstanding(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultCampaignFuzzTest,
+                         ::testing::Values(7u, 17u, 27u, 37u, 47u, 57u));
 
 }  // namespace
 }  // namespace unifab
