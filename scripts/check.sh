@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build + ctest twice — a normal build, then an
-# AddressSanitizer/UBSan build (UNIFAB_SANITIZE=ON). Run from anywhere.
+# AddressSanitizer/UBSan build (UNIFAB_SANITIZE=ON) — plus the deterministic
+# golden-JSON diffs and the engine hot-path throughput gates. Run from
+# anywhere.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -19,12 +21,54 @@ run_pass() {
 
 run_pass "${ROOT}/build"
 
-# Recovery regression gate: the fault-injection sweep is fully deterministic,
-# so its JSON must match the checked-in golden bit-for-bit.
-echo "=== bench: fault recovery golden ==="
-(cd "${ROOT}/build/bench" && ./bench_fault_recovery)
-diff -u "${ROOT}/bench/golden/BENCH_fault_recovery.json" \
-        "${ROOT}/build/bench/BENCH_fault_recovery.json"
+# Golden regression gate: every checked-in bench/golden/BENCH_<x>.json is
+# produced by a fully deterministic bench_<x> binary, so each regenerated
+# JSON must match its golden bit-for-bit.
+for golden in "${ROOT}"/bench/golden/BENCH_*.json; do
+  name="$(basename "${golden}" .json)"   # BENCH_foo -> bench binary bench_foo
+  bin="bench_${name#BENCH_}"
+  echo "=== bench: ${bin} golden ==="
+  (cd "${ROOT}/build/bench" && "./${bin}" > /dev/null)
+  diff -u "${golden}" "${ROOT}/build/bench/${name}.json"
+done
+
+# Hot-path throughput gate #1: the calendar-queue workloads must hold >= 2x
+# over the recorded pre-overhaul baseline (enforced inside the bench).
+echo "=== bench: engine hotpath (enforce >= 2x) ==="
+(cd "${ROOT}/build/bench" && ./bench_engine_hotpath --enforce)
+
+# Hot-path throughput gate #2: bench_engine_micro events/sec floor — fail on
+# a >20% regression from the recorded baseline. Median of 3 repetitions to
+# ride out single-CPU container noise; baselines in bench/baseline/ are
+# deliberately conservative snapshots of post-overhaul throughput.
+echo "=== bench: engine micro events/sec floor ==="
+micro_json="${ROOT}/build/bench/engine_micro_floor_check.json"
+(cd "${ROOT}/build/bench" && ./bench_engine_micro \
+    --benchmark_filter='BM_EngineScheduleFire|BM_EngineDeepQueue' \
+    --benchmark_repetitions=3 --benchmark_report_aggregates_only \
+    --benchmark_format=json > "${micro_json}")
+while read -r bench_name floor; do
+  [[ "${bench_name}" =~ ^# ]] && continue
+  measured="$(python3 - "${micro_json}" "${bench_name}" <<'EOF'
+import json, sys
+# The binary appends its own BenchReport lines after the google-benchmark
+# JSON object; parse just the leading object.
+data, _ = json.JSONDecoder().raw_decode(open(sys.argv[1]).read())
+for b in data["benchmarks"]:
+    if b.get("name") == sys.argv[2] + "_median":
+        print(b["items_per_second"])
+        break
+else:
+    sys.exit(f"no median aggregate for {sys.argv[2]}")
+EOF
+)"
+  ok="$(python3 -c "import sys; print(int(float('${measured}') >= 0.8 * float('${floor}')))")"
+  printf '    %-32s %12.0f events/s (floor %.0f x0.8)\n' "${bench_name}" "${measured}" "${floor}"
+  if [[ "${ok}" != "1" ]]; then
+    echo "FAIL: ${bench_name} regressed >20% below recorded baseline ${floor}" >&2
+    exit 1
+  fi
+done < "${ROOT}/bench/baseline/engine_micro_floor.txt"
 
 run_pass "${ROOT}/build-asan" -DUNIFAB_SANITIZE=ON
 

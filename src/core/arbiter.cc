@@ -109,6 +109,11 @@ void FabricArbiter::HandleMessage(const FabricMessage& msg) {
         const double granted = FairGrant(res, src, m.mbps);
         if (granted <= 0.0) {
           ++stats_.rejections;
+          // A renewal squeezed to nothing loses its old allocation too:
+          // "over-share leases shrink when they renew". Leaving the stale
+          // lease in place would double-count the holder's bandwidth in
+          // every kQuery/FairGrant until it expired on its own.
+          res.leases.erase(src);
         } else {
           res.leases[src] =
               Lease{src, granted, engine_->Now() + config_.lease_duration};
@@ -143,11 +148,20 @@ void FabricArbiter::Reply(PbrId dst, const ArbiterMsg& msg) {
                                       std::make_shared<ArbiterMsg>(msg));
 }
 
+void ArbiterClientStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "requests", [this] { return requests; });
+  group.AddCounterFn(prefix + "replies", [this] { return replies; });
+  group.AddCounterFn(prefix + "timeouts", [this] { return timeouts; });
+}
+
 ArbiterClient::ArbiterClient(Engine* engine, const ArbiterConfig& config,
                              MessageDispatcher* dispatcher, PbrId arbiter_node)
     : engine_(engine), config_(config), dispatcher_(dispatcher), arbiter_node_(arbiter_node) {
   dispatcher_->RegisterService(kSvcArbiter,
                                [this](const FabricMessage& msg) { HandleMessage(msg); });
+  metrics_ = MetricGroup(&engine_->metrics(),
+                         "core/arbiter/client/" + dispatcher_->adapter()->name());
+  stats_.BindTo(metrics_);
 }
 
 void ArbiterClient::Send(ArbiterMsg msg) {
@@ -157,13 +171,37 @@ void ArbiterClient::Send(ArbiterMsg msg) {
                                       std::make_shared<ArbiterMsg>(msg));
 }
 
+// Registers the callback and arms the request deadline. If no reply lands
+// before it fires, the callback runs with 0 granted — the same shape as an
+// arbiter rejection, which callers already handle with backoff/retry.
+void ArbiterClient::Track(std::uint64_t request_id, std::function<void(double)> cb) {
+  ++stats_.requests;
+  Pending pending;
+  pending.cb = std::move(cb);
+  if (config_.request_timeout > 0) {
+    pending.deadline = engine_->Schedule(config_.request_timeout, [this, request_id] {
+      auto it = callbacks_.find(request_id);
+      if (it == callbacks_.end()) {
+        return;
+      }
+      auto cb2 = std::move(it->second.cb);
+      callbacks_.erase(it);
+      ++stats_.timeouts;
+      if (cb2) {
+        cb2(0.0);
+      }
+    });
+  }
+  callbacks_[request_id] = std::move(pending);
+}
+
 void ArbiterClient::Reserve(PbrId resource, double mbps, std::function<void(double)> cb) {
   ArbiterMsg msg;
   msg.kind = ArbiterMsg::Kind::kReserve;
   msg.request_id = next_request_++;
   msg.resource = resource;
   msg.mbps = mbps;
-  callbacks_[msg.request_id] = std::move(cb);
+  Track(msg.request_id, std::move(cb));
   Send(msg);
 }
 
@@ -181,7 +219,7 @@ void ArbiterClient::Query(PbrId resource, std::function<void(double)> cb) {
   msg.kind = ArbiterMsg::Kind::kQuery;
   msg.request_id = next_request_++;
   msg.resource = resource;
-  callbacks_[msg.request_id] = std::move(cb);
+  Track(msg.request_id, std::move(cb));
   Send(msg);
 }
 
@@ -190,10 +228,14 @@ void ArbiterClient::HandleMessage(const FabricMessage& msg) {
   assert(resp != nullptr);
   auto it = callbacks_.find(resp->request_id);
   if (it == callbacks_.end()) {
-    return;
+    return;  // reply raced the deadline; the caller already got cb(0)
   }
-  auto cb = std::move(it->second);
+  auto cb = std::move(it->second.cb);
+  if (it->second.deadline != kInvalidEventId) {
+    engine_->Cancel(it->second.deadline);
+  }
   callbacks_.erase(it);
+  ++stats_.replies;
   if (cb) {
     cb(resp->kind == ArbiterMsg::Kind::kQueryResp ? resp->available_mbps : resp->mbps);
   }

@@ -44,6 +44,11 @@ struct ArbiterConfig {
   std::uint32_t ctrl_msg_bytes = 64;  // one flit
   Tick decision_latency = FromNs(40.0);
   Tick lease_duration = FromUs(100.0);  // grants expire unless renewed
+
+  // Client-side deadline per Reserve/Query: if no reply arrives (arbiter
+  // node dead, control path severed), the callback fires with 0 granted
+  // instead of leaking forever. 0 disables.
+  Tick request_timeout = FromUs(500.0);
 };
 
 struct ArbiterStats {
@@ -111,7 +116,18 @@ class FabricArbiter {
   MetricGroup metrics_;
 };
 
+struct ArbiterClientStats {
+  std::uint64_t requests = 0;  // Reserve + Query sends
+  std::uint64_t replies = 0;   // grants/query responses delivered in time
+  std::uint64_t timeouts = 0;  // requests abandoned by the deadline
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
+};
+
 // Client side: issues control-lane requests and delivers async replies.
+// Every request carries a deadline (ArbiterConfig::request_timeout): if the
+// arbiter or the control path dies before replying, the callback fires with
+// 0 granted rather than leaking in `callbacks_` forever.
 class ArbiterClient {
  public:
   ArbiterClient(Engine* engine, const ArbiterConfig& config, MessageDispatcher* dispatcher,
@@ -131,17 +147,26 @@ class ArbiterClient {
   Tick lease_duration() const { return config_.lease_duration; }
 
   std::uint64_t outstanding() const { return callbacks_.size(); }
+  const ArbiterClientStats& stats() const { return stats_; }
 
  private:
+  struct Pending {
+    std::function<void(double)> cb;
+    EventId deadline = kInvalidEventId;
+  };
+
   void HandleMessage(const FabricMessage& msg);
   void Send(ArbiterMsg msg);
+  void Track(std::uint64_t request_id, std::function<void(double)> cb);
 
   Engine* engine_;
   ArbiterConfig config_;
   MessageDispatcher* dispatcher_;
   PbrId arbiter_node_;
   std::uint64_t next_request_ = 1;
-  std::unordered_map<std::uint64_t, std::function<void(double)>> callbacks_;
+  std::unordered_map<std::uint64_t, Pending> callbacks_;
+  ArbiterClientStats stats_;
+  MetricGroup metrics_;
 };
 
 }  // namespace unifab

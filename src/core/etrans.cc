@@ -202,19 +202,36 @@ void MigrationAgent::PumpChunks(const std::shared_ptr<ActiveJob>& job) {
   const ETransAttributes& attrs = job->job.desc.attributes;
   MaybeRenewLease(job);
   while (job->offset < job->total && job->in_flight < attrs.pipeline_depth) {
-    if (job->granted_mbps > 0.0 && engine_->Now() < job->next_issue_at) {
-      // Rate limited: resume when the lease's token clock catches up.
-      ++stats_.throttle_waits;
-      engine_->ScheduleAt(job->next_issue_at, [this, job] { PumpChunks(job); });
-      return;
-    }
     const std::uint32_t bytes = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(attrs.chunk_bytes, job->total - job->offset));
     if (job->granted_mbps > 0.0) {
-      // Advance the token clock: bytes / (MB/s) = us.
+      // Token-bucket pacing: bytes / (MB/s) = us per chunk. The clock may
+      // run up to `window` ahead of now (a burst of burst_chunks chunks)
+      // and lag at most `window` behind it (burst catch-up after idling);
+      // with burst_chunks == 1 both clamps reduce to strict per-chunk
+      // pacing.
       const Tick pace = static_cast<Tick>(static_cast<double>(bytes) / job->granted_mbps *
                                           static_cast<double>(kTicksPerUs));
-      const Tick base = std::max(job->next_issue_at, engine_->Now());
+      const std::uint32_t burst = attrs.burst_chunks == 0 ? 1 : attrs.burst_chunks;
+      const Tick window = static_cast<Tick>(burst - 1) * pace;
+      const Tick now = engine_->Now();
+      if (now + window < job->next_issue_at) {
+        // Rate limited: resume when the token clock re-enters the window.
+        // A wakeup already armed at or before that tick will re-evaluate
+        // for us — don't schedule a duplicate.
+        ++stats_.throttle_waits;
+        const Tick wake_at = job->next_issue_at - window;
+        if (!job->pump_wakeup_armed || job->pump_wakeup_at > wake_at) {
+          job->pump_wakeup_armed = true;
+          job->pump_wakeup_at = wake_at;
+          engine_->ScheduleAt(wake_at, [this, job] {
+            job->pump_wakeup_armed = false;
+            PumpChunks(job);
+          });
+        }
+        return;
+      }
+      const Tick base = std::max(job->next_issue_at, now > window ? now - window : 0);
       job->next_issue_at = base + pace;
     }
     IssueChunk(job, job->offset, bytes);

@@ -57,6 +57,13 @@ struct ETransAttributes {
   double request_mbps = 8000.0; // lease ask when throttled
   Channel channel = Channel::kMem;
 
+  // Token-bucket depth for lease pacing, in chunks. A paced job may issue up
+  // to this many chunks back to back before the token clock throttles it,
+  // and after an idle stretch it catches up with an equally sized burst —
+  // the average rate still matches the lease exactly. 1 = strict per-chunk
+  // pacing (one pump wakeup per chunk).
+  std::uint32_t burst_chunks = 1;
+
   // Per-attempt deadline = floor + factor * (bytes / pacing rate). The floor
   // absorbs fixed costs (lease RTT, flit latency); the factor leaves slack
   // for congestion before a slow transfer is declared dead.
@@ -136,6 +143,8 @@ class MigrationAgent {
     int in_flight = 0;
     double granted_mbps = 0.0;
     Tick next_issue_at = 0;
+    bool pump_wakeup_armed = false;  // a throttle wakeup is already scheduled
+    Tick pump_wakeup_at = 0;         // when it fires (valid while armed)
     PbrId lease_resource = kInvalidPbrId;
     int lease_retries = 0;
     Tick lease_renew_at = 0;

@@ -106,7 +106,7 @@ void Link::TryTransmit(int side) {
   if (failed_ || dir.wire_busy) {
     return;
   }
-  const int vc = PickVc(dir);
+  int vc = PickVc(dir);
   if (vc < 0) {
     // Record a stall only if a flit was waiting without credits.
     for (int i = 0; i < kNumChannels; ++i) {
@@ -118,20 +118,36 @@ void Link::TryTransmit(int side) {
     return;
   }
 
-  Flit flit = dir.tx_queues[vc].front();
-  dir.tx_queues[vc].pop_front();
-  --dir.credits[vc];
-  dir.wire_busy = true;
-  ++dir.in_flight;
-  ++dir.stats.flits_sent;
-
+  // Batch service: commit a train of up to max_burst_flits back-to-back
+  // flits in one wakeup. Flit k occupies the wire over
+  // [t0 + k*serialize, t0 + (k+1)*serialize) — exactly the schedule per-flit
+  // service would produce for a backlogged sender — so delivery and replay
+  // times are unchanged; the train just replaces per-flit wire-free events
+  // with a single end-of-train event.
   const Tick serialize = config_.SerializeTime();
-  dir.stats.busy_time += serialize;
-
-  // Wire frees after serialization; delivery happens after propagation on
-  // top of that. Everything in flight dies if the link fails first.
   const std::uint64_t epoch = epoch_;
-  engine_->Schedule(serialize, [this, side, epoch] {
+  const std::uint32_t max_burst = config_.max_burst_flits == 0 ? 1 : config_.max_burst_flits;
+
+  train_.clear();
+  while (vc >= 0) {
+    auto& q = dir.tx_queues[vc];
+    train_.emplace_back(std::move(q.front()), rng_.NextBool(config_.flit_error_rate));
+    q.pop_front();
+    --dir.credits[vc];
+    ++dir.in_flight;
+    ++dir.stats.flits_sent;
+    dir.stats.busy_time += serialize;
+    if (train_.size() >= max_burst) {
+      break;
+    }
+    vc = PickVc(dir);
+  }
+
+  // Wire frees when the train ends. Scheduled before the per-flit events so
+  // same-tick coincidences order exactly as per-flit service did. Everything
+  // in flight dies if the link fails first.
+  dir.wire_busy = true;
+  engine_->Schedule(serialize * train_.size(), [this, side, epoch] {
     if (epoch != epoch_) {
       return;
     }
@@ -140,52 +156,72 @@ void Link::TryTransmit(int side) {
     NotifyDrain(side);
   });
 
-  const bool corrupted = rng_.NextBool(config_.flit_error_rate);
-  if (corrupted) {
-    // Receiver naks; sender replays the flit from its replay buffer after
-    // the timeout. The consumed credit stays consumed (the receiver slot is
-    // reserved for the replayed copy).
-    ++dir.stats.replays;
-    engine_->Schedule(serialize + config_.replay_timeout, [this, side, flit, epoch] {
-      if (epoch != epoch_) {
-        return;
-      }
-      Direction& d = dirs_[side];
-      // Replay bypasses the credit gate: the slot is already reserved.
-      d.tx_queues[static_cast<int>(flit.channel)].push_front(flit);
-      ++d.credits[static_cast<int>(flit.channel)];
-      --d.in_flight;  // back in the tx queue until retransmitted
-      TryTransmit(side);
-    });
-    return;
-  }
-
-  engine_->Schedule(serialize + config_.propagation, [this, side, flit, epoch]() mutable {
-    if (epoch != epoch_) {
-      return;
+  Tick offset = 0;
+  for (auto& [flit, corrupted] : train_) {
+    if (corrupted) {
+      // Receiver naks; sender replays the flit from its replay buffer after
+      // the timeout. The consumed credit stays consumed (the receiver slot
+      // is reserved for the replayed copy).
+      ++dir.stats.replays;
+      engine_->Schedule(offset + serialize + config_.replay_timeout,
+                        [this, side, flit = std::move(flit), epoch] {
+                          if (epoch != epoch_) {
+                            return;
+                          }
+                          Direction& d = dirs_[side];
+                          // Replay bypasses the credit gate: the slot is
+                          // already reserved.
+                          d.tx_queues[static_cast<int>(flit.channel)].push_front(flit);
+                          ++d.credits[static_cast<int>(flit.channel)];
+                          --d.in_flight;  // back in the tx queue until retransmitted
+                          TryTransmit(side);
+                        });
+    } else {
+      engine_->Schedule(offset + serialize + config_.propagation,
+                        [this, side, flit = std::move(flit), epoch]() mutable {
+                          if (epoch != epoch_) {
+                            return;
+                          }
+                          Direction& dir2 = dirs_[side];
+                          --dir2.in_flight;
+                          ++dir2.stats.flits_delivered;
+                          dir2.stats.bytes_delivered += flit.payload_bytes;
+                          assert(dir2.receiver != nullptr && "link endpoint not bound");
+                          ++flit.hops;
+                          dir2.receiver->ReceiveFlit(flit, dir2.receiver_port);
+                        });
     }
-    Direction& dir2 = dirs_[side];
-    --dir2.in_flight;
-    ++dir2.stats.flits_delivered;
-    dir2.stats.bytes_delivered += flit.payload_bytes;
-    assert(dir2.receiver != nullptr && "link endpoint not bound");
-    ++flit.hops;
-    dir2.receiver->ReceiveFlit(flit, dir2.receiver_port);
-  });
+    offset += serialize;
+  }
+  train_.clear();
 }
 
 void Link::FinishTransmit(int /*side*/, const Flit& /*flit*/) {}
 
 void Link::ReturnCredit(int receiver_side, Channel channel) {
   // The receiver on `receiver_side` frees a slot; the credit travels back to
-  // the sender on the other side.
+  // the sender on the other side. Credits freed at the same tick coalesce
+  // into one scheduled flush (they'd all land at the same instant anyway),
+  // at the first return's position in the tick's FIFO order.
   const int sender_side = 1 - receiver_side;
+  Direction& dir = dirs_[sender_side];
+  auto& batches = dir.credit_returns[static_cast<int>(channel)];
+  const Tick due = engine_->Now() + config_.credit_return_latency;
+  if (!batches.empty() && batches.back().due == due) {
+    ++batches.back().count;
+    return;
+  }
+  batches.push_back({due, 1});
   const std::uint64_t epoch = epoch_;
   engine_->Schedule(config_.credit_return_latency, [this, sender_side, channel, epoch] {
     if (epoch != epoch_) {
       return;
     }
-    ++dirs_[sender_side].credits[static_cast<int>(channel)];
+    Direction& d = dirs_[sender_side];
+    auto& bq = d.credit_returns[static_cast<int>(channel)];
+    assert(!bq.empty() && bq.front().due == engine_->Now());
+    d.credits[static_cast<int>(channel)] += bq.front().count;
+    bq.pop_front();
     TryTransmit(sender_side);
     NotifyDrain(sender_side);
   });
@@ -201,6 +237,9 @@ void Link::Fail() {
     for (auto& q : dir.tx_queues) {
       dir.stats.dropped_on_fail += q.size();
       q.clear();
+    }
+    for (auto& bq : dir.credit_returns) {
+      bq.clear();  // matching flush events just died with the epoch
     }
     dir.stats.dropped_on_fail += dir.in_flight;
     dir.in_flight = 0;
@@ -219,6 +258,9 @@ void Link::Recover() {
       std::llround(static_cast<double>(config_.credits_per_vc) * config_.credit_overcommit));
   for (auto& dir : dirs_) {
     dir.credits.fill(advertised == 0 ? 1 : advertised);
+    for (auto& bq : dir.credit_returns) {
+      bq.clear();  // flushes scheduled while failed are orphaned by the bump
+    }
   }
   NotifyEpochChange(/*link_up=*/true);
   // Wake both senders so any retained upper-layer egress drains again.

@@ -22,6 +22,8 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/fabric/flit.h"
 #include "src/sim/engine.h"
@@ -73,6 +75,13 @@ struct LinkConfig {
   // Strict priority for the dedicated control VC (FCC DP#4). When false the
   // control channel arbitrates round-robin with data channels.
   bool control_priority = true;
+
+  // Batch service: one sender wakeup commits up to this many back-to-back
+  // flits onto the wire as a train (one wire-free event per train instead of
+  // per flit). Each flit still serializes, propagates, and consumes credit
+  // at exactly the tick it would have with per-flit service, so simulated
+  // timing is unchanged — only the event count drops. 1 = per-flit service.
+  std::uint32_t max_burst_flits = 8;
 
   // Payload bytes per second across the wire.
   double BytesPerSec() const { return gigatransfers_per_sec * 1e9 * lanes / 8.0; }
@@ -181,6 +190,16 @@ class Link {
     FlitReceiver* receiver = nullptr;  // component at the far end
     int receiver_port = 0;
     std::function<void()> drain_cb;
+
+    // Credit returns travelling back to this sender, coalesced so all
+    // credits freed at the same tick ride one event. Entries stay in
+    // arrival (= due) order; Fail/Recover clear them alongside bumping the
+    // epoch that orphans the matching scheduled flushes.
+    struct CreditBatch {
+      Tick due;
+      std::uint32_t count;
+    };
+    std::array<std::deque<CreditBatch>, kNumChannels> credit_returns;
   };
 
   bool Send(int side, const Flit& flit);
@@ -196,6 +215,7 @@ class Link {
   LinkConfig config_;
   std::string name_;
   Rng rng_;
+  std::vector<std::pair<Flit, bool>> train_;  // TryTransmit pick scratch
   bool failed_ = false;
   std::uint64_t epoch_ = 0;  // bumped on Fail so in-flight deliveries drop
   Direction dirs_[2];        // dirs_[s] = state for traffic sent by side s

@@ -12,15 +12,6 @@ Engine::Engine() {
                         [this] { return static_cast<std::uint64_t>(queue_.Size()); });
 }
 
-EventId Engine::ScheduleAt(Tick when, EventFn fn) {
-  assert(when >= now_ && "cannot schedule into the past");
-  const EventId id = queue_.Push(when, std::move(fn));
-  if (trace_ != nullptr) {
-    trace_->OnSchedule(now_, when, id);
-  }
-  return id;
-}
-
 void Engine::FireNext() {
   auto [when, id, fn] = queue_.Pop();
   assert(when >= now_);

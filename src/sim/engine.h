@@ -8,8 +8,10 @@
 #ifndef SRC_SIM_ENGINE_H_
 #define SRC_SIM_ENGINE_H_
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <utility>
 
 #include "src/sim/event_queue.h"
 #include "src/sim/metrics.h"
@@ -27,18 +29,23 @@ class Engine {
   // Current simulated time.
   Tick Now() const { return now_; }
 
-  // Schedules `fn` to run `delay` ticks from now.
-  EventId Schedule(Tick delay, EventFn fn) {
-    const Tick when = now_ + delay;
-    const EventId id = queue_.Push(when, std::move(fn));
+  // Schedules `fn` to run `delay` ticks from now. Accepts any `void()`
+  // callable; small captures are stored inline in the queue's record pool.
+  template <typename F>
+  EventId Schedule(Tick delay, F&& fn) {
+    return ScheduleAt(now_ + delay, std::forward<F>(fn));
+  }
+
+  // Schedules `fn` at an absolute time, which must not be in the past.
+  template <typename F>
+  EventId ScheduleAt(Tick when, F&& fn) {
+    assert(when >= now_ && "cannot schedule into the past");
+    const EventId id = queue_.Push(when, std::forward<F>(fn));
     if (trace_ != nullptr) {
       trace_->OnSchedule(now_, when, id);
     }
     return id;
   }
-
-  // Schedules `fn` at an absolute time, which must not be in the past.
-  EventId ScheduleAt(Tick when, EventFn fn);
 
   // Cancels a previously scheduled event. Safe to call after the event fired
   // (returns false).

@@ -48,7 +48,9 @@ double Summary::Stddev() const {
 }
 
 double Summary::Percentile(double p) const {
-  assert(!samples_.empty());
+  if (samples_.empty()) {
+    return 0.0;  // deterministic sentinel: no samples, no latency
+  }
   SortIfNeeded();
   if (p <= 0.0) {
     return samples_.front();

@@ -25,7 +25,9 @@ class Summary {
   double Max() const;
   double Stddev() const;
 
-  // Exact percentile by nearest-rank, p in [0, 100]. Undefined when Empty().
+  // Exact percentile by nearest-rank, p in [0, 100]. An empty summary
+  // deterministically reports 0.0 (so e.g. a p99 over zero completed
+  // operations reads as zero latency instead of invoking UB).
   double Percentile(double p) const;
   double Median() const { return Percentile(50.0); }
   double P99() const { return Percentile(99.0); }

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/sim/event_queue.h"
@@ -131,6 +134,94 @@ TEST(EventQueueTest, PopSkipsCancelledHead) {
   EXPECT_NE(id, kInvalidEventId);
   fn();
   EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, CancelReclaimsRecordsEagerly) {
+  // Cancelled events (e.g. far-future MSHR timeouts) must return to the
+  // pool immediately, not linger until their tick surfaces — the pool
+  // invariant AllocatedRecords() - FreeRecords() == Size() holds at rest.
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(q.Push(1'000'000 + static_cast<Tick>(i), [] {}));
+  }
+  EXPECT_EQ(q.AllocatedRecords() - q.FreeRecords(), q.Size());
+  for (const EventId id : ids) {
+    EXPECT_TRUE(q.Cancel(id));
+    EXPECT_EQ(q.AllocatedRecords() - q.FreeRecords(), q.Size());
+  }
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.FreeRecords(), q.AllocatedRecords());
+  // Reclaimed records are reused rather than growing the pool.
+  const std::size_t allocated = q.AllocatedRecords();
+  for (int i = 0; i < 100; ++i) {
+    q.Push(static_cast<Tick>(i), [] {});
+  }
+  EXPECT_EQ(q.AllocatedRecords(), allocated);
+}
+
+TEST(EventQueueTest, StaleIdsNeverCancelReusedRecords) {
+  // After a record is freed and reused, the old EventId's generation tag no
+  // longer matches — cancelling it must not disturb the new occupant.
+  EventQueue q;
+  const EventId a = q.Push(5, [] {});
+  ASSERT_TRUE(q.Cancel(a));
+  int fired = 0;
+  q.Push(7, [&] { fired = 1; });  // reuses the record slot `a` named
+  EXPECT_FALSE(q.Cancel(a));
+  EXPECT_EQ(q.Size(), 1u);
+  auto [when, id, fn] = q.Pop();
+  EXPECT_EQ(when, 7u);
+  fn();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(q.Cancel(id));  // popped ids are stale too
+}
+
+TEST(EventQueueTest, FifoWithinTickAcrossManyTicks) {
+  // Events popping in (when, schedule-order) order regardless of insertion
+  // pattern — the determinism contract the calendar layout must preserve.
+  EventQueue q;
+  std::vector<int> order;
+  for (int round = 0; round < 3; ++round) {
+    for (Tick t : {30u, 10u, 20u}) {
+      const int tag = static_cast<int>(t) + round;
+      q.Push(t, [&order, tag] { order.push_back(tag); });
+    }
+  }
+  std::vector<int> got;
+  while (!q.Empty()) {
+    auto [when, id, fn] = q.Pop();
+    fn();
+    (void)when;
+    (void)id;
+  }
+  EXPECT_EQ(order, (std::vector<int>{10, 11, 12, 20, 21, 22, 30, 31, 32}));
+}
+
+TEST(EventQueueTest, LargeCapturesAndReschedulingChurn) {
+  // Callables up to EventCallback::kInlineBytes live in the pooled record;
+  // bigger ones spill to the heap but still run and destroy correctly.
+  EventQueue q;
+  struct Big {
+    std::array<std::uint64_t, 32> payload;  // 256B: larger than inline buffer
+  };
+  auto big = std::make_shared<Big>();
+  big->payload[31] = 77;
+  std::uint64_t seen = 0;
+  q.Push(1, [big, &seen] { seen = big->payload[31]; });
+  std::array<char, 96> inline_blob{};
+  inline_blob[95] = 5;
+  int inline_seen = 0;
+  q.Push(2, [inline_blob, &inline_seen] { inline_seen = inline_blob[95]; });
+  while (!q.Empty()) {
+    auto [when, id, fn] = q.Pop();
+    fn();
+    (void)when;
+    (void)id;
+  }
+  EXPECT_EQ(seen, 77u);
+  EXPECT_EQ(inline_seen, 5);
+  EXPECT_EQ(big.use_count(), 1);  // the queue released its copy
 }
 
 }  // namespace

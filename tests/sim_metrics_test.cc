@@ -14,6 +14,27 @@
 namespace unifab {
 namespace {
 
+TEST(SummaryPercentileTest, EmptySummaryReturnsZeroSentinel) {
+  // No samples → deterministic 0.0 from every percentile query (e.g. a p99
+  // over zero completed operations), never UB.
+  Summary s;
+  ASSERT_TRUE(s.Empty());
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 0.0);
+  EXPECT_DOUBLE_EQ(s.P99(), 0.0);
+}
+
+TEST(SummaryPercentileTest, ClearRestoresEmptySentinel) {
+  Summary s;
+  s.Add(42.0);
+  EXPECT_DOUBLE_EQ(s.P99(), 42.0);
+  s.Clear();
+  EXPECT_DOUBLE_EQ(s.Median(), 0.0);
+  EXPECT_DOUBLE_EQ(s.P99(), 0.0);
+}
+
 TEST(SummaryPercentileTest, SingleSampleEveryPercentile) {
   Summary s;
   s.Add(42.0);
