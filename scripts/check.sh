@@ -3,10 +3,18 @@
 # AddressSanitizer/UBSan build (UNIFAB_SANITIZE=ON) — plus the deterministic
 # golden-JSON diffs and the engine hot-path throughput gates. Run from
 # anywhere.
+#
+# --audit additionally gates determinism: the full test suite re-runs with
+# UNIFAB_AUDIT=1 (invariant sweeps + run digests on), the audited benches
+# must still match their goldens bit-for-bit, and two back-to-back audited
+# runs of bench_fig1_topology and bench_fault_recovery must print identical
+# [unifab-audit] digest lines.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 4)"
+AUDIT=0
+[[ "${1:-}" == "--audit" ]] && AUDIT=1
 
 run_pass() {
   local build_dir="$1"
@@ -21,6 +29,11 @@ run_pass() {
 
 run_pass "${ROOT}/build"
 
+# The whole suite must also hold with invariant auditing on: every sweep
+# clean, and (because audit sweeps are read-only) identical behavior.
+echo "=== ctest: ${ROOT}/build (UNIFAB_AUDIT=1) ==="
+UNIFAB_AUDIT=1 ctest --test-dir "${ROOT}/build" --output-on-failure -j "${JOBS}"
+
 # Golden regression gate: every checked-in bench/golden/BENCH_<x>.json is
 # produced by a fully deterministic bench_<x> binary, so each regenerated
 # JSON must match its golden bit-for-bit.
@@ -31,6 +44,33 @@ for golden in "${ROOT}"/bench/golden/BENCH_*.json; do
   (cd "${ROOT}/build/bench" && "./${bin}" > /dev/null)
   diff -u "${golden}" "${ROOT}/build/bench/${name}.json"
 done
+
+if [[ "${AUDIT}" == "1" ]]; then
+  # Determinism gate: two back-to-back audited runs of each bench must print
+  # bit-identical [unifab-audit] digest lines, and the audited runs must
+  # still reproduce the checked-in goldens (sweeps are read-only; digests go
+  # to stderr, never into the report JSON).
+  audit_dir="${ROOT}/build/bench/audit"
+  mkdir -p "${audit_dir}"
+  for bin in bench_fig1_topology bench_fault_recovery; do
+    echo "=== audit: ${bin} digest determinism ==="
+    for run in 1 2; do
+      (cd "${ROOT}/build/bench" && UNIFAB_AUDIT=1 "./${bin}" \
+          > "${audit_dir}/${bin}.run${run}.out" 2> "${audit_dir}/${bin}.run${run}.err")
+      grep '^\[unifab-audit\] digest=' "${audit_dir}/${bin}.run${run}.err" \
+          > "${audit_dir}/${bin}.run${run}.digest"
+    done
+    if [[ ! -s "${audit_dir}/${bin}.run1.digest" ]]; then
+      echo "FAIL: ${bin} printed no [unifab-audit] digest lines" >&2
+      exit 1
+    fi
+    diff -u "${audit_dir}/${bin}.run1.digest" "${audit_dir}/${bin}.run2.digest"
+    sed 's/^/    /' "${audit_dir}/${bin}.run1.digest"
+  done
+  echo "=== audit: bench_fault_recovery golden under UNIFAB_AUDIT=1 ==="
+  diff -u "${ROOT}/bench/golden/BENCH_fault_recovery.json" \
+      "${ROOT}/build/bench/BENCH_fault_recovery.json"
+fi
 
 # Hot-path throughput gate #1: the calendar-queue workloads must hold >= 2x
 # over the recorded pre-overhaul baseline (enforced inside the bench).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace unifab {
 
@@ -20,6 +21,66 @@ FabricArbiter::FabricArbiter(Engine* engine, const ArbiterConfig& config,
                                [this](const FabricMessage& msg) { HandleMessage(msg); });
   metrics_ = MetricGroup(&engine_->metrics(), "core/arbiter");
   stats_.BindTo(metrics_);
+  audit_ = AuditScope(&engine_->audit(), "core/arbiter");
+  // The incrementally maintained reserved_cache must agree with the O(n)
+  // recompute; a divergence means a lease mutation path forgot (or double-
+  // applied) its accounting — exactly the class of bug PR 3 fixed by hand.
+  audit_.AddCheck("reserved_accounting", [this]() -> std::string {
+    for (const auto& [node, res] : resources_) {
+      const double recomputed = res.Reserved();
+      const double eps = 1e-6 * std::max(1.0, std::abs(recomputed));
+      if (std::abs(res.reserved_cache - recomputed) > eps) {
+        return "resource " + std::to_string(node) + ": incremental reserved " +
+               std::to_string(res.reserved_cache) + " != recomputed " +
+               std::to_string(recomputed);
+      }
+    }
+    return {};
+  });
+  // Every lease is positive, within capacity, and inside its lifetime
+  // window (no lease may claim to expire further out than one full
+  // lease_duration from now — that would mean a stale expiry computation).
+  audit_.AddCheck("lease_sanity", [this]() -> std::string {
+    const Tick now = engine_->Now();
+    for (const auto& [node, res] : resources_) {
+      for (const auto& [holder, lease] : res.leases) {
+        const double eps = 1e-6 * std::max(1.0, res.capacity_mbps);
+        if (lease.mbps <= 0.0 || lease.mbps > res.capacity_mbps + eps) {
+          return "resource " + std::to_string(node) + " holder " + std::to_string(holder) +
+                 ": lease of " + std::to_string(lease.mbps) + " mbps outside (0, capacity=" +
+                 std::to_string(res.capacity_mbps) + "]";
+        }
+        if (lease.expires_at > now + config_.lease_duration) {
+          return "resource " + std::to_string(node) + " holder " + std::to_string(holder) +
+                 ": lease expires at " + std::to_string(lease.expires_at) +
+                 "ps, beyond now + lease_duration";
+        }
+      }
+    }
+    return {};
+  });
+  // Work-conserving max-min deliberately overcommits transiently (a new
+  // flow always gets its fair share even when earlier flows hold over-share
+  // leases), but the total is provably bounded by capacity * H(n) — the
+  // harmonic series of the lease count, reached by the greedy sequence
+  // cap, cap/2, ..., cap/n. Anything above that is an accounting bug, not
+  // fair-share overcommit.
+  audit_.AddCheck("maxmin_capacity_bound", [this]() -> std::string {
+    for (const auto& [node, res] : resources_) {
+      double harmonic = 0.0;
+      for (std::size_t i = 1; i <= res.leases.size(); ++i) {
+        harmonic += 1.0 / static_cast<double>(i);
+      }
+      const double bound = res.capacity_mbps * harmonic;
+      const double reserved = res.Reserved();
+      if (reserved > bound + 1e-6 * std::max(1.0, bound)) {
+        return "resource " + std::to_string(node) + ": reserved " + std::to_string(reserved) +
+               " mbps exceeds capacity*H(" + std::to_string(res.leases.size()) + ") = " +
+               std::to_string(bound);
+      }
+    }
+    return {};
+  });
 }
 
 void FabricArbiter::RegisterResource(PbrId node, double capacity_mbps) {
@@ -47,10 +108,14 @@ void FabricArbiter::ExpireLeases(Resource& res) {
   for (auto it = res.leases.begin(); it != res.leases.end();) {
     if (it->second.expires_at <= now) {
       ++stats_.expirations;
+      res.reserved_cache -= it->second.mbps;
       it = res.leases.erase(it);
     } else {
       ++it;
     }
+  }
+  if (res.leases.empty()) {
+    res.reserved_cache = 0.0;  // re-anchor: no leases means exactly zero
   }
 }
 
@@ -107,6 +172,8 @@ void FabricArbiter::HandleMessage(const FabricMessage& msg) {
       case ArbiterMsg::Kind::kReserve: {
         ++stats_.reservations;
         const double granted = FairGrant(res, src, m.mbps);
+        auto existing = res.leases.find(src);
+        const double before = existing == res.leases.end() ? 0.0 : existing->second.mbps;
         if (granted <= 0.0) {
           ++stats_.rejections;
           // A renewal squeezed to nothing loses its old allocation too:
@@ -114,9 +181,11 @@ void FabricArbiter::HandleMessage(const FabricMessage& msg) {
           // lease in place would double-count the holder's bandwidth in
           // every kQuery/FairGrant until it expired on its own.
           res.leases.erase(src);
+          res.reserved_cache -= before;
         } else {
           res.leases[src] =
               Lease{src, granted, engine_->Now() + config_.lease_duration};
+          res.reserved_cache += granted - before;
         }
         ArbiterMsg resp = m;
         resp.kind = ArbiterMsg::Kind::kGrant;
@@ -128,9 +197,13 @@ void FabricArbiter::HandleMessage(const FabricMessage& msg) {
         ++stats_.releases;
         auto lease = res.leases.find(src);
         if (lease != res.leases.end()) {
+          const double before = lease->second.mbps;
           lease->second.mbps -= m.mbps;
           if (lease->second.mbps <= 0.0) {
             res.leases.erase(lease);
+            res.reserved_cache -= before;
+          } else {
+            res.reserved_cache -= m.mbps;
           }
         }
         return;  // releases are not acknowledged

@@ -24,6 +24,7 @@
 
 #include "src/fabric/dispatch.h"
 #include "src/fabric/switch.h"
+#include "src/sim/audit.h"
 #include "src/sim/engine.h"
 #include "src/sim/metrics.h"
 #include "src/sim/stats.h"
@@ -92,6 +93,10 @@ class FabricArbiter {
     double capacity_mbps = 0.0;
     // flow (holder) -> lease
     std::map<PbrId, Lease> leases;
+    // Shadow accounting maintained incrementally at every lease mutation;
+    // the auditor cross-checks it against the O(n) recompute below. All
+    // granting decisions still use Reserved() so behavior is unchanged.
+    double reserved_cache = 0.0;
     double Reserved() const {
       double sum = 0.0;
       for (const auto& [h, l] : leases) {
@@ -114,6 +119,9 @@ class FabricArbiter {
   std::vector<FabricSwitch*> switches_;
   ArbiterStats stats_;
   MetricGroup metrics_;
+  AuditScope audit_;  // after resources_: checks read the lease maps
+
+  friend class AuditTestPeer;
 };
 
 struct ArbiterClientStats {

@@ -349,6 +349,31 @@ ETransEngine::ETransEngine(Engine* engine, ETransRecoveryConfig recovery)
   stats_.BindTo(metrics_);
   recovery_metrics_ = MetricGroup(&engine_->metrics(), "recovery/etrans");
   recovery_stats_.BindTo(recovery_metrics_);
+  audit_ = AuditScope(&engine_->audit(), "core/etrans/engine");
+  // Every transfer reaches exactly one terminal status: OnAttemptDone
+  // refusing a second resolution counts it here instead of fulfilling the
+  // future twice (which would assert — or worse, silently double-complete).
+  audit_.AddCheck("terminal_exactly_once", [this]() -> std::string {
+    if (double_terminals_ != 0) {
+      return std::to_string(double_terminals_) +
+             " transfer(s) re-resolved after reaching a terminal status";
+    }
+    return {};
+  });
+  // Lifecycle conservation: terminals never outrun submissions, and every
+  // tracked remote delegation belongs to a still-live transfer.
+  audit_.AddCheck("transfer_conservation", [this]() -> std::string {
+    if (transfers_terminal_ > transfers_submitted_) {
+      return "terminal=" + std::to_string(transfers_terminal_) + " > submitted=" +
+             std::to_string(transfers_submitted_);
+    }
+    const std::uint64_t live = transfers_submitted_ - transfers_terminal_;
+    if (tracked_.size() > live) {
+      return std::to_string(tracked_.size()) + " tracked delegations but only " +
+             std::to_string(live) + " live transfers";
+    }
+    return {};
+  });
 }
 
 void ETransEngine::RegisterAgent(PbrId domain_node, MigrationAgent* agent) {
@@ -421,6 +446,7 @@ TransferFuture ETransEngine::Submit(MigrationAgent* initiator, const ETransDescr
   pt->initiator = initiator;
   pt->future.set_ownership(desc.ownership);
   pt->future.set_owner(initiator->fabric_id());
+  ++transfers_submitted_;
   Dispatch(pt);
   return pt->future;
 }
@@ -494,6 +520,13 @@ void ETransEngine::OnAttemptDone(const std::shared_ptr<PendingTransfer>& pt,
     pt->deadline_event = kInvalidEventId;
   }
   tracked_.erase(pt->job_id);
+  if (pt->terminal) {
+    // A straggler attempt resolving a transfer that already reached its
+    // terminal status. Fulfilling again would double-complete the future;
+    // record the violation for the auditor and drop the result.
+    ++double_terminals_;
+    return;
+  }
   ++pt->attempts;
 
   if (result.ok) {
@@ -502,6 +535,8 @@ void ETransEngine::OnAttemptDone(const std::shared_ptr<PendingTransfer>& pt,
       ++recovery_stats_.jobs_recovered;
       recovery_stats_.time_to_recover_us.Add(ToUs(engine_->Now() - pt->first_failure_at));
     }
+    pt->terminal = true;
+    ++transfers_terminal_;
     pt->future.Fulfill(result);
     return;
   }
@@ -520,6 +555,8 @@ void ETransEngine::OnAttemptDone(const std::shared_ptr<PendingTransfer>& pt,
     result.ok = false;
     result.completed_at = engine_->Now();
     ++recovery_stats_.jobs_aborted;
+    pt->terminal = true;
+    ++transfers_terminal_;
     pt->future.Fulfill(result);
     return;
   }

@@ -37,6 +37,7 @@
 #include "src/core/future.h"
 #include "src/fabric/dispatch.h"
 #include "src/mem/dram.h"
+#include "src/sim/audit.h"
 #include "src/sim/engine.h"
 #include "src/sim/metrics.h"
 #include "src/sim/stats.h"
@@ -241,6 +242,7 @@ class ETransEngine {
     Tick first_failure_at = 0;      // 0 until an attempt fails
     std::uint64_t job_id = 0;       // job id of the current attempt
     EventId deadline_event = kInvalidEventId;  // engine-side watchdog (remote)
+    bool terminal = false;          // a terminal status was delivered
   };
 
   MigrationAgent* PickExecutor(MigrationAgent* initiator, const ETransDescriptor& desc) const;
@@ -260,10 +262,18 @@ class ETransEngine {
   std::unordered_map<std::uint64_t, std::shared_ptr<PendingTransfer>> tracked_;
   std::function<void()> reroute_;
   std::uint64_t next_job_ = 1;
+  // Transfer-lifecycle conservation: every submitted transfer must reach
+  // exactly one terminal status (kOk / kTimedOut / kAborted), never two.
+  std::uint64_t transfers_submitted_ = 0;
+  std::uint64_t transfers_terminal_ = 0;
+  std::uint64_t double_terminals_ = 0;  // attempts resolved after terminal
   ETransStats stats_;
   ETransRecoveryStats recovery_stats_;
   MetricGroup metrics_;
   MetricGroup recovery_metrics_;
+  AuditScope audit_;
+
+  friend class AuditTestPeer;
 };
 
 }  // namespace unifab

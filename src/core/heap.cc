@@ -1,6 +1,7 @@
 #include "src/core/heap.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 namespace unifab {
@@ -96,6 +97,59 @@ UnifiedHeap::UnifiedHeap(Engine* engine, const HeapConfig& config, MemoryHierarc
   next_epoch_at_ = engine_->Now() + config_.epoch_length;
   metrics_ = MetricGroup(&engine_->metrics(), "core/heap");
   stats_.BindTo(metrics_);
+  audit_ = AuditScope(&engine_->audit(), "core/heap");
+  // Per-tier byte conservation: live objects placed in a tier plus the
+  // still-carved source blocks of in-flight migrations account for every
+  // used byte, used + free-listed bytes account for every carved byte, and
+  // nothing exceeds the tier's capacity.
+  audit_.AddCheck("tier_occupancy", [this]() -> std::string {
+    std::vector<std::uint64_t> live(tiers_.size(), 0);
+    for (const auto& [id, obj] : objects_) {
+      const int tier = obj.info.tier;
+      if (tier < 0 || tier >= num_tiers()) {
+        return "object " + std::to_string(id) + " placed in invalid tier " +
+               std::to_string(tier);
+      }
+      live[static_cast<std::size_t>(tier)] += ClassFor(obj.info.size);
+    }
+    for (std::size_t t = 0; t < tiers_.size(); ++t) {
+      if (tier_used_[t] > tiers_[t].capacity) {
+        return "tier " + std::to_string(t) + ": used " + std::to_string(tier_used_[t]) +
+               " > capacity " + std::to_string(tiers_[t].capacity);
+      }
+      if (live[t] + tier_migrating_src_[t] != tier_used_[t]) {
+        return "tier " + std::to_string(t) + ": live(" + std::to_string(live[t]) +
+               ") + migrating_src(" + std::to_string(tier_migrating_src_[t]) +
+               ") != used(" + std::to_string(tier_used_[t]) + ")";
+      }
+      std::uint64_t free_bytes = 0;
+      for (const auto& bin : tier_state_[t].bins) {
+        free_bytes += bin.free_list.size() * bin.size_class;
+      }
+      if (tier_used_[t] + free_bytes != tier_state_[t].bump) {
+        return "tier " + std::to_string(t) + ": used(" + std::to_string(tier_used_[t]) +
+               ") + free(" + std::to_string(free_bytes) + ") != carved(" +
+               std::to_string(tier_state_[t].bump) + ")";
+      }
+    }
+    return {};
+  });
+  // Every object is in exactly one tier or marked migrating; freed-mid-
+  // migration objects keep their in-flight slot until the copy resolves,
+  // hence <= rather than ==.
+  audit_.AddCheck("migration_accounting", [this]() -> std::string {
+    std::uint64_t marked = 0;
+    for (const auto& [id, obj] : objects_) {
+      if (obj.info.migrating) {
+        ++marked;
+      }
+    }
+    if (marked > migrations_in_flight_) {
+      return std::to_string(marked) + " objects marked migrating but only " +
+             std::to_string(migrations_in_flight_) + " migrations in flight";
+    }
+    return {};
+  });
 }
 
 int UnifiedHeap::AddTier(const MemTier& tier) {
@@ -106,6 +160,7 @@ int UnifiedHeap::AddTier(const MemTier& tier) {
   }
   tier_state_.push_back(std::move(state));
   tier_used_.push_back(0);
+  tier_migrating_src_.push_back(0);
   return static_cast<int>(tiers_.size()) - 1;
 }
 
@@ -272,16 +327,22 @@ void UnifiedHeap::Migrate(ObjectId id, int dst_tier, std::function<void(bool)> d
 
   // Record the new placement eagerly so allocation bookkeeping stays
   // consistent even if the object is freed mid-migration; the copy's cost
-  // is still fully simulated before `done` fires.
+  // is still fully simulated before `done` fires. The source block stays
+  // carved until the copy resolves, tracked as migrating-source bytes.
   obj.info.addr = dst_addr;
   obj.info.tier = dst_tier;
   tier_used_[static_cast<std::size_t>(dst_tier)] += sc;
+  tier_migrating_src_[static_cast<std::size_t>(src_tier)] += sc;
+  ++migrations_in_flight_;
 
   const std::uint32_t size = obj.info.size;
   TransferFuture f = etrans_->Submit(agent_, desc);
   f.Then([this, id, src_tier, src_addr, dst_tier, dst_addr, sc, size,
           done](const TransferResult& r) {
     auto it2 = objects_.find(id);
+    // Whatever the outcome, this migration's claim on its source tier ends.
+    tier_migrating_src_[static_cast<std::size_t>(src_tier)] -= sc;
+    --migrations_in_flight_;
 
     if (!r.ok) {
       // The copy aborted (fabric failure, retries exhausted). The source
@@ -344,13 +405,33 @@ void UnifiedHeap::MaybeRunEpoch() {
 }
 
 void UnifiedHeap::RunEpoch() {
-  next_epoch_at_ = engine_->Now() + config_.epoch_length;
-  ++stats_.epochs;
+  // Lazy catch-up: an idle stretch spanning k epoch lengths must decay
+  // temperatures k times, not once — folding it as a single epoch left
+  // stale objects artificially hot and blocked demotion. The k-1 skipped
+  // epochs saw no accesses (decay by 1-alpha each); the accumulated access
+  // count folds last, so activity that triggered the catch-up stays hot.
+  // Epochs stay anchored to the original grid. An explicit early RunEpoch()
+  // call (now before the next boundary) keeps the legacy single-fold
+  // re-anchoring semantics.
+  const Tick now = engine_->Now();
+  std::uint64_t elapsed = 1;
+  if (config_.epoch_length > 0 && now >= next_epoch_at_) {
+    elapsed += (now - next_epoch_at_) / config_.epoch_length;
+    next_epoch_at_ += elapsed * config_.epoch_length;
+  } else {
+    next_epoch_at_ = now + config_.epoch_length;
+  }
+  stats_.epochs += elapsed;
+  const double idle_decay =
+      std::pow(1.0 - config_.ewma_alpha, static_cast<double>(elapsed - 1));
 
   // Profile: fold this epoch's access counts into the EWMA temperature.
   std::vector<ObjectInfo> snapshot;
   snapshot.reserve(objects_.size());
   for (auto& [id, obj] : objects_) {
+    if (elapsed > 1) {
+      obj.info.temperature *= idle_decay;
+    }
     obj.info.temperature = config_.ewma_alpha * static_cast<double>(obj.info.epoch_accesses) +
                            (1.0 - config_.ewma_alpha) * obj.info.temperature;
     obj.info.epoch_accesses = 0;

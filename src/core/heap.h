@@ -29,6 +29,7 @@
 #include "src/core/etrans.h"
 #include "src/mem/hierarchy.h"
 #include "src/mem/memnode.h"
+#include "src/sim/audit.h"
 #include "src/sim/engine.h"
 #include "src/sim/metrics.h"
 #include "src/sim/stats.h"
@@ -178,12 +179,21 @@ class UnifiedHeap {
   std::vector<MemTier> tiers_;
   std::vector<TierState> tier_state_;
   std::vector<std::uint64_t> tier_used_;
+  // Size-class bytes whose source block is still carved for an in-flight
+  // migration out of each tier (the object itself already counts at its
+  // eagerly recorded destination). Balances the per-tier byte conservation
+  // the auditor checks.
+  std::vector<std::uint64_t> tier_migrating_src_;
+  std::uint64_t migrations_in_flight_ = 0;
   std::unordered_map<ObjectId, Object> objects_;
   std::unique_ptr<MigrationPolicy> policy_;
   ObjectId next_id_ = 1;
   Tick next_epoch_at_ = 0;
   HeapStats stats_;
   MetricGroup metrics_;
+  AuditScope audit_;  // after the state the checks read
+
+  friend class AuditTestPeer;
 };
 
 }  // namespace unifab

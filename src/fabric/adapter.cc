@@ -108,6 +108,44 @@ void AdapterBase::DeliverMessage(const Flit& last_flit) {
                     [this, msg = std::move(msg)] { message_handler_(msg); });
 }
 
+HostAdapter::HostAdapter(Engine* engine, const AdapterConfig& config, PbrId id, std::string name)
+    : AdapterBase(engine, config, id, std::move(name)) {
+  audit_ = AuditScope(&engine_->audit(), "fabric/adapter/" + name_);
+  // No MSHR outlives its deadline epoch: the timeout event reclaims a txn at
+  // exactly submitted_at + mshr_timeout, so at any event boundary every
+  // outstanding txn is younger than (or at) its deadline. 0 disables
+  // timeouts and the age bound with them.
+  audit_.AddCheck("mshr_deadline", [this]() -> std::string {
+    if (config_.mshr_timeout == 0) {
+      return {};
+    }
+    const Tick now = engine_->Now();
+    for (const auto& [txn_id, txn] : outstanding_) {
+      if (txn.submitted_at + config_.mshr_timeout < now) {
+        return "txn " + std::to_string(txn_id) + " submitted at " +
+               std::to_string(txn.submitted_at) + "ps outlived its deadline (now=" +
+               std::to_string(now) + "ps, timeout=" + std::to_string(config_.mshr_timeout) +
+               "ps)";
+      }
+    }
+    return {};
+  });
+  // The MSHR pool never exceeds its limit, and requests only queue behind a
+  // full pool (IssueReady drains pending_ until one of the two runs out).
+  audit_.AddCheck("mshr_capacity", [this]() -> std::string {
+    if (outstanding_.size() > config_.max_outstanding) {
+      return "outstanding=" + std::to_string(outstanding_.size()) + " > max_outstanding=" +
+             std::to_string(config_.max_outstanding);
+    }
+    if (!pending_.empty() && outstanding_.size() < config_.max_outstanding) {
+      return std::to_string(pending_.size()) + " requests queued while only " +
+             std::to_string(outstanding_.size()) + "/" +
+             std::to_string(config_.max_outstanding) + " MSHRs in use";
+    }
+    return {};
+  });
+}
+
 void HostAdapter::Submit(PbrId dst, const MemRequest& request, MemCompletion on_complete) {
   SubmitWithStatus(dst, request, [cb = std::move(on_complete)](bool ok) {
     if (ok && cb) {

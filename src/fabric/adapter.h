@@ -21,6 +21,7 @@
 
 #include "src/fabric/flit.h"
 #include "src/fabric/link.h"
+#include "src/sim/audit.h"
 #include "src/sim/engine.h"
 #include "src/sim/metrics.h"
 #include "src/sim/stats.h"
@@ -146,7 +147,7 @@ class AdapterBase : public FlitReceiver {
 // Host-side adapter.
 class HostAdapter : public AdapterBase {
  public:
-  using AdapterBase::AdapterBase;
+  HostAdapter(Engine* engine, const AdapterConfig& config, PbrId id, std::string name);
 
   // Submits a memory transaction to the remote node `dst`. Requests beyond
   // the MSHR limit queue inside the adapter. The legacy completion only
@@ -185,6 +186,9 @@ class HostAdapter : public AdapterBase {
 
   std::deque<PendingRequest> pending_;
   std::unordered_map<std::uint64_t, OutstandingTxn> outstanding_;
+  AuditScope audit_;  // after the state the checks read
+
+  friend class AuditTestPeer;
 };
 
 // Device-side adapter.

@@ -2,6 +2,8 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 namespace unifab {
@@ -53,14 +55,63 @@ void LinkStats::BindTo(MetricGroup& group, const std::string& prefix) const {
 
 Link::Link(Engine* engine, const LinkConfig& config, std::uint64_t seed, std::string name)
     : engine_(engine), config_(config), name_(std::move(name)), rng_(seed) {
-  const auto advertised = static_cast<std::uint32_t>(
+  advertised_credits_ = static_cast<std::uint32_t>(
       std::llround(static_cast<double>(config_.credits_per_vc) * config_.credit_overcommit));
+  if (advertised_credits_ == 0) {
+    // A pool whose credit math rounds to zero can never move a flit.
+    // Silently granting one credit here (the old behavior) fabricated a
+    // receiver buffer slot that violates per-VC credit conservation; such a
+    // config is a caller error, so reject it loudly even in release builds.
+    std::fprintf(stderr,
+                 "[unifab] link %s: credits_per_vc=%u x credit_overcommit=%g rounds to zero "
+                 "advertised credits; rejecting config\n",
+                 name_.c_str(), config_.credits_per_vc, config_.credit_overcommit);
+    std::abort();
+  }
   for (auto& dir : dirs_) {
-    dir.credits.fill(advertised == 0 ? 1 : advertised);
+    dir.credits.fill(advertised_credits_);
   }
   metrics_ = MetricGroup(&engine_->metrics(), "fabric/link/" + name_);
   dirs_[0].stats.BindTo(metrics_, "tx0/");
   dirs_[1].stats.BindTo(metrics_, "tx1/");
+  audit_ = AuditScope(&engine_->audit(), "fabric/link/" + name_);
+  // Every flit accepted by Send() is, at any event boundary, exactly one of:
+  // delivered, dropped by Fail(), in flight on the wire (or awaiting
+  // replay), or still staged in a tx queue.
+  audit_.AddCheck("flit_conservation", [this]() -> std::string {
+    for (int s = 0; s < 2; ++s) {
+      const Direction& dir = dirs_[s];
+      std::uint64_t queued = 0;
+      for (const auto& q : dir.tx_queues) {
+        queued += q.size();
+      }
+      const std::uint64_t accounted =
+          dir.stats.flits_delivered + dir.stats.dropped_on_fail + dir.in_flight + queued;
+      if (dir.stats.flits_accepted != accounted) {
+        return "dir" + std::to_string(s) + ": accepted=" +
+               std::to_string(dir.stats.flits_accepted) + " != delivered(" +
+               std::to_string(dir.stats.flits_delivered) + ") + dropped(" +
+               std::to_string(dir.stats.dropped_on_fail) + ") + in_flight(" +
+               std::to_string(dir.in_flight) + ") + queued(" + std::to_string(queued) + ")";
+      }
+    }
+    return {};
+  });
+  // Credits model receiver buffer slots: the sender can never hold more
+  // than the receiver advertised (an excess would mean a fabricated slot or
+  // an underflowed decrement wrapping around).
+  audit_.AddCheck("credit_conservation", [this]() -> std::string {
+    for (int s = 0; s < 2; ++s) {
+      for (int vc = 0; vc < kNumChannels; ++vc) {
+        const std::uint32_t have = dirs_[s].credits[static_cast<std::size_t>(vc)];
+        if (have > advertised_credits_) {
+          return "dir" + std::to_string(s) + " vc" + std::to_string(vc) + ": credits=" +
+                 std::to_string(have) + " > advertised=" + std::to_string(advertised_credits_);
+        }
+      }
+    }
+    return {};
+  });
 }
 
 bool Link::CanSend(int side, Channel channel) const {
@@ -221,6 +272,12 @@ void Link::ReturnCredit(int receiver_side, Channel channel) {
     auto& bq = d.credit_returns[static_cast<int>(channel)];
     assert(!bq.empty() && bq.front().due == engine_->Now());
     d.credits[static_cast<int>(channel)] += bq.front().count;
+    // A receiver that buffered a flit across a Fail/Recover cycle returns a
+    // credit for a slot Recover() already re-advertised; cap the pool so a
+    // stale return cannot mint slots beyond what the receiver has.
+    if (d.credits[static_cast<int>(channel)] > advertised_credits_) {
+      d.credits[static_cast<int>(channel)] = advertised_credits_;
+    }
     bq.pop_front();
     TryTransmit(sender_side);
     NotifyDrain(sender_side);
@@ -254,10 +311,10 @@ void Link::Recover() {
   }
   failed_ = false;
   ++epoch_;
-  const auto advertised = static_cast<std::uint32_t>(
-      std::llround(static_cast<double>(config_.credits_per_vc) * config_.credit_overcommit));
+  // Same validated pool the constructor computed — Recover() used to repeat
+  // the rounds-to-zero clamp and could re-fill a different credit count.
   for (auto& dir : dirs_) {
-    dir.credits.fill(advertised == 0 ? 1 : advertised);
+    dir.credits.fill(advertised_credits_);
     for (auto& bq : dir.credit_returns) {
       bq.clear();  // flushes scheduled while failed are orphaned by the bump
     }

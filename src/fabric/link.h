@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/fabric/flit.h"
+#include "src/sim/audit.h"
 #include "src/sim/engine.h"
 #include "src/sim/metrics.h"
 #include "src/sim/random.h"
@@ -218,9 +219,16 @@ class Link {
   std::vector<std::pair<Flit, bool>> train_;  // TryTransmit pick scratch
   bool failed_ = false;
   std::uint64_t epoch_ = 0;  // bumped on Fail so in-flight deliveries drop
+  // Per-VC credits advertised to each sender, validated once at construction
+  // (credits_per_vc * credit_overcommit must not round to zero); Recover()
+  // re-fills from this same value.
+  std::uint32_t advertised_credits_ = 0;
   Direction dirs_[2];        // dirs_[s] = state for traffic sent by side s
   LinkEndpoint endpoints_[2] = {LinkEndpoint(this, 0), LinkEndpoint(this, 1)};
   MetricGroup metrics_;  // after dirs_: unregisters before the stats die
+  AuditScope audit_;     // ditto for the invariant checks
+
+  friend class AuditTestPeer;
 };
 
 }  // namespace unifab

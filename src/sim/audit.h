@@ -1,0 +1,132 @@
+// Simulation-wide invariant auditing and determinism digests.
+//
+// Components register closed-form conservation checks with the engine's
+// InvariantAuditor at construction, exactly the way they already register
+// metrics: a Link asserts flit/credit conservation, the heap asserts
+// per-tier byte accounting, the arbiter asserts its lease bookkeeping, and
+// so on. A sweep evaluates every check read-only; any violation is reported
+// with the registering component's path so accounting drift is caught at
+// the event where it happens instead of surfacing as a wrong golden number
+// thousands of events later.
+//
+// The RunDigest complements the auditor on the determinism axis: an
+// order-sensitive FNV-1a hash folded over every fired event (tick and event
+// id). Two runs of the same workload must produce bit-identical digests;
+// scripts/check.sh --audit gates on exactly that.
+
+#ifndef SRC_SIM_AUDIT_H_
+#define SRC_SIM_AUDIT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace unifab {
+
+class AuditTestPeer;  // test-only hook for seeding deliberate violations
+
+// Order-sensitive FNV-1a over a stream of 64-bit words. Folding the same
+// words in the same order always yields the same value; any reordering,
+// insertion, or change of a word changes it.
+class RunDigest {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 1469598103934665603ULL;
+  static constexpr std::uint64_t kPrime = 1099511628211ULL;
+
+  void Fold(std::uint64_t word) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (word >> (8 * i)) & 0xFFu;
+      hash_ *= kPrime;
+    }
+  }
+
+  std::uint64_t value() const { return hash_; }
+  void Reset() { hash_ = kOffsetBasis; }
+
+ private:
+  std::uint64_t hash_ = kOffsetBasis;
+};
+
+// A conservation check. Returns an empty string while the invariant holds,
+// or a human-readable description of the violation. Checks must be strictly
+// read-only: a sweep runs between events and must not perturb simulation
+// state (that would make audited and unaudited runs diverge).
+using InvariantCheck = std::function<std::string()>;
+
+struct InvariantViolation {
+  std::string path;  // component path, e.g. "fabric/link/l0/credit_conservation"
+  std::string message;
+};
+
+// Central registry of invariant checks, owned by the Engine. Paths are
+// uniquified deterministically ("path", "path#2", ...) so identically named
+// components coexist, mirroring MetricRegistry.
+class InvariantAuditor {
+ public:
+  InvariantAuditor() = default;
+  InvariantAuditor(const InvariantAuditor&) = delete;
+  InvariantAuditor& operator=(const InvariantAuditor&) = delete;
+
+  // Registers `check` under `path`; returns a handle for Unregister.
+  std::uint64_t Register(const std::string& path, InvariantCheck check);
+  bool Unregister(std::uint64_t id);
+
+  // Reserves a deterministic unique component prefix (AuditScope uses this
+  // so two links named "l0" audit under "l0" and "l0#2").
+  std::string ClaimPrefix(const std::string& prefix);
+
+  // Evaluates every check in registration order. Read-only by contract.
+  std::vector<InvariantViolation> Sweep() const;
+
+  std::size_t NumChecks() const { return checks_.size(); }
+  std::uint64_t SweepsRun() const { return sweeps_; }
+
+ private:
+  struct Entry {
+    std::uint64_t id;
+    std::string path;
+    InvariantCheck check;
+  };
+
+  std::vector<Entry> checks_;  // registration order => deterministic reports
+  std::unordered_map<std::string, int> path_claims_;
+  std::uint64_t next_id_ = 1;
+  mutable std::uint64_t sweeps_ = 0;
+};
+
+// RAII bundle of checks under one component prefix, mirroring MetricGroup:
+// a component keeps one AuditScope member declared after the state its
+// checks read, so destruction unregisters the checks first. A
+// default-constructed scope is detached and ignores registrations.
+class AuditScope {
+ public:
+  AuditScope() = default;
+  AuditScope(InvariantAuditor* auditor, const std::string& prefix);
+  ~AuditScope() { RemoveAll(); }
+
+  AuditScope(AuditScope&& other) noexcept { *this = std::move(other); }
+  AuditScope& operator=(AuditScope&& other) noexcept;
+  AuditScope(const AuditScope&) = delete;
+  AuditScope& operator=(const AuditScope&) = delete;
+
+  bool attached() const { return auditor_ != nullptr; }
+  const std::string& prefix() const { return prefix_; }
+
+  // Registers `check` under "<prefix>/<name>".
+  void AddCheck(const std::string& name, InvariantCheck check);
+
+  void RemoveAll();
+
+ private:
+  InvariantAuditor* auditor_ = nullptr;
+  std::string prefix_;
+  std::vector<std::uint64_t> registered_;
+};
+
+}  // namespace unifab
+
+#endif  // SRC_SIM_AUDIT_H_

@@ -1,15 +1,76 @@
 #include "src/sim/engine.h"
 
 #include <cassert>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <utility>
 
 namespace unifab {
+
+namespace {
+
+// Default sweep granularity when UNIFAB_AUDIT=1 asks for "on": frequent
+// enough to pin a violation to a small window of events, cheap enough that
+// audited test runs stay fast.
+constexpr std::uint64_t kDefaultAuditCadence = 256;
+
+std::uint64_t AuditCadenceFromEnv() {
+  const char* env = std::getenv("UNIFAB_AUDIT");
+  if (env == nullptr || *env == '\0') {
+    return 0;
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env || v == 0) {
+    return 0;
+  }
+  return v == 1 ? kDefaultAuditCadence : static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
 
 Engine::Engine() {
   metrics_.AddGaugeFn("sim/engine/now_ns", [this] { return ToNs(now_); });
   metrics_.AddCounterFn("sim/engine/events_fired", [this] { return fired_; });
   metrics_.AddCounterFn("sim/engine/events_pending",
                         [this] { return static_cast<std::uint64_t>(queue_.Size()); });
+  // The queue's pooled-record accounting is the engine's own conservation
+  // law; everything else registers through components' AuditScopes.
+  auditor_.Register("sim/engine/event_queue/record_conservation", [this]() -> std::string {
+    const std::size_t allocated = queue_.AllocatedRecords();
+    const std::size_t free_records = queue_.FreeRecords();
+    const std::size_t live = queue_.Size();
+    if (allocated - free_records != live) {
+      return "allocated(" + std::to_string(allocated) + ") - free(" +
+             std::to_string(free_records) + ") != pending(" + std::to_string(live) + ")";
+    }
+    return {};
+  });
+  audit_cadence_ = AuditCadenceFromEnv();
+}
+
+Engine::~Engine() {
+  if (!audit_enabled_ever_) {
+    return;
+  }
+  // stderr, not the metrics snapshot: golden BENCH_*.json stay bit-for-bit
+  // identical whether or not a run was audited.
+  std::fprintf(stderr, "[unifab-audit] digest=%016" PRIx64 " events=%" PRIu64 "\n",
+               digest_.value(), fired_);
+}
+
+void Engine::AuditNow() {
+  const auto violations = auditor_.Sweep();
+  if (violations.empty()) {
+    return;
+  }
+  for (const auto& v : violations) {
+    std::fprintf(stderr, "[unifab-audit] INVARIANT VIOLATION at t=%" PRIu64 "ps %s: %s\n",
+                 now_, v.path.c_str(), v.message.c_str());
+  }
+  std::abort();
 }
 
 void Engine::FireNext() {
@@ -22,6 +83,15 @@ void Engine::FireNext() {
   }
   if (fn) {
     fn();  // null callbacks are legal no-ops (completion-less operations)
+  }
+  if (audit_cadence_ != 0) {
+    audit_enabled_ever_ = true;
+    digest_.Fold(when);
+    digest_.Fold(id);
+    if (++events_since_audit_ >= audit_cadence_) {
+      events_since_audit_ = 0;
+      AuditNow();
+    }
   }
 }
 

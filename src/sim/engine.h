@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <utility>
 
+#include "src/sim/audit.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/metrics.h"
 #include "src/sim/time.h"
@@ -22,6 +23,7 @@ namespace unifab {
 class Engine {
  public:
   Engine();
+  ~Engine();  // reports the run digest (stderr) when auditing was enabled
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
@@ -74,6 +76,30 @@ class Engine {
   MetricRegistry& metrics() { return metrics_; }
   const MetricRegistry& metrics() const { return metrics_; }
 
+  // The invariant auditor every component registers its conservation checks
+  // with (via AuditScope), mirroring the metrics registry.
+  InvariantAuditor& audit() { return auditor_; }
+  const InvariantAuditor& audit() const { return auditor_; }
+
+  // Order-sensitive digest over (tick, event id) of every fired event while
+  // auditing is enabled; identical workloads must produce identical values.
+  const RunDigest& digest() const { return digest_; }
+
+  // Sweep the auditor every `every_n_events` fired events and fold fired
+  // events into the digest. 0 disables both (the default unless the
+  // UNIFAB_AUDIT environment variable asked otherwise at construction:
+  // unset/"0" = off, "1" = on at the default cadence, ">1" = that cadence).
+  void SetAuditCadence(std::uint64_t every_n_events) {
+    audit_cadence_ = every_n_events;
+    events_since_audit_ = 0;
+  }
+  std::uint64_t audit_cadence() const { return audit_cadence_; }
+
+  // Runs one sweep now; on any violation prints every component-path
+  // message to stderr and aborts (fail fast: the state is already wrong and
+  // everything computed from here on would be garbage).
+  void AuditNow();
+
   // Optional per-event sim-time tracing; pass nullptr to disable. An unset
   // sink costs one pointer test per Schedule/fire.
   void SetTraceSink(EventTraceSink* sink) { trace_ = sink; }
@@ -83,10 +109,17 @@ class Engine {
   void FireNext();
 
   MetricRegistry metrics_;  // first member: components register during setup
+  InvariantAuditor auditor_;  // likewise registered into during setup
   EventQueue queue_;
   Tick now_ = 0;
   std::uint64_t fired_ = 0;
   EventTraceSink* trace_ = nullptr;
+  RunDigest digest_;
+  std::uint64_t audit_cadence_ = 0;  // 0 = auditing off
+  std::uint64_t events_since_audit_ = 0;
+  bool audit_enabled_ever_ = false;  // a digest was accumulated; report it
+
+  friend class AuditTestPeer;
 };
 
 }  // namespace unifab

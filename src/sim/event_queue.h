@@ -268,6 +268,8 @@ class EventQueue {
   std::size_t FreeRecords() const { return free_count_; }
 
  private:
+  friend class AuditTestPeer;  // seeded-corruption hook for audit tests
+
   static constexpr std::size_t kChunkShift = 7;  // 128 records per pool chunk
   static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
   static constexpr std::size_t kInitialTable = 64;  // power of two

@@ -8,13 +8,19 @@
 namespace unifab {
 
 void Summary::Add(double v) {
+  if (!std::isfinite(v)) {
+    ++non_finite_;
+    return;
+  }
   samples_.push_back(v);
   sum_ += v;
   sorted_ = false;
 }
 
 double Summary::Mean() const {
-  assert(!samples_.empty());
+  if (samples_.empty()) {
+    return 0.0;  // same deterministic sentinel as Percentile
+  }
   return sum_ / static_cast<double>(samples_.size());
 }
 
@@ -26,19 +32,25 @@ void Summary::SortIfNeeded() const {
 }
 
 double Summary::Min() const {
-  assert(!samples_.empty());
+  if (samples_.empty()) {
+    return 0.0;
+  }
   SortIfNeeded();
   return samples_.front();
 }
 
 double Summary::Max() const {
-  assert(!samples_.empty());
+  if (samples_.empty()) {
+    return 0.0;
+  }
   SortIfNeeded();
   return samples_.back();
 }
 
 double Summary::Stddev() const {
-  assert(!samples_.empty());
+  if (samples_.empty()) {
+    return 0.0;
+  }
   const double mean = Mean();
   double acc = 0.0;
   for (double v : samples_) {
@@ -73,6 +85,7 @@ void Summary::Clear() {
   samples_.clear();
   sum_ = 0.0;
   sorted_ = true;
+  non_finite_ = 0;
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t buckets) : lo_(lo), hi_(hi) {

@@ -15,11 +15,19 @@ namespace unifab {
 // that memory is not a concern.
 class Summary {
  public:
+  // Records a sample. Non-finite values (NaN/inf) are rejected and counted
+  // instead: one NaN would poison std::sort's strict weak ordering (UB) and
+  // every aggregate derived from the samples.
   void Add(double v);
 
   std::size_t Count() const { return samples_.size(); }
   bool Empty() const { return samples_.empty(); }
+  // Samples rejected by Add for being non-finite.
+  std::uint64_t NonFiniteDropped() const { return non_finite_; }
   double Sum() const { return sum_; }
+  // Aggregates over an empty summary deterministically report the same 0.0
+  // sentinel Percentile uses, instead of dividing by zero / dereferencing
+  // an empty vector in release builds.
   double Mean() const;
   double Min() const;
   double Max() const;
@@ -40,6 +48,7 @@ class Summary {
   mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
   double sum_ = 0.0;
+  std::uint64_t non_finite_ = 0;
 };
 
 // Fixed-width histogram for quick distribution dumps in bench output.
