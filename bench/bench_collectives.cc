@@ -1,0 +1,202 @@
+// E-COLL: collective data movement over eTrans — AllReduce sweep across
+// group size, algorithm (ring vs binomial tree vs auto), topology span
+// (one switch vs two), payload size, and eTrans chunk size; plus a
+// mid-collective chassis-flap campaign. Asserts the topology-aware
+// crossover (ring wins large intra-switch payloads, tree wins small
+// cross-switch ones) and byte conservation under faults; violations are
+// bench failures.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/collect_algo.h"
+#include "src/core/runtime.h"
+#include "src/topo/faults.h"
+
+namespace unifab {
+namespace {
+
+struct Outcome {
+  bool ok = false;
+  double latency_us = 0.0;
+  std::uint64_t bytes = 0;
+  CollectiveAlgorithm algo = CollectiveAlgorithm::kAuto;
+  std::uint64_t step_retries = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t audit_violations = 0;
+};
+
+// One collective on a fresh cluster: n FAA members, everything at t=0, so
+// the completion tick is the collective's latency.
+Outcome RunOne(int n, int switches, std::uint64_t bytes, CollectiveAlgorithm algo,
+               std::uint64_t transfer_chunk, const std::string& fault_plan) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 1;
+  cfg.num_fams = 1;
+  cfg.num_faas = n;
+  cfg.num_switches = switches;
+  Cluster cluster(cfg);
+
+  RuntimeOptions opts;
+  opts.collect.transfer_chunk_bytes = transfer_chunk;
+  UniFabricRuntime runtime(&cluster, opts);
+  Engine& engine = cluster.engine();
+
+  FaultScheduler faults(&engine, &cluster.fabric());
+  if (!fault_plan.empty()) {
+    faults.RegisterChassis("faa1", cluster.faa(1), cluster.fabric().LinkTo(cluster.faa(1)->id()));
+    const FaultPlan plan = FaultPlan::Parse(fault_plan);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "bad fault plan: %s\n", fault_plan.c_str());
+      return Outcome{};
+    }
+    faults.Schedule(plan);
+  }
+
+  CollectiveGroup group;
+  for (int i = 0; i < n; ++i) {
+    group.members.push_back(CollectiveMember{cluster.faa(i)->id(), 1ULL << 20});
+  }
+
+  CollectiveFuture f = runtime.collect()->AllReduce(group, bytes, algo);
+  engine.Run();
+
+  Outcome out;
+  if (!f.Ready()) {
+    return out;  // wedged: ok stays false
+  }
+  const CollectiveResult& r = f.Value();
+  out.ok = r.ok && r.status == TransferStatus::kOk;
+  out.latency_us = ToUs(r.completed_at);
+  out.bytes = r.bytes;
+  out.algo = r.algorithm;
+  out.step_retries = runtime.collect()->stats().step_retries;
+  out.faults_injected = faults.stats().faults_injected;
+  out.audit_violations = engine.audit().Sweep().size();
+  out.ok = out.ok && out.audit_violations == 0;
+  return out;
+}
+
+std::string Label(int n, const char* topo, std::uint64_t bytes, const char* algo) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "n%d_%s_%lluKiB_%s", n, topo,
+                static_cast<unsigned long long>(bytes / 1024), algo);
+  return buf;
+}
+
+}  // namespace
+}  // namespace unifab
+
+int main() {
+  using namespace unifab;
+  PrintHeader("E-COLL", "collective sweep",
+              "AllReduce over FAA groups: ring vs binomial tree vs auto across group "
+              "size, switch span, payload, chunk size, and chassis flaps");
+
+  BenchReport report("collectives");
+  bool failed = false;
+
+  constexpr std::uint64_t kSmall = 4 * 1024;
+  constexpr std::uint64_t kLarge = 256 * 1024;
+  constexpr std::uint64_t kChunk = 4 * 1024;
+
+  // --- Algorithm sweep: intra-switch (span 2) and cross-switch (span > 2).
+  std::printf("%-26s %-10s %-12s %-10s %-8s\n", "scenario", "algo", "latency us", "MB moved",
+              "ok");
+  struct Case {
+    int n;
+    int switches;
+    std::uint64_t bytes;
+  };
+  const std::vector<Case> cases = {
+      {4, 1, kLarge}, {8, 1, kLarge}, {16, 1, kLarge},  // large intra: ring country
+      {4, 2, kSmall}, {8, 2, kSmall}, {16, 2, kSmall},  // small cross: tree country
+  };
+  const std::vector<std::pair<const char*, CollectiveAlgorithm>> algos = {
+      {"ring", CollectiveAlgorithm::kRing},
+      {"tree", CollectiveAlgorithm::kBinomialTree},
+      {"auto", CollectiveAlgorithm::kAuto},
+  };
+  for (const Case& c : cases) {
+    const char* topo = c.switches == 1 ? "intra" : "cross";
+    double ring_us = 0.0;
+    double tree_us = 0.0;
+    for (const auto& [aname, algo] : algos) {
+      const Outcome out = RunOne(c.n, c.switches, c.bytes, algo, kChunk, "");
+      failed = failed || !out.ok;
+      const std::string label = Label(c.n, topo, c.bytes, aname);
+      std::printf("%-26s %-10s %-12.1f %-10.2f %-8s\n", label.c_str(),
+                  CollectiveAlgorithmName(out.algo), out.latency_us,
+                  static_cast<double>(out.bytes) / (1024.0 * 1024.0), out.ok ? "yes" : "NO");
+      report.Note(label + "/latency_us", out.latency_us);
+      report.Note(label + "/bytes", out.bytes);
+      report.Note(label + "/algo", CollectiveAlgorithmName(out.algo));
+      if (algo == CollectiveAlgorithm::kRing) {
+        ring_us = out.latency_us;
+      }
+      if (algo == CollectiveAlgorithm::kBinomialTree) {
+        tree_us = out.latency_us;
+      }
+    }
+    // The topology-aware crossover the planner banks on must hold in the
+    // simulated fabric, not just the cost model.
+    if (c.bytes == kLarge && c.switches == 1 && !(ring_us < tree_us)) {
+      std::fprintf(stderr, "FAIL: ring (%.1f us) not faster than tree (%.1f us) for "
+                           "large intra-switch AllReduce n=%d\n",
+                   ring_us, tree_us, c.n);
+      failed = true;
+    }
+    if (c.bytes == kSmall && c.switches == 2 && c.n >= 8 && !(tree_us < ring_us)) {
+      std::fprintf(stderr, "FAIL: tree (%.1f us) not faster than ring (%.1f us) for "
+                           "small cross-switch AllReduce n=%d\n",
+                   tree_us, ring_us, c.n);
+      failed = true;
+    }
+  }
+
+  // --- Chunk-size sweep: eTrans pipelining granularity, ring n=8 large. ---
+  std::printf("\n%-26s %-12s\n", "chunk sweep (ring n=8)", "latency us");
+  for (const std::uint64_t chunk : {std::uint64_t{4} << 10, std::uint64_t{16} << 10,
+                                    std::uint64_t{64} << 10}) {
+    const Outcome out = RunOne(8, 1, kLarge, CollectiveAlgorithm::kRing, chunk, "");
+    failed = failed || !out.ok;
+    char key[48];
+    std::snprintf(key, sizeof(key), "chunk_%lluKiB",
+                  static_cast<unsigned long long>(chunk / 1024));
+    std::printf("%-26s %-12.1f\n", key, out.latency_us);
+    report.Note(std::string(key) + "/latency_us", out.latency_us);
+  }
+
+  // --- Fault campaign: flap a member chassis mid-collective. -------------
+  std::printf("\n%-26s %-12s %-9s %-8s %-8s\n", "fault campaign", "latency us", "retries",
+              "faults", "ok");
+  const std::uint64_t kFaultBytes = 128 * 1024;
+  const Outcome out = RunOne(4, 1, kFaultBytes, CollectiveAlgorithm::kRing, kChunk,
+                             "flap faa1 start=50 period=800 down=250 cycles=3");
+  const std::uint64_t want_bytes =
+      BuildAllReduce(CollectiveAlgorithm::kRing, 4, kFaultBytes).TotalBytes();
+  const bool conserved = out.bytes == want_bytes;
+  if (!out.ok || !conserved || out.faults_injected == 0) {
+    std::fprintf(stderr, "FAIL: flap campaign ok=%d bytes=%llu want=%llu faults=%llu\n", out.ok,
+                 static_cast<unsigned long long>(out.bytes),
+                 static_cast<unsigned long long>(want_bytes),
+                 static_cast<unsigned long long>(out.faults_injected));
+    failed = true;
+  }
+  std::printf("%-26s %-12.1f %-9llu %-8llu %-8s\n", "flap_faa1", out.latency_us,
+              static_cast<unsigned long long>(out.step_retries),
+              static_cast<unsigned long long>(out.faults_injected),
+              out.ok && conserved ? "yes" : "NO");
+  report.Note("flap/latency_us", out.latency_us);
+  report.Note("flap/step_retries", out.step_retries);
+  report.Note("flap/faults_injected", out.faults_injected);
+  report.Note("flap/bytes", out.bytes);
+  report.Note("flap/bytes_conserved", conserved ? std::uint64_t{1} : std::uint64_t{0});
+
+  report.Note("failed", failed ? std::uint64_t{1} : std::uint64_t{0});
+  report.WriteJson();
+  PrintFooter();
+  return failed ? 1 : 0;
+}

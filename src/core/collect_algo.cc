@@ -1,0 +1,359 @@
+#include "src/core/collect_algo.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace unifab {
+namespace {
+
+int CeilLog2(int n) {
+  int l = 0;
+  while ((1 << l) < n) {
+    ++l;
+  }
+  return l;
+}
+
+// Byte-exact partition of [0, bytes) into n slices: slice s spans
+// [Start(s), Start(s+1)). Uneven remainders land deterministically.
+std::uint64_t SliceStart(std::uint64_t bytes, int n, int s) {
+  return bytes * static_cast<std::uint64_t>(s) / static_cast<std::uint64_t>(n);
+}
+
+void AddTransfer(CollectiveStep& step, int src, int dst, std::uint64_t src_off,
+                 std::uint64_t dst_off, std::uint64_t bytes) {
+  if (bytes == 0 || src == dst) {
+    return;  // zero-byte or self moves would wedge an eTrans job; plan none
+  }
+  step.transfers.push_back(StepTransfer{src, dst, src_off, dst_off, bytes});
+}
+
+// Appends `step` depending on the previous appended step (round barrier).
+int AppendRound(CollectiveSchedule& sched, CollectiveStep step, int dep) {
+  if (dep >= 0) {
+    step.deps.push_back(dep);
+  }
+  sched.steps.push_back(std::move(step));
+  return static_cast<int>(sched.steps.size()) - 1;
+}
+
+// Binomial-tree fan-out rounds, highest bit last: in round r every virtual
+// rank v < 2^r forwards the range to v + 2^r. `dep0` gates round 0.
+int AppendBinomialBroadcast(CollectiveSchedule& sched, int n, int root, std::uint64_t offset,
+                            std::uint64_t bytes, int dep0) {
+  const int rounds = CeilLog2(n);
+  int dep = dep0;
+  for (int r = 0; r < rounds; ++r) {
+    CollectiveStep step;
+    for (int v = 0; v < (1 << r); ++v) {
+      const int peer = v + (1 << r);
+      if (peer >= n) {
+        break;
+      }
+      AddTransfer(step, (v + root) % n, (peer + root) % n, offset, offset, bytes);
+    }
+    dep = AppendRound(sched, std::move(step), dep);
+  }
+  return dep;
+}
+
+// Binomial-tree combining rounds (recursive halving): in round r every
+// virtual rank v with v mod 2^(r+1) == 2^r pushes its partial into v - 2^r.
+int AppendBinomialReduce(CollectiveSchedule& sched, int n, int root, std::uint64_t bytes) {
+  const int rounds = CeilLog2(n);
+  int dep = -1;
+  for (int r = 0; r < rounds; ++r) {
+    CollectiveStep step;
+    step.reducing = true;
+    for (int v = (1 << r); v < n; v += (1 << (r + 1))) {
+      AddTransfer(step, (v + root) % n, (v - (1 << r) + root) % n, 0, 0, bytes);
+    }
+    dep = AppendRound(sched, std::move(step), dep);
+  }
+  return dep;
+}
+
+// Ring reduce-scatter: n-1 rounds; in round r member i pushes slice
+// (i - r mod n) of the shared [0, bytes) buffer into its successor, which
+// combines it. Afterwards member (s + n - 1) mod n holds complete slice s.
+int AppendRingReduceScatter(CollectiveSchedule& sched, int n, std::uint64_t bytes) {
+  int dep = -1;
+  for (int r = 0; r < n - 1; ++r) {
+    CollectiveStep step;
+    step.reducing = true;
+    for (int i = 0; i < n; ++i) {
+      const int s = (i - r + n) % n;
+      const std::uint64_t off = SliceStart(bytes, n, s);
+      AddTransfer(step, i, (i + 1) % n, off, off, SliceStart(bytes, n, s + 1) - off);
+    }
+    dep = AppendRound(sched, std::move(step), dep);
+  }
+  return dep;
+}
+
+}  // namespace
+
+const char* CollectiveOpName(CollectiveOp op) {
+  switch (op) {
+    case CollectiveOp::kBroadcast: return "broadcast";
+    case CollectiveOp::kScatter: return "scatter";
+    case CollectiveOp::kGather: return "gather";
+    case CollectiveOp::kReduce: return "reduce";
+    case CollectiveOp::kAllGather: return "allgather";
+    case CollectiveOp::kAllReduce: return "allreduce";
+  }
+  return "?";
+}
+
+const char* CollectiveAlgorithmName(CollectiveAlgorithm algo) {
+  switch (algo) {
+    case CollectiveAlgorithm::kAuto: return "auto";
+    case CollectiveAlgorithm::kRing: return "ring";
+    case CollectiveAlgorithm::kBinomialTree: return "tree";
+    case CollectiveAlgorithm::kLinear: return "linear";
+  }
+  return "?";
+}
+
+std::uint64_t CollectiveSchedule::TotalBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& step : steps) {
+    for (const auto& t : step.transfers) {
+      total += t.bytes;
+    }
+  }
+  return total;
+}
+
+int CollectiveSchedule::DepthSteps() const {
+  std::vector<int> depth(steps.size(), 1);
+  int max_depth = steps.empty() ? 0 : 1;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    for (int dep : steps[i].deps) {
+      assert(dep >= 0 && dep < static_cast<int>(i) && "schedule deps must point backwards");
+      depth[i] = std::max(depth[i], depth[static_cast<std::size_t>(dep)] + 1);
+    }
+    max_depth = std::max(max_depth, depth[i]);
+  }
+  return max_depth;
+}
+
+CollectiveSchedule BuildBroadcast(CollectiveAlgorithm algo, int n, int root, std::uint64_t bytes,
+                                  const CollectivePlanConfig& config) {
+  CollectiveSchedule sched;
+  sched.op = CollectiveOp::kBroadcast;
+  sched.algo = algo;
+  sched.num_members = n;
+  if (n <= 1 || bytes == 0) {
+    return sched;
+  }
+  if (algo == CollectiveAlgorithm::kRing) {
+    // Pipelined chunk relay around the ring: chunk c may ride hop h as soon
+    // as it finished hop h-1, so C chunks overlap across the n-1 hops.
+    const std::uint64_t want =
+        config.chunk_bytes == 0 ? 1 : (bytes + config.chunk_bytes - 1) / config.chunk_bytes;
+    const int chunks = static_cast<int>(std::clamp<std::uint64_t>(
+        want, 1, static_cast<std::uint64_t>(std::max(1, config.pipeline_chunks))));
+    std::vector<int> prev_hop(static_cast<std::size_t>(chunks), -1);
+    for (int h = 0; h < n - 1; ++h) {
+      for (int c = 0; c < chunks; ++c) {
+        const std::uint64_t off = SliceStart(bytes, chunks, c);
+        CollectiveStep step;
+        AddTransfer(step, (root + h) % n, (root + h + 1) % n, off, off,
+                    SliceStart(bytes, chunks, c + 1) - off);
+        prev_hop[static_cast<std::size_t>(c)] =
+            AppendRound(sched, std::move(step), prev_hop[static_cast<std::size_t>(c)]);
+      }
+    }
+    return sched;
+  }
+  sched.algo = CollectiveAlgorithm::kBinomialTree;
+  AppendBinomialBroadcast(sched, n, root, 0, bytes, -1);
+  return sched;
+}
+
+CollectiveSchedule BuildScatter(int n, int root, std::uint64_t slice_bytes) {
+  CollectiveSchedule sched;
+  sched.op = CollectiveOp::kScatter;
+  sched.algo = CollectiveAlgorithm::kLinear;
+  sched.num_members = n;
+  CollectiveStep step;
+  for (int i = 0; i < n; ++i) {
+    AddTransfer(step, root, i, static_cast<std::uint64_t>(i) * slice_bytes, 0, slice_bytes);
+  }
+  if (!step.transfers.empty()) {
+    sched.steps.push_back(std::move(step));
+  }
+  return sched;
+}
+
+CollectiveSchedule BuildGather(int n, int root, std::uint64_t slice_bytes) {
+  CollectiveSchedule sched;
+  sched.op = CollectiveOp::kGather;
+  sched.algo = CollectiveAlgorithm::kLinear;
+  sched.num_members = n;
+  CollectiveStep step;
+  for (int i = 0; i < n; ++i) {
+    AddTransfer(step, i, root, 0, static_cast<std::uint64_t>(i) * slice_bytes, slice_bytes);
+  }
+  if (!step.transfers.empty()) {
+    sched.steps.push_back(std::move(step));
+  }
+  return sched;
+}
+
+CollectiveSchedule BuildReduce(CollectiveAlgorithm algo, int n, int root, std::uint64_t bytes) {
+  CollectiveSchedule sched;
+  sched.op = CollectiveOp::kReduce;
+  sched.algo = algo;
+  sched.num_members = n;
+  if (n <= 1 || bytes == 0) {
+    return sched;
+  }
+  if (algo == CollectiveAlgorithm::kRing) {
+    // Reduce-scatter leaves complete slice s at member (s + n - 1) mod n;
+    // one fan-in round then lands every foreign slice at the root.
+    const int dep = AppendRingReduceScatter(sched, n, bytes);
+    CollectiveStep gather;
+    for (int i = 0; i < n; ++i) {
+      const int s = (i + 1) % n;
+      const std::uint64_t off = SliceStart(bytes, n, s);
+      AddTransfer(gather, i, root, off, off, SliceStart(bytes, n, s + 1) - off);
+    }
+    AppendRound(sched, std::move(gather), dep);
+    return sched;
+  }
+  sched.algo = CollectiveAlgorithm::kBinomialTree;
+  AppendBinomialReduce(sched, n, root, bytes);
+  return sched;
+}
+
+CollectiveSchedule BuildAllGather(CollectiveAlgorithm algo, int n, std::uint64_t slice_bytes) {
+  CollectiveSchedule sched;
+  sched.op = CollectiveOp::kAllGather;
+  sched.algo = algo;
+  sched.num_members = n;
+  if (n <= 1 || slice_bytes == 0) {
+    return sched;
+  }
+  if (algo == CollectiveAlgorithm::kRing) {
+    // Round r: member i forwards the slice it received in round r-1 (its
+    // own in round 0) to its successor; n-1 rounds circulate every slice.
+    int dep = -1;
+    for (int r = 0; r < n - 1; ++r) {
+      CollectiveStep step;
+      for (int i = 0; i < n; ++i) {
+        const int s = (i - r + n) % n;
+        const std::uint64_t off = static_cast<std::uint64_t>(s) * slice_bytes;
+        AddTransfer(step, i, (i + 1) % n, off, off, slice_bytes);
+      }
+      dep = AppendRound(sched, std::move(step), dep);
+    }
+    return sched;
+  }
+  // Tree: fan every slice into member 0, then binomial-broadcast the whole
+  // n-slice buffer.
+  sched.algo = CollectiveAlgorithm::kBinomialTree;
+  CollectiveStep gather;
+  for (int i = 1; i < n; ++i) {
+    const std::uint64_t off = static_cast<std::uint64_t>(i) * slice_bytes;
+    AddTransfer(gather, i, 0, off, off, slice_bytes);
+  }
+  const int dep = AppendRound(sched, std::move(gather), -1);
+  AppendBinomialBroadcast(sched, n, 0, 0, static_cast<std::uint64_t>(n) * slice_bytes, dep);
+  return sched;
+}
+
+CollectiveSchedule BuildAllReduce(CollectiveAlgorithm algo, int n, std::uint64_t bytes) {
+  CollectiveSchedule sched;
+  sched.op = CollectiveOp::kAllReduce;
+  sched.algo = algo;
+  sched.num_members = n;
+  if (n <= 1 || bytes == 0) {
+    return sched;
+  }
+  if (algo == CollectiveAlgorithm::kRing) {
+    // Classic bandwidth-optimal form: reduce-scatter then allgather, each
+    // member moving 2 * bytes * (n-1)/n total over its own uplink.
+    int dep = AppendRingReduceScatter(sched, n, bytes);
+    for (int r = 0; r < n - 1; ++r) {
+      CollectiveStep step;
+      for (int i = 0; i < n; ++i) {
+        const int s = (i + 1 - r + n) % n;
+        const std::uint64_t off = SliceStart(bytes, n, s);
+        AddTransfer(step, i, (i + 1) % n, off, off, SliceStart(bytes, n, s + 1) - off);
+      }
+      dep = AppendRound(sched, std::move(step), dep);
+    }
+    return sched;
+  }
+  sched.algo = CollectiveAlgorithm::kBinomialTree;
+  const int dep = AppendBinomialReduce(sched, n, /*root=*/0, bytes);
+  AppendBinomialBroadcast(sched, n, /*root=*/0, 0, bytes, dep);
+  return sched;
+}
+
+double EstimateCostUs(CollectiveOp op, CollectiveAlgorithm algo, int n, std::uint64_t bytes,
+                      int span_hops, const CollectivePlanConfig& config) {
+  if (n <= 1) {
+    return 0.0;
+  }
+  const double alpha =
+      config.step_overhead_us + static_cast<double>(std::max(span_hops, 0)) * config.hop_us;
+  const double mbps = config.effective_mbps > 0.0 ? config.effective_mbps : 8000.0;
+  const auto beta = [mbps](double b) { return b / mbps; };  // MB/s == bytes/us
+  const double b = static_cast<double>(bytes);
+  const double nn = static_cast<double>(n);
+  const int logn = CeilLog2(n);
+
+  switch (op) {
+    case CollectiveOp::kScatter:
+    case CollectiveOp::kGather:
+      return alpha + beta((nn - 1.0) * b);
+    case CollectiveOp::kBroadcast: {
+      if (algo == CollectiveAlgorithm::kRing) {
+        const double chunks = std::max(
+            1.0, std::min(static_cast<double>(std::max(1, config.pipeline_chunks)),
+                          config.chunk_bytes > 0 ? b / config.chunk_bytes : 1.0));
+        return (nn - 1.0 + chunks - 1.0) * (alpha + beta(b / chunks));
+      }
+      return logn * (alpha + beta(b));
+    }
+    case CollectiveOp::kReduce: {
+      if (algo == CollectiveAlgorithm::kRing) {
+        return (nn - 1.0) * (alpha + beta(b / nn)) + alpha + beta(b * (nn - 1.0) / nn);
+      }
+      return logn * (alpha + beta(b));
+    }
+    case CollectiveOp::kAllGather: {
+      if (algo == CollectiveAlgorithm::kRing) {
+        return (nn - 1.0) * (alpha + beta(b));
+      }
+      return alpha + beta((nn - 1.0) * b) + logn * (alpha + beta(nn * b));
+    }
+    case CollectiveOp::kAllReduce: {
+      if (algo == CollectiveAlgorithm::kRing) {
+        return 2.0 * (nn - 1.0) * (alpha + beta(b / nn));
+      }
+      return 2.0 * logn * (alpha + beta(b));
+    }
+  }
+  return 0.0;
+}
+
+CollectiveAlgorithm ChooseAlgorithm(CollectiveOp op, int n, std::uint64_t bytes, int span_hops,
+                                    const CollectivePlanConfig& config) {
+  if (op == CollectiveOp::kScatter || op == CollectiveOp::kGather) {
+    return CollectiveAlgorithm::kLinear;
+  }
+  if (n <= 2) {
+    // Degenerate groups: ring and tree coincide; keep the fewer-steps form.
+    return CollectiveAlgorithm::kBinomialTree;
+  }
+  const double ring = EstimateCostUs(op, CollectiveAlgorithm::kRing, n, bytes, span_hops, config);
+  const double tree =
+      EstimateCostUs(op, CollectiveAlgorithm::kBinomialTree, n, bytes, span_hops, config);
+  return ring < tree ? CollectiveAlgorithm::kRing : CollectiveAlgorithm::kBinomialTree;
+}
+
+}  // namespace unifab

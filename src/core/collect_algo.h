@@ -1,0 +1,108 @@
+// Collective schedule construction and algorithm selection (eCollect's
+// planning half). Pure functions from (operation, group size, payload,
+// topology span) to a DAG of chunked point-to-point steps — no engine or
+// fabric dependencies, so every schedule shape is unit-testable.
+//
+// Algorithms follow the classic collective taxonomy:
+//   * kRing — bandwidth-optimal pipelines: each member pushes one slice per
+//     round to its ring successor over its own uplink, so all N fabric links
+//     carry traffic concurrently. 2(N-1) rounds for AllReduce
+//     (reduce-scatter + allgather), N-1 for AllGather.
+//   * kBinomialTree — latency-optimal recursive doubling/halving:
+//     ceil(log2 N) rounds, each moving the full payload between pair peers.
+//   * kLinear — root fan-out/fan-in in one step (Scatter/Gather, where each
+//     member touches a distinct slice and no forwarding helps).
+//
+// Selection is cost-model driven: alpha (per-step latency, scaled by the
+// group's switch-hop span) vs beta (per-byte wire time). Large payloads on
+// short spans amortize ring's extra rounds; small payloads on long spans
+// want the tree's logarithmic round count.
+
+#ifndef SRC_CORE_COLLECT_ALGO_H_
+#define SRC_CORE_COLLECT_ALGO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace unifab {
+
+enum class CollectiveOp { kBroadcast, kScatter, kGather, kReduce, kAllGather, kAllReduce };
+
+enum class CollectiveAlgorithm { kAuto, kRing, kBinomialTree, kLinear };
+
+const char* CollectiveOpName(CollectiveOp op);
+const char* CollectiveAlgorithmName(CollectiveAlgorithm algo);
+
+// One point-to-point movement between two group members (indices into the
+// group's member list). Offsets are relative to each member's buffer base.
+struct StepTransfer {
+  int src = -1;
+  int dst = -1;
+  std::uint64_t src_offset = 0;
+  std::uint64_t dst_offset = 0;
+  std::uint64_t bytes = 0;
+};
+
+// One DAG node: a set of transfers that may run concurrently once every
+// step in `deps` has completed. `reducing` marks steps whose destinations
+// combine incoming data (byte conservation is audited per such step).
+struct CollectiveStep {
+  std::vector<StepTransfer> transfers;
+  std::vector<int> deps;  // indices of prerequisite steps (always < own index)
+  bool reducing = false;
+};
+
+struct CollectiveSchedule {
+  CollectiveOp op = CollectiveOp::kBroadcast;
+  CollectiveAlgorithm algo = CollectiveAlgorithm::kLinear;
+  int num_members = 0;
+  std::vector<CollectiveStep> steps;
+
+  // Sum of transfer bytes across all steps (total wire traffic planned).
+  std::uint64_t TotalBytes() const;
+  // Longest dependency chain, in steps (the schedule's critical path).
+  int DepthSteps() const;
+};
+
+// Knobs the planner needs; a subset of CollectiveConfig (collect.h) so the
+// algorithm layer stays engine-free.
+struct CollectivePlanConfig {
+  std::uint32_t chunk_bytes = 16 * 1024;  // ring broadcast pipeline granularity
+  int pipeline_chunks = 4;                // max chunks in flight per ring broadcast
+  // Cost model: per-step fixed cost = step_overhead_us + span_hops * hop_us;
+  // per-byte cost = 1 / effective_mbps (MB/s == bytes/us).
+  double step_overhead_us = 3.0;
+  double hop_us = 0.2;
+  double effective_mbps = 8000.0;
+};
+
+// --- Schedule builders ---------------------------------------------------
+// `n` is the group size; `root` indexes the rooted operations' root member.
+// For Broadcast/Reduce/AllReduce, `bytes` is the full payload each member
+// holds; for Scatter/Gather/AllGather it is the per-member slice.
+
+CollectiveSchedule BuildBroadcast(CollectiveAlgorithm algo, int n, int root, std::uint64_t bytes,
+                                  const CollectivePlanConfig& config);
+CollectiveSchedule BuildScatter(int n, int root, std::uint64_t slice_bytes);
+CollectiveSchedule BuildGather(int n, int root, std::uint64_t slice_bytes);
+CollectiveSchedule BuildReduce(CollectiveAlgorithm algo, int n, int root, std::uint64_t bytes);
+CollectiveSchedule BuildAllGather(CollectiveAlgorithm algo, int n, std::uint64_t slice_bytes);
+CollectiveSchedule BuildAllReduce(CollectiveAlgorithm algo, int n, std::uint64_t bytes);
+
+// --- Selection -----------------------------------------------------------
+
+// Predicted completion time (us) of `algo` for this operation; the model
+// behind ChooseAlgorithm, exposed for tests and the bench's crossover plot.
+double EstimateCostUs(CollectiveOp op, CollectiveAlgorithm algo, int n, std::uint64_t bytes,
+                      int span_hops, const CollectivePlanConfig& config);
+
+// Picks the concrete algorithm for an op over a group whose widest member
+// pair is `span_hops` switch-graph edges apart (2 == same switch). Returns
+// kRing, kBinomialTree, or kLinear — never kAuto.
+CollectiveAlgorithm ChooseAlgorithm(CollectiveOp op, int n, std::uint64_t bytes, int span_hops,
+                                    const CollectivePlanConfig& config);
+
+}  // namespace unifab
+
+#endif  // SRC_CORE_COLLECT_ALGO_H_

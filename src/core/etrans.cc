@@ -10,10 +10,23 @@ namespace {
 // Tag payloads distinguishing eTrans message kinds.
 constexpr std::uint64_t kTagJob = 1;
 constexpr std::uint64_t kTagDone = 2;
+constexpr std::uint64_t kTagPut = 3;     // push: chunk payload toward its dst agent
+constexpr std::uint64_t kTagPutAck = 4;  // push: durable-at-destination ack
 
 struct DoneMsg {
   std::uint64_t job_id;
   TransferResult result;
+};
+
+struct PutMsg {
+  std::uint64_t put_id;
+  std::uint64_t addr;   // absolute address in the destination's local memory
+  std::uint32_t bytes;
+};
+
+struct PutAckMsg {
+  std::uint64_t put_id;
+  bool ok;
 };
 
 }  // namespace
@@ -25,6 +38,9 @@ void AgentStats::BindTo(MetricGroup& group, const std::string& prefix) const {
   group.AddCounterFn(prefix + "bytes_moved", [this] { return bytes_moved; });
   group.AddCounterFn(prefix + "throttle_waits", [this] { return throttle_waits; });
   group.AddCounterFn(prefix + "lease_denials", [this] { return lease_denials; });
+  group.AddCounterFn(prefix + "pushes_sent", [this] { return pushes_sent; });
+  group.AddCounterFn(prefix + "pushes_served", [this] { return pushes_served; });
+  group.AddCounterFn(prefix + "push_timeouts", [this] { return push_timeouts; });
   group.AddSummaryFn(prefix + "job_latency_us", [this] { return &job_latency_us; });
 }
 
@@ -319,6 +335,10 @@ void MigrationAgent::WriteSegment(const Segment& seg, std::uint64_t offset, std:
     return;
   }
   auto* host = dynamic_cast<HostAdapter*>(dispatcher_->adapter());
+  if (host == nullptr && push_enabled_) {
+    PushRemote(seg, offset, bytes, std::move(done));
+    return;
+  }
   assert(host != nullptr && "remote segment but agent has no host adapter");
   MemRequest req;
   req.type = MemRequest::Type::kWrite;
@@ -326,6 +346,58 @@ void MigrationAgent::WriteSegment(const Segment& seg, std::uint64_t offset, std:
   req.bytes = bytes;
   req.channel = Channel::kMem;
   host->SubmitWithStatus(seg.node, req, std::move(done));
+}
+
+void MigrationAgent::PushRemote(const Segment& seg, std::uint64_t offset, std::uint32_t bytes,
+                                std::function<void(bool)> done) {
+  const std::uint64_t put_id = next_put_++;
+  PendingPut& pending = pending_puts_[put_id];
+  pending.done = std::move(done);
+  pending.timeout = engine_->Schedule(kPutAckTimeout, [this, put_id] {
+    auto it = pending_puts_.find(put_id);
+    if (it == pending_puts_.end()) {
+      return;  // acked in time
+    }
+    ++stats_.push_timeouts;
+    auto cb = std::move(it->second.done);
+    pending_puts_.erase(it);
+    cb(false);
+  });
+  ++stats_.pushes_sent;
+  auto msg = std::make_shared<PutMsg>(PutMsg{put_id, seg.addr + offset, bytes});
+  // The chunk payload rides the message, so the wire time of the push is the
+  // real serialization cost of `bytes` on this agent's own uplink.
+  dispatcher_->Send(seg.node, kSvcETrans, kTagPut, bytes, std::move(msg), Channel::kMem);
+}
+
+void MigrationAgent::ServePut(const FabricMessage& msg) {
+  const auto put = std::static_pointer_cast<PutMsg>(msg.body);
+  assert(put != nullptr);
+  const PbrId requester = msg.src;
+  const std::uint64_t put_id = put->put_id;
+  auto ack = [this, requester, put_id](bool ok) {
+    auto body = std::make_shared<PutAckMsg>(PutAckMsg{put_id, ok});
+    dispatcher_->Send(requester, kSvcETrans, kTagPutAck, 64, std::move(body), Channel::kMem);
+  };
+  if (local_mem_ == nullptr) {
+    ack(false);
+    return;
+  }
+  ++stats_.pushes_served;
+  local_mem_->Access(put->addr, put->bytes, /*is_write=*/true, [ack] { ack(true); });
+}
+
+void MigrationAgent::CompletePut(std::uint64_t put_id, bool ok) {
+  auto it = pending_puts_.find(put_id);
+  if (it == pending_puts_.end()) {
+    return;  // the timeout already failed this push; ignore the late ack
+  }
+  if (it->second.timeout != kInvalidEventId) {
+    engine_->Cancel(it->second.timeout);
+  }
+  auto cb = std::move(it->second.done);
+  pending_puts_.erase(it);
+  cb(ok);
 }
 
 void ETransStats::BindTo(MetricGroup& group, const std::string& prefix) const {
@@ -376,8 +448,11 @@ ETransEngine::ETransEngine(Engine* engine, ETransRecoveryConfig recovery)
   });
 }
 
-void ETransEngine::RegisterAgent(PbrId domain_node, MigrationAgent* agent) {
-  agents_[domain_node] = agent;
+void ETransEngine::RegisterAgent(PbrId domain_node, MigrationAgent* agent,
+                                 bool executor_candidate) {
+  if (executor_candidate) {
+    agents_[domain_node] = agent;
+  }
   agents_by_self_[agent->fabric_id()] = agent;
   agent->dispatcher()->RegisterService(
       kSvcETrans, [this, agent](const FabricMessage& msg) { HandleAgentMessage(agent, msg); });
@@ -406,7 +481,8 @@ bool MigrationAgent::CanExecute(const ETransDescriptor& desc) const {
     }
   }
   for (const auto& d : desc.dst) {
-    if (d.node != fabric_id()) {
+    // Push-enabled endpoint agents reach remote destinations via kTagPut.
+    if (d.node != fabric_id() && !push_enabled_) {
       return false;
     }
   }
@@ -520,7 +596,7 @@ void ETransEngine::OnAttemptDone(const std::shared_ptr<PendingTransfer>& pt,
     pt->deadline_event = kInvalidEventId;
   }
   tracked_.erase(pt->job_id);
-  if (pt->terminal) {
+  if (pt->future.Ready()) {
     // A straggler attempt resolving a transfer that already reached its
     // terminal status. Fulfilling again would double-complete the future;
     // record the violation for the auditor and drop the result.
@@ -535,7 +611,6 @@ void ETransEngine::OnAttemptDone(const std::shared_ptr<PendingTransfer>& pt,
       ++recovery_stats_.jobs_recovered;
       recovery_stats_.time_to_recover_us.Add(ToUs(engine_->Now() - pt->first_failure_at));
     }
-    pt->terminal = true;
     ++transfers_terminal_;
     pt->future.Fulfill(result);
     return;
@@ -555,7 +630,6 @@ void ETransEngine::OnAttemptDone(const std::shared_ptr<PendingTransfer>& pt,
     result.ok = false;
     result.completed_at = engine_->Now();
     ++recovery_stats_.jobs_aborted;
-    pt->terminal = true;
     ++transfers_terminal_;
     pt->future.Fulfill(result);
     return;
@@ -597,6 +671,16 @@ void ETransEngine::HandleAgentMessage(MigrationAgent* agent, const FabricMessage
       const std::shared_ptr<PendingTransfer> pt = it->second;
       tracked_.erase(it);
       OnAttemptDone(pt, done->result);
+      return;
+    }
+    case kTagPut: {
+      agent->ServePut(msg);
+      return;
+    }
+    case kTagPutAck: {
+      const auto ack = std::static_pointer_cast<PutAckMsg>(msg.body);
+      assert(ack != nullptr);
+      agent->CompletePut(ack->put_id, ack->ok);
       return;
     }
     default:

@@ -94,6 +94,9 @@ struct AgentStats {
   std::uint64_t bytes_moved = 0;
   std::uint64_t throttle_waits = 0;  // chunks delayed by the bandwidth lease
   std::uint64_t lease_denials = 0;
+  std::uint64_t pushes_sent = 0;     // remote-write chunks pushed over the fabric
+  std::uint64_t pushes_served = 0;   // pushes landed into this agent's local memory
+  std::uint64_t push_timeouts = 0;   // pushes whose ack never came back
   Summary job_latency_us;
 
   void BindTo(MetricGroup& group, const std::string& prefix = "") const;
@@ -114,8 +117,22 @@ class MigrationAgent {
   // Whether this agent can touch every segment of `desc`: either the
   // segment is in the agent's own memory domain, or the agent fronts a host
   // adapter that can issue fabric transactions. FAM-controller agents can
-  // only execute jobs local to their chassis.
+  // only execute jobs local to their chassis. Push-enabled endpoint agents
+  // additionally accept remote *destinations* (served by the push protocol)
+  // as long as every source segment is local.
   bool CanExecute(const ETransDescriptor& desc) const;
+
+  // Opts this agent into the eTrans push protocol: remote destination
+  // writes become kTagPut runtime messages carrying the chunk payload to
+  // the destination's agent, which lands them in its local memory and acks.
+  // This is what lets a collective's member-to-member transfers run on the
+  // members' own uplinks instead of funneling through a host adapter.
+  // Deliberately NOT enabled for FAM-controller agents: their executor
+  // domain stays chassis-local (pinned by tests).
+  void EnablePush() { push_enabled_ = true; }
+  bool push_enabled() const { return push_enabled_; }
+
+  ArbiterClient* arbiter() const { return arbiter_; }
 
   // Deadline for one execution attempt of `desc` at `rate_mbps` pacing
   // (<= 0 falls back to the descriptor's requested rate).
@@ -167,15 +184,32 @@ class MigrationAgent {
                    std::function<void(bool ok)> done);
   void WriteSegment(const Segment& seg, std::uint64_t offset, std::uint32_t bytes,
                     std::function<void(bool ok)> done);
+  // Push protocol (remote destination writes from endpoint agents).
+  void PushRemote(const Segment& seg, std::uint64_t offset, std::uint32_t bytes,
+                  std::function<void(bool ok)> done);
+  void ServePut(const FabricMessage& msg);          // destination side
+  void CompletePut(std::uint64_t put_id, bool ok);  // source side (ack landed)
   // Maps a job-relative offset to (segment, in-segment offset).
   static std::pair<const Segment*, std::uint64_t> Locate(const std::vector<Segment>& segs,
                                                          std::uint64_t offset);
+
+  struct PendingPut {
+    std::function<void(bool)> done;
+    EventId timeout = kInvalidEventId;
+  };
+
+  // A push whose ack hasn't arrived by then is failed (the destination
+  // chassis or its uplink died); the owning job's retry machinery redrives.
+  static constexpr Tick kPutAckTimeout = FromUs(150.0);
 
   Engine* engine_;
   MessageDispatcher* dispatcher_;
   DramDevice* local_mem_;
   ArbiterClient* arbiter_;
   std::string name_;
+  bool push_enabled_ = false;
+  std::uint64_t next_put_ = 1;
+  std::unordered_map<std::uint64_t, PendingPut> pending_puts_;
   AgentStats stats_;
   MetricGroup metrics_;
 };
@@ -215,7 +249,12 @@ class ETransEngine {
 
   // Registers an agent; `domain_node` is the memory node whose data this
   // agent can touch directly (its own host's DRAM / its chassis rDIMMs).
-  void RegisterAgent(PbrId domain_node, MigrationAgent* agent);
+  // With `executor_candidate` false the agent is wired for messages (it
+  // serves delegated jobs and push writes on its dispatcher) but PickExecutor
+  // never selects it — callers that want it must submit with it as the
+  // initiator. The collective engine registers FAA agents this way so
+  // point-to-point eTrans placement is untouched.
+  void RegisterAgent(PbrId domain_node, MigrationAgent* agent, bool executor_candidate = true);
 
   // Submits a descriptor on behalf of `initiator` (the agent co-located
   // with the submitting host). Returns a future per the ownership field.
@@ -242,7 +281,8 @@ class ETransEngine {
     Tick first_failure_at = 0;      // 0 until an attempt fails
     std::uint64_t job_id = 0;       // job id of the current attempt
     EventId deadline_event = kInvalidEventId;  // engine-side watchdog (remote)
-    bool terminal = false;          // a terminal status was delivered
+    // Terminal-status bookkeeping lives in the future itself: Ready() means
+    // a terminal status was delivered (TryFulfill enforces exactly-once).
   };
 
   MigrationAgent* PickExecutor(MigrationAgent* initiator, const ETransDescriptor& desc) const;

@@ -57,6 +57,18 @@ class DistFuture {
     }
   }
 
+  // Fulfills unless already fulfilled; returns whether this call won. The
+  // shared exactly-once plumbing both eTrans transfers and collectives rely
+  // on: late attempts/steps race their terminal status here and the loser
+  // drops its result (callers count the refusal for the auditor).
+  bool TryFulfill(T value) {
+    if (state_->value.has_value()) {
+      return false;
+    }
+    Fulfill(std::move(value));
+    return true;
+  }
+
   void set_owner(PbrId owner) { state_->owner = owner; }
   PbrId owner() const { return state_->owner; }
   void set_ownership(Ownership o) { state_->ownership = o; }

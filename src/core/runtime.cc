@@ -66,6 +66,37 @@ UniFabricRuntime::UniFabricRuntime(Cluster* cluster, const RuntimeOptions& optio
         fam->name() + "/agent"));
     etrans_->RegisterAgent(fam->id(), fam_agents_.back().get());
   }
+  // Push-enabled agents on the FAA endpoint adapters (collective members
+  // move data over their own uplinks). Registered message-only so eTrans
+  // point-to-point executor placement stays exactly as before.
+  for (int a = 0; a < cluster->num_faas(); ++a) {
+    FaaChassis* faa = cluster->faa(a);
+    faa_arbiter_clients_.push_back(std::make_unique<ArbiterClient>(
+        engine, options.arbiter, faa->dispatcher(), arbiter_->fabric_id()));
+    faa_agents_.push_back(std::make_unique<MigrationAgent>(
+        engine, faa->dispatcher(), faa->scratch(), faa_arbiter_clients_.back().get(),
+        faa->name() + "/agent"));
+    faa_agents_.back()->EnablePush();
+    etrans_->RegisterAgent(faa->id(), faa_agents_.back().get(), /*executor_candidate=*/false);
+  }
+
+  // --- Collective engine over every agent-backed node (DP#1, multi-party).
+  collect_ = std::make_unique<CollectiveEngine>(engine, etrans_.get(), &fabric, options.collect);
+  for (int h = 0; h < cluster->num_hosts(); ++h) {
+    collect_->RegisterMember(cluster->host(h)->id(),
+                             host_agents_[static_cast<std::size_t>(h)].get());
+  }
+  for (int f = 0; f < cluster->num_fams(); ++f) {
+    collect_->RegisterMember(cluster->fam(f)->id(),
+                             fam_agents_[static_cast<std::size_t>(f)].get());
+  }
+  for (int a = 0; a < cluster->num_faas(); ++a) {
+    collect_->RegisterMember(cluster->faa(a)->id(),
+                             faa_agents_[static_cast<std::size_t>(a)].get());
+  }
+  if (cluster->num_hosts() > 0) {
+    collect_->SetFallbackAgent(host_agents_[0].get());
+  }
 
   // --- Unified heap per host (DP#2). -------------------------------------
   for (int h = 0; h < cluster->num_hosts(); ++h) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/core/arbiter.h"
+#include "src/core/collect.h"
 #include "src/core/etrans.h"
 #include "src/core/heap.h"
 #include "src/core/itask.h"
@@ -32,6 +33,7 @@ struct RuntimeOptions {
   HeapConfig heap;
   ITaskConfig itask;
   ETransRecoveryConfig etrans_recovery;
+  CollectiveConfig collect;
   double fam_capacity_mbps = 8000.0;  // arbiter-managed ingress per FAM
   double faa_capacity_mbps = 8000.0;
   double host_capacity_mbps = 16000.0;
@@ -56,6 +58,11 @@ class UniFabricRuntime {
     return host_agents_[static_cast<std::size_t>(host)].get();
   }
   MigrationAgent* fam_agent(int fam) { return fam_agents_[static_cast<std::size_t>(fam)].get(); }
+  // Push-enabled agent on each FAA's endpoint adapter: the executors
+  // collective member-to-member traffic runs on. Not eTrans executor
+  // candidates, so point-to-point transfer placement is unchanged.
+  MigrationAgent* faa_agent(int faa) { return faa_agents_[static_cast<std::size_t>(faa)].get(); }
+  CollectiveEngine* collect() { return collect_.get(); }
   UnifiedHeap* heap(int host) { return heaps_[static_cast<std::size_t>(host)].get(); }
   ITaskRuntime* itasks() { return itasks_.get(); }
   ScalableFunctionRuntime* sfunc(int faa) { return sfuncs_[static_cast<std::size_t>(faa)].get(); }
@@ -71,9 +78,12 @@ class UniFabricRuntime {
   std::unique_ptr<FabricArbiter> arbiter_;
   std::vector<std::unique_ptr<ArbiterClient>> arbiter_clients_;
   std::vector<std::unique_ptr<ArbiterClient>> fam_arbiter_clients_;
+  std::vector<std::unique_ptr<ArbiterClient>> faa_arbiter_clients_;
   std::unique_ptr<ETransEngine> etrans_;
   std::vector<std::unique_ptr<MigrationAgent>> host_agents_;
   std::vector<std::unique_ptr<MigrationAgent>> fam_agents_;
+  std::vector<std::unique_ptr<MigrationAgent>> faa_agents_;
+  std::unique_ptr<CollectiveEngine> collect_;
   std::vector<std::unique_ptr<UnifiedHeap>> heaps_;
   std::unique_ptr<ITaskRuntime> itasks_;
   std::vector<std::unique_ptr<ScalableFunctionRuntime>> sfuncs_;

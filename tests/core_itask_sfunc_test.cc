@@ -277,6 +277,36 @@ TEST_F(SFuncTest, MailboxDrainsAfterRecovery) {
   EXPECT_EQ(handled, before + 1);
 }
 
+TEST_F(SFuncTest, ResetAfterRecoveryDrainsBacklogWithoutNewInvoke) {
+  // The actor wedges with `running` stuck true when its kernel dies with the
+  // chassis. ResetAfterRecovery alone must clear that state and pump the
+  // queued backlog -- no fresh message may be required to unwedge it.
+  int handled = 0;
+  SFuncSpec spec;
+  spec.name = "backlog";
+  spec.handlers[1] = SFuncHandler{FromUs(5.0), [&](SFuncContext&) { ++handled; }};
+  const FunctionId fn = runtime_.sfunc(0)->Install(spec);
+
+  for (int i = 0; i < 4; ++i) {
+    runtime_.sfunc_client(0)->Invoke(cluster_.faa(0)->id(), fn, 1, 64, nullptr);
+  }
+  cluster_.engine().RunFor(FromUs(7.0));  // first handler mid-flight, rest queued
+  cluster_.faa(0)->Fail();
+  cluster_.engine().Run();
+  const int before = handled;
+  const std::size_t queued = runtime_.sfunc(0)->MailboxDepth(fn);
+  EXPECT_LT(before, 4);
+  EXPECT_GT(queued, 0u);
+
+  // The message whose kernel died with the chassis is lost (it left the
+  // mailbox before the failure); everything still queued must drain.
+  cluster_.faa(0)->Recover();
+  runtime_.sfunc(0)->ResetAfterRecovery();
+  cluster_.engine().Run();
+  EXPECT_EQ(handled, before + static_cast<int>(queued));
+  EXPECT_EQ(runtime_.sfunc(0)->MailboxDepth(fn), 0u);
+}
+
 // Property sweep: N messages to one actor always process in order and
 // exactly once, for varying N.
 class ActorOrderTest : public ::testing::TestWithParam<int> {};

@@ -117,6 +117,64 @@ TEST(NodeReplicatedTest, InterleavedWritersConvergeEverywhere) {
   EXPECT_EQ(nr.LogSize(), 12u);
 }
 
+TEST(NodeReplicatedTest, SyncFetchOnlyWhenRemoteWriterInvalidatesTail) {
+  Rig rig;
+  NodeReplicated<Counter, AddOp> nr(&rig.engine, 0x10000, 128, Apply());
+  const int r0 = nr.AddReplica(rig.port[0].get());
+  const int r1 = nr.AddReplica(rig.port[1].get());
+
+  nr.Execute(r0, AddOp{1});
+  rig.engine.Run();
+
+  // r1's first read never held the tail: one sync fetch.
+  nr.Read(r1, [](const Counter&) {});
+  rig.engine.Run();
+  EXPECT_EQ(nr.stats().sync_fetches, 1u);
+
+  // Re-reads with no intervening writer keep the tail Shared in r1's port.
+  nr.Read(r1, [](const Counter&) {});
+  nr.Read(r1, [](const Counter&) {});
+  rig.engine.Run();
+  EXPECT_EQ(nr.stats().sync_fetches, 1u);
+
+  // A remote append write-invalidates the tail; the next read pays again.
+  nr.Execute(r0, AddOp{5});
+  rig.engine.Run();
+  nr.Read(r1, [](const Counter&) {});
+  rig.engine.Run();
+  EXPECT_EQ(nr.stats().sync_fetches, 2u);
+}
+
+TEST(NodeReplicatedTest, ReadReplaysOnlyMissingEntries) {
+  Rig rig;
+  NodeReplicated<Counter, AddOp> nr(&rig.engine, 0x10000, 128, Apply());
+  const int r0 = nr.AddReplica(rig.port[0].get());
+  const int r1 = nr.AddReplica(rig.port[1].get());
+
+  for (int i = 0; i < 4; ++i) {
+    nr.Execute(r0, AddOp{1});
+  }
+  rig.engine.Run();
+  const std::uint64_t after_writes = nr.stats().entries_replayed;  // writer self-syncs
+
+  std::int64_t seen = -1;
+  nr.Read(r1, [&](const Counter& c) { seen = c.value; });
+  rig.engine.Run();
+  EXPECT_EQ(seen, 4);
+  EXPECT_EQ(nr.stats().entries_replayed, after_writes + 4);
+
+  // Two more ops: the re-sync replays exactly the missing suffix, never the
+  // whole log from scratch.
+  nr.Execute(r0, AddOp{1});
+  nr.Execute(r0, AddOp{1});
+  rig.engine.Run();
+  const std::uint64_t mid = nr.stats().entries_replayed;
+  nr.Read(r1, [&](const Counter& c) { seen = c.value; });
+  rig.engine.Run();
+  EXPECT_EQ(seen, 6);
+  EXPECT_EQ(nr.stats().entries_replayed, mid + 2);
+}
+
 TEST(NodeReplicatedTest, ReadMostlyWorkloadHitsLocalReplica) {
   Rig rig;
   NodeReplicated<Counter, AddOp> nr(&rig.engine, 0x10000, 128, Apply());
