@@ -56,6 +56,18 @@ class BenchReport {
     captures_.emplace_back(label, registry.SnapshotJson());
   }
 
+  // Wall-clock-derived numbers (iteration counts, events/sec, elapsed
+  // seconds) go here, NOT in Note(): the "perf" section is stripped by
+  // scripts/check.sh before golden diffs, so it may vary run to run while
+  // "results" and "metrics" stay bit-exact. Values are flat numbers only —
+  // the stripper relies on the section containing no nested braces.
+  void Perf(const std::string& key, double value) { perf_.emplace_back(key, Num(value)); }
+  void Perf(const std::string& key, std::uint64_t value) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+    perf_.emplace_back(key, buf);
+  }
+
   // Writes BENCH_<name>.json; returns the path (empty on I/O failure).
   std::string WriteJson() const {
     const std::string path = "BENCH_" + name_ + ".json";
@@ -85,7 +97,18 @@ class BenchReport {
       }
       out += "\"" + Escape(captures_[i].first) + "\":" + captures_[i].second;
     }
-    out += "}}\n";
+    out += '}';
+    if (!perf_.empty()) {
+      out += ",\"perf\":{";
+      for (std::size_t i = 0; i < perf_.size(); ++i) {
+        if (i != 0) {
+          out += ',';
+        }
+        out += "\"" + Escape(perf_[i].first) + "\":" + perf_[i].second;
+      }
+      out += '}';
+    }
+    out += "}\n";
     return out;
   }
 
@@ -120,6 +143,7 @@ class BenchReport {
   std::string name_;
   std::vector<std::pair<std::string, std::string>> notes_;     // key -> rendered value
   std::vector<std::pair<std::string, std::string>> captures_;  // label -> snapshot JSON
+  std::vector<std::pair<std::string, std::string>> perf_;      // non-golden wall-clock numbers
 };
 
 }  // namespace unifab

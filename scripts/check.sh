@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build + ctest twice — a normal build, then an
-# AddressSanitizer/UBSan build (UNIFAB_SANITIZE=ON) — plus the deterministic
-# golden-JSON diffs and the engine hot-path throughput gates. Run from
+# Tier-1 verification: build + ctest across a matrix — the normal build
+# (suite re-run under UNIFAB_AUDIT=1 and again under UNIFAB_SHARDS=4 worker
+# threads), an AddressSanitizer/UBSan build (UNIFAB_SANITIZE=ON), and a
+# ThreadSanitizer build (UNIFAB_SANITIZE=thread) running the concurrency
+# subset — plus the deterministic golden-JSON diffs (non-golden "perf"
+# sections stripped) and the engine hot-path throughput gates. Run from
 # anywhere.
 #
 # --audit additionally gates determinism: the full test suite re-runs with
 # UNIFAB_AUDIT=1 (invariant sweeps + run digests on), each audited bench
-# must still match its golden bit-for-bit, and two back-to-back audited
-# runs must print identical [unifab-audit] digest lines.
+# must still match its golden bit-for-bit, two back-to-back audited runs
+# must print identical [unifab-audit] digest lines, and an audited run with
+# UNIFAB_SHARDS=4 worker threads must reproduce those digest lines (and the
+# golden) bit-for-bit — the sharded-engine determinism contract.
 #
 # Golden pairs are auto-discovered: dropping bench/golden/BENCH_<x>.json
 # into the tree gates bench_<x> in both the plain and audited passes with
@@ -19,14 +24,12 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 AUDIT=0
 [[ "${1:-}" == "--audit" ]] && AUDIT=1
 
-# Benches whose audit digests are legitimately nondeterministic (google
-# benchmark calibrates iteration counts from wall-clock time, so the
-# simulated work differs run to run). Excluded from the audit gates only;
-# their plain goldens still apply.
-AUDIT_SKIP="bench_engine_micro"
-
 # Digest-determinism-checked benches that write no golden JSON.
 AUDIT_EXTRA="bench_fig1_topology"
+
+# Worker-thread count for the sharded-determinism leg: the same tests and
+# benches must be bit-identical with 1 worker and with this many.
+SHARDS=4
 
 run_pass() {
   local build_dir="$1"
@@ -48,21 +51,29 @@ golden_pairs() {
   done
 }
 
-list_has() {
-  local needle="$1"
-  shift
-  [[ " $* " == *" ${needle} "* ]]
+# The report's "perf" section holds wall-clock-derived numbers (calibrated
+# iteration counts, elapsed seconds) and is exempt from golden diffs. It is
+# a flat object (no nested braces) by BenchReport contract.
+strip_perf() {
+  sed -E 's/,"perf":\{[^}]*\}//' "$1"
+}
+
+# Golden diff with the non-golden perf section stripped from both sides.
+diff_golden() {
+  local golden="$1" generated="$2"
+  diff -u --label "${golden}" --label "${generated}" \
+      <(strip_perf "${golden}") <(strip_perf "${generated}")
 }
 
 # Regenerates a bench's JSON (optionally under UNIFAB_AUDIT=1) and diffs it
-# against the checked-in golden bit-for-bit.
+# against the checked-in golden bit-for-bit (minus the perf section).
 check_golden() {
   local bin="$1" golden="$2" audit="${3:-0}"
   local label="golden"
   [[ "${audit}" == "1" ]] && label="golden under UNIFAB_AUDIT=1"
   echo "=== bench: ${bin} ${label} ==="
   (cd "${ROOT}/build/bench" && UNIFAB_AUDIT="${audit}" "./${bin}" > /dev/null)
-  diff -u "${golden}" "${ROOT}/build/bench/$(basename "${golden}")"
+  diff_golden "${golden}" "${ROOT}/build/bench/$(basename "${golden}")"
 }
 
 # Two back-to-back audited runs of a bench must print bit-identical
@@ -87,12 +98,32 @@ check_digests() {
   sed 's/^/    /' "${audit_dir}/${bin}.run1.digest"
 }
 
+# The sharded-determinism gate: an audited run with ${SHARDS} worker threads
+# must print the exact digest lines of the 1-worker runs above (the domain
+# partition is fixed by the topology, so worker count must not be able to
+# reorder anything observable).
+check_shard_digests() {
+  local bin="$1"
+  local audit_dir="${ROOT}/build/bench/audit"
+  echo "=== audit: ${bin} digest determinism at UNIFAB_SHARDS=${SHARDS} ==="
+  (cd "${ROOT}/build/bench" && UNIFAB_AUDIT=1 UNIFAB_SHARDS="${SHARDS}" "./${bin}" \
+      > "${audit_dir}/${bin}.shards.out" 2> "${audit_dir}/${bin}.shards.err")
+  grep '^\[unifab-audit\] digest=' "${audit_dir}/${bin}.shards.err" \
+      > "${audit_dir}/${bin}.shards.digest"
+  diff -u "${audit_dir}/${bin}.run1.digest" "${audit_dir}/${bin}.shards.digest"
+}
+
 run_pass "${ROOT}/build"
 
 # The whole suite must also hold with invariant auditing on: every sweep
 # clean, and (because audit sweeps are read-only) identical behavior.
 echo "=== ctest: ${ROOT}/build (UNIFAB_AUDIT=1) ==="
 UNIFAB_AUDIT=1 ctest --test-dir "${ROOT}/build" --output-on-failure -j "${JOBS}"
+
+# ...and with the sharded engine's worker pool actually running windows in
+# parallel (${SHARDS} worker threads; the default passes above ran with 1).
+echo "=== ctest: ${ROOT}/build (UNIFAB_SHARDS=${SHARDS}) ==="
+UNIFAB_SHARDS="${SHARDS}" ctest --test-dir "${ROOT}/build" --output-on-failure -j "${JOBS}"
 
 # Golden regression gate: every checked-in bench/golden/BENCH_<x>.json is
 # produced by a fully deterministic bench_<x> binary.
@@ -102,15 +133,19 @@ done < <(golden_pairs)
 
 if [[ "${AUDIT}" == "1" ]]; then
   while read -r bin golden; do
-    list_has "${bin}" ${AUDIT_SKIP} && continue
     check_digests "${bin}"
     # Audit sweeps are read-only, so the audited run's JSON (written during
     # the digest check above) must still reproduce the golden.
     echo "=== audit: ${bin} golden under UNIFAB_AUDIT=1 ==="
-    diff -u "${golden}" "${ROOT}/build/bench/$(basename "${golden}")"
+    diff_golden "${golden}" "${ROOT}/build/bench/$(basename "${golden}")"
+    # Worker threads must change neither the digests nor the report.
+    check_shard_digests "${bin}"
+    echo "=== audit: ${bin} golden under UNIFAB_SHARDS=${SHARDS} ==="
+    diff_golden "${golden}" "${ROOT}/build/bench/$(basename "${golden}")"
   done < <(golden_pairs)
   for bin in ${AUDIT_EXTRA}; do
     check_digests "${bin}"
+    check_shard_digests "${bin}"
   done
 fi
 
@@ -153,5 +188,17 @@ EOF
 done < "${ROOT}/bench/baseline/engine_micro_floor.txt"
 
 run_pass "${ROOT}/build-asan" -DUNIFAB_SANITIZE=ON
+
+# ThreadSanitizer leg: the sharded engine's worker pool, cross-shard
+# mailboxes, and Link boundary protocol must be race-free when windows run
+# on real threads. Full TSan ctest is too slow for the container, so this
+# leg runs the concurrency-exercising subset with ${SHARDS} worker threads.
+echo "=== configure: ${ROOT}/build-tsan (UNIFAB_SANITIZE=thread) ==="
+cmake -B "${ROOT}/build-tsan" -S "${ROOT}" -DUNIFAB_SANITIZE=thread
+echo "=== build: ${ROOT}/build-tsan ==="
+cmake --build "${ROOT}/build-tsan" -j "${JOBS}"
+echo "=== ctest: ${ROOT}/build-tsan (UNIFAB_SHARDS=${SHARDS}, concurrency subset) ==="
+UNIFAB_SHARDS="${SHARDS}" ctest --test-dir "${ROOT}/build-tsan" --output-on-failure \
+    -j "${JOBS}" -R 'Sharded|ShardCancel|FabricFuzz|FaultCampaign|Cluster|Collect|Failover|Contention|ETrans'
 
 echo "=== all checks passed ==="

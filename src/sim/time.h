@@ -15,6 +15,9 @@ namespace unifab {
 // One tick is one picosecond of simulated time.
 using Tick = std::uint64_t;
 
+// Sentinel for "no event / never": later than any schedulable time.
+inline constexpr Tick kTickNever = ~Tick{0};
+
 inline constexpr Tick kTicksPerNs = 1000;
 inline constexpr Tick kTicksPerUs = 1000 * kTicksPerNs;
 inline constexpr Tick kTicksPerMs = 1000 * kTicksPerUs;

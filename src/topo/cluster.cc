@@ -2,16 +2,36 @@
 
 namespace unifab {
 
-Cluster::Cluster(const ClusterConfig& config) : config_(config) {
-  fabric_ = std::make_unique<FabricInterconnect>(&engine_, config.seed);
+ShardedEngine::Options Cluster::ShardOptions(const ClusterConfig& config) {
+  ShardedEngine::Options options;
+  options.workers = config.shard_workers > 0
+                        ? static_cast<std::uint32_t>(config.shard_workers)
+                        : 0;  // 0 = UNIFAB_SHARDS from the environment
+  options.seed = config.seed;
+  return options;
+}
 
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config), sharded_(ShardOptions(config)) {
+  fabric_ = std::make_unique<FabricInterconnect>(&engine(), config.seed);
+
+  // Fabric-domain shard assignment (DESIGN.md §6e): every switch island and
+  // every FAM chassis is its own domain with its own engine shard; hosts,
+  // FAA chassis, and the shared runtime objects built on top stay on the
+  // root shard (the iTask runtime invokes FAA accelerators directly, so
+  // they must share the runtime's shard). Cross-domain traffic only flows
+  // through links, whose latency bounds the lookahead window below.
   for (int i = 0; i < config.num_switches; ++i) {
+    if (config.shard_by_domain) {
+      fabric_->SetComponentEngine(&sharded_.AddShard("sw" + std::to_string(i)));
+    }
     switches_.push_back(fabric_->AddSwitch(config.sw, "fs" + std::to_string(i)));
     if (i > 0) {
       fabric_->Connect(switches_[static_cast<std::size_t>(i - 1)],
                        switches_[static_cast<std::size_t>(i)], config.link);
     }
   }
+  fabric_->SetComponentEngine(nullptr);
 
   auto switch_for = [&](int idx) {
     return switches_[static_cast<std::size_t>(idx % config.num_switches)];
@@ -19,19 +39,31 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
 
   int attach = 0;
   for (int i = 0; i < config.num_hosts; ++i) {
-    hosts_.push_back(std::make_unique<HostServer>(&engine_, fabric_.get(), config.host,
+    hosts_.push_back(std::make_unique<HostServer>(&engine(), fabric_.get(), config.host,
                                                   "host" + std::to_string(i)));
     fabric_->Connect(switch_for(attach++), hosts_.back()->fha(), config.link);
   }
   for (int i = 0; i < config.num_fams; ++i) {
-    fams_.push_back(std::make_unique<FamChassis>(&engine_, fabric_.get(), config.fam,
+    Engine* fam_engine = &engine();
+    if (config.shard_by_domain) {
+      fam_engine = &sharded_.AddShard("fam" + std::to_string(i));
+      fabric_->SetComponentEngine(fam_engine);
+    }
+    fams_.push_back(std::make_unique<FamChassis>(fam_engine, fabric_.get(), config.fam,
                                                  "fam" + std::to_string(i)));
+    fabric_->SetComponentEngine(nullptr);
     fabric_->Connect(switch_for(attach++), fams_.back()->fea(), config.link);
   }
   for (int i = 0; i < config.num_faas; ++i) {
-    faas_.push_back(std::make_unique<FaaChassis>(&engine_, fabric_.get(), config.faa,
+    faas_.push_back(std::make_unique<FaaChassis>(&engine(), fabric_.get(), config.faa,
                                                  "faa" + std::to_string(i)));
     fabric_->Connect(switch_for(attach++), faas_.back()->fea(), config.link);
+  }
+
+  // The minimum latency of any shard-boundary link is the conservative
+  // lookahead: no domain can affect another faster than that.
+  if (fabric_->MinCrossEngineLatency() != kTickNever) {
+    sharded_.SetLookahead(fabric_->MinCrossEngineLatency());
   }
 
   fabric_->ConfigureRouting();

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/fabric/interconnect.h"
+#include "src/sim/sharded_engine.h"
 #include "src/topo/chassis.h"
 #include "src/topo/host.h"
 #include "src/topo/presets.h"
@@ -35,6 +36,20 @@ struct ClusterConfig {
   // here; chassis i owns [fam_base + i*fam_stride, +fam_stride).
   std::uint64_t fam_base = 1ULL << 40;
   std::uint64_t fam_stride = 1ULL << 36;
+
+  // --- Sharded parallel simulation (DESIGN.md §6e) ----------------------
+
+  // Partition the simulation by fabric domain: each switch island and each
+  // FAM chassis gets its own engine shard; hosts, FAA chassis, and shared
+  // runtime objects stay on the root shard. The partition is part of the
+  // topology — it never depends on the worker-thread count, so RunDigests
+  // are bit-for-bit identical for any `shard_workers`. When false the whole
+  // cluster runs on the root shard (the pre-sharding behavior).
+  bool shard_by_domain = true;
+
+  // Worker threads executing shard windows; 0 = the UNIFAB_SHARDS
+  // environment variable (default 1).
+  int shard_workers = 0;
 };
 
 class Cluster {
@@ -44,7 +59,10 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  Engine& engine() { return engine_; }
+  // The root shard: external drivers schedule stimulus and run the whole
+  // simulation through it exactly as they did the old single engine.
+  Engine& engine() { return sharded_.root(); }
+  ShardedEngine& sharded() { return sharded_; }
   FabricInterconnect& fabric() { return *fabric_; }
 
   HostServer* host(int i) { return hosts_[static_cast<std::size_t>(i)].get(); }
@@ -64,8 +82,10 @@ class Cluster {
   const ClusterConfig& config() const { return config_; }
 
  private:
+  static ShardedEngine::Options ShardOptions(const ClusterConfig& config);
+
   ClusterConfig config_;
-  Engine engine_;
+  ShardedEngine sharded_;
   std::unique_ptr<FabricInterconnect> fabric_;
   std::vector<FabricSwitch*> switches_;  // owned by the interconnect
   std::vector<std::unique_ptr<HostServer>> hosts_;
