@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "src/fabric/switch/mem_agent.h"
+
 namespace unifab {
 
 std::vector<MigrationPolicy::Move> TemperaturePolicy::Decide(
@@ -93,10 +95,12 @@ UnifiedHeap::UnifiedHeap(Engine* engine, const HeapConfig& config, MemoryHierarc
       core_(core),
       agent_(agent),
       etrans_(etrans),
-      policy_(std::make_unique<TemperaturePolicy>()) {
+      policy_(std::make_unique<TemperaturePolicy>()),
+      profiler_(config.profiler, config.ewma_alpha) {
   next_epoch_at_ = engine_->Now() + config_.epoch_length;
   metrics_ = MetricGroup(&engine_->metrics(), "core/heap");
   stats_.BindTo(metrics_);
+  profiler_.BindMetrics(metrics_, "profiler/");
   audit_ = AuditScope(&engine_->audit(), "core/heap");
   // Per-tier byte conservation: live objects placed in a tier plus the
   // still-carved source blocks of in-flight migrations account for every
@@ -150,6 +154,40 @@ UnifiedHeap::UnifiedHeap(Engine* engine, const HeapConfig& config, MemoryHierarc
     }
     return {};
   });
+  // The in-flight migration registry is the authoritative record of every
+  // source-block claim: its per-tier size-class sums must equal
+  // tier_migrating_src_ exactly, and its population must equal the in-flight
+  // count. A leak here is the bug class where a rejected or rolled-back
+  // migration strands source bytes forever.
+  audit_.AddCheck("migration_registry", [this]() -> std::string {
+    if (inflight_.size() != migrations_in_flight_) {
+      return "registry has " + std::to_string(inflight_.size()) + " entries but " +
+             std::to_string(migrations_in_flight_) + " migrations in flight";
+    }
+    std::vector<std::uint64_t> claimed(tiers_.size(), 0);
+    for (const auto& [id, m] : inflight_) {
+      if (m.src_tier < 0 || m.src_tier >= num_tiers()) {
+        return "migration of object " + std::to_string(id) + " claims invalid src tier " +
+               std::to_string(m.src_tier);
+      }
+      claimed[static_cast<std::size_t>(m.src_tier)] += m.size_class;
+    }
+    for (std::size_t t = 0; t < tiers_.size(); ++t) {
+      if (claimed[t] != tier_migrating_src_[t]) {
+        return "tier " + std::to_string(t) + ": registry claims " +
+               std::to_string(claimed[t]) + " migrating-src bytes but ledger has " +
+               std::to_string(tier_migrating_src_[t]);
+      }
+    }
+    return {};
+  });
+}
+
+void UnifiedHeap::AttachSwitchMem(SwitchMemClient* client, std::uint64_t va_base) {
+  assert(objects_.empty() && "attach switch-mem before the first allocation");
+  switch_mem_ = client;
+  va_base_ = va_base;
+  va_bump_ = 0;
 }
 
 int UnifiedHeap::AddTier(const MemTier& tier) {
@@ -229,8 +267,15 @@ ObjectId UnifiedHeap::Allocate(std::uint32_t size, int tier_hint) {
     obj.info.size = size;
     obj.info.tier = tier;
     obj.shadow.resize(size);
+    if (switch_mem_ != nullptr) {
+      obj.info.vaddr = va_base_ + va_bump_;
+      va_bump_ += sc;  // never reused; released ranges may linger dying
+      switch_mem_->RegisterRange(obj.info.vaddr, sc,
+                                 tiers_[static_cast<std::size_t>(tier)].caps.node, addr);
+    }
     objects_.emplace(id, std::move(obj));
     tier_used_[static_cast<std::size_t>(tier)] += sc;
+    profiler_.OnAllocate(id);
     ++stats_.allocations;
     return id;
   }
@@ -245,14 +290,24 @@ void UnifiedHeap::Free(ObjectId id) {
   }
   const ObjectInfo& info = it->second.info;
   const std::uint32_t sc = ClassFor(info.size);
+  if (switch_mem_ != nullptr) {
+    if (info.migrating) {
+      // The in-flight migration (and possibly its commit) still references
+      // the range; FinishClaim releases it once the migration resolves.
+      inflight_[id].freed = true;
+    } else {
+      switch_mem_->ReleaseRange(info.vaddr);
+    }
+  }
   ReleaseBlock(info.tier, sc, info.addr);
   tier_used_[static_cast<std::size_t>(info.tier)] -= sc;
+  profiler_.OnFree(id);
   ++stats_.frees;
   objects_.erase(it);
 }
 
 void UnifiedHeap::Touch(Object& obj) {
-  ++obj.info.epoch_accesses;
+  profiler_.OnAccess(obj.info.id);
   MaybeRunEpoch();
 }
 
@@ -261,6 +316,20 @@ void UnifiedHeap::Read(ObjectId id, std::function<void()> done) {
   assert(it != objects_.end() && "read of freed object");
   ++stats_.reads;
   Touch(it->second);
+  if (switch_mem_ != nullptr) {
+    const std::uint32_t size = it->second.info.size;
+    switch_mem_->Resolve(it->second.info.vaddr,
+                         [this, size, done = std::move(done)](const Translation& x, bool ok) {
+                           if (!ok) {
+                             if (done) {
+                               done();  // range released underneath the access
+                             }
+                             return;
+                           }
+                           core_->AccessRange(x.addr, size, /*is_write=*/false, done);
+                         });
+    return;
+  }
   core_->AccessRange(it->second.info.addr, it->second.info.size, /*is_write=*/false,
                      std::move(done));
 }
@@ -270,6 +339,20 @@ void UnifiedHeap::Write(ObjectId id, std::function<void()> done) {
   assert(it != objects_.end() && "write of freed object");
   ++stats_.writes;
   Touch(it->second);
+  if (switch_mem_ != nullptr) {
+    const std::uint32_t size = it->second.info.size;
+    switch_mem_->Resolve(it->second.info.vaddr,
+                         [this, size, done = std::move(done)](const Translation& x, bool ok) {
+                           if (!ok) {
+                             if (done) {
+                               done();
+                             }
+                             return;
+                           }
+                           core_->AccessRange(x.addr, size, /*is_write=*/true, done);
+                         });
+    return;
+  }
   core_->AccessRange(it->second.info.addr, it->second.info.size, /*is_write=*/true,
                      std::move(done));
 }
@@ -288,13 +371,40 @@ Segment UnifiedHeap::SegmentFor(const Object& obj) const {
   return seg;
 }
 
-void UnifiedHeap::Migrate(ObjectId id, int dst_tier, std::function<void(bool)> done) {
+void UnifiedHeap::BeginClaim(ObjectId id, const InFlightMigration& claim) {
+  tier_migrating_src_[static_cast<std::size_t>(claim.src_tier)] += claim.size_class;
+  ++migrations_in_flight_;
+  inflight_.emplace(id, claim);
+}
+
+void UnifiedHeap::FinishClaim(ObjectId id) {
+  auto it = inflight_.find(id);
+  assert(it != inflight_.end() && "finishing a migration that was never claimed");
+  const InFlightMigration claim = it->second;
+  tier_migrating_src_[static_cast<std::size_t>(claim.src_tier)] -= claim.size_class;
+  --migrations_in_flight_;
+  inflight_.erase(it);
+  if (switch_mem_ != nullptr && claim.freed) {
+    // Free() arrived mid-migration and deferred the range release to us.
+    switch_mem_->ReleaseRange(claim.vaddr);
+  }
+}
+
+MigrateResult UnifiedHeap::Migrate(ObjectId id, int dst_tier, std::function<void(bool)> done) {
   auto it = objects_.find(id);
-  if (it == objects_.end() || it->second.info.migrating || dst_tier == it->second.info.tier) {
+  MigrateResult reject = MigrateResult::kStarted;
+  if (it == objects_.end()) {
+    reject = MigrateResult::kNoSuchObject;
+  } else if (it->second.info.migrating) {
+    reject = MigrateResult::kBusy;
+  } else if (dst_tier == it->second.info.tier) {
+    reject = MigrateResult::kSameTier;
+  }
+  if (reject != MigrateResult::kStarted) {
     if (done) {
       done(false);
     }
-    return;
+    return reject;
   }
   Object& obj = it->second;
   const std::uint32_t sc = ClassFor(obj.info.size);
@@ -303,12 +413,13 @@ void UnifiedHeap::Migrate(ObjectId id, int dst_tier, std::function<void(bool)> d
     if (done) {
       done(false);
     }
-    return;
+    return MigrateResult::kNoSpace;
   }
 
   obj.info.migrating = true;
   const int src_tier = obj.info.tier;
   const std::uint64_t src_addr = obj.info.addr;
+  const std::uint64_t vaddr = obj.info.vaddr;
 
   ETransDescriptor desc;
   desc.src.push_back(SegmentFor(obj));
@@ -332,21 +443,18 @@ void UnifiedHeap::Migrate(ObjectId id, int dst_tier, std::function<void(bool)> d
   obj.info.addr = dst_addr;
   obj.info.tier = dst_tier;
   tier_used_[static_cast<std::size_t>(dst_tier)] += sc;
-  tier_migrating_src_[static_cast<std::size_t>(src_tier)] += sc;
-  ++migrations_in_flight_;
+  BeginClaim(id, InFlightMigration{vaddr, src_tier, dst_tier, sc, /*freed=*/false});
 
   const std::uint32_t size = obj.info.size;
   TransferFuture f = etrans_->Submit(agent_, desc);
   f.Then([this, id, src_tier, src_addr, dst_tier, dst_addr, sc, size,
           done](const TransferResult& r) {
     auto it2 = objects_.find(id);
-    // Whatever the outcome, this migration's claim on its source tier ends.
-    tier_migrating_src_[static_cast<std::size_t>(src_tier)] -= sc;
-    --migrations_in_flight_;
 
     if (!r.ok) {
       // The copy aborted (fabric failure, retries exhausted). The source
-      // bytes were never released, so the object simply stays where it was.
+      // bytes were never released, so the object simply stays where it was;
+      // no commit was issued, so cached translations are still correct.
       ++stats_.migrations_failed;
       if (it2 == objects_.end()) {
         // Freed mid-migration: Free() already returned the eagerly recorded
@@ -369,33 +477,116 @@ void UnifiedHeap::Migrate(ObjectId id, int dst_tier, std::function<void(bool)> d
         it2->second.info.tier = src_tier;
         it2->second.info.migrating = false;
       }
+      FinishClaim(id);
       if (done) {
         done(false);
       }
       return;
     }
 
-    // The source block is only reusable once the copy finished.
-    for (std::uint64_t a = src_addr; a < src_addr + size; a += 64) {
-      // Stale cached lines of the old location are dropped (a real system
-      // would remap; we keep the hierarchy honest about where bytes live).
-      core_->InvalidateLine(a);
-    }
-    ReleaseBlock(src_tier, sc, src_addr);
-    tier_used_[static_cast<std::size_t>(src_tier)] -= sc;
-    stats_.bytes_migrated += r.bytes;
+    // The copy landed. Reclaiming the source block drops its stale cached
+    // lines (a real system would remap; we keep the hierarchy honest about
+    // where bytes live) and returns it to the bin.
+    const auto reclaim_src = [this, src_tier, src_addr, sc, size](std::uint64_t copied) {
+      for (std::uint64_t a = src_addr; a < src_addr + size; a += 64) {
+        core_->InvalidateLine(a);
+      }
+      ReleaseBlock(src_tier, sc, src_addr);
+      tier_used_[static_cast<std::size_t>(src_tier)] -= sc;
+      stats_.bytes_migrated += copied;
+    };
 
-    if (it2 == objects_.end()) {
+    if (switch_mem_ == nullptr) {
+      // No fabric translation to keep coherent: the source block is
+      // reusable as soon as the copy finished.
+      reclaim_src(r.bytes);
+      FinishClaim(id);
+      if (it2 == objects_.end()) {
+        if (done) {
+          done(false);  // freed mid-migration
+        }
+        return;
+      }
+      it2->second.info.migrating = false;
       if (done) {
-        done(false);  // freed mid-migration
+        done(true);
       }
       return;
     }
-    it2->second.info.migrating = false;
-    if (done) {
-      done(true);
+
+    if (inflight_.at(id).freed) {
+      // Freed while copying: nothing to commit (Free already returned the
+      // dst block); FinishClaim releases the range at the agent.
+      reclaim_src(r.bytes);
+      FinishClaim(id);
+      if (done) {
+        done(false);
+      }
+      return;
     }
+
+    // Switch-mem: the new placement must be committed at the agent before
+    // the source block is reusable — until every cached translation of the
+    // old placement is invalidated and acknowledged, a stale hit could
+    // still route reads at the source bytes.
+    Translation next;
+    next.vbase = inflight_.at(id).vaddr;
+    next.bytes = sc;
+    next.node = tiers_[static_cast<std::size_t>(dst_tier)].caps.node;
+    next.addr = dst_addr;
+    const std::uint64_t copied = r.bytes;
+    switch_mem_->Commit(
+        next, [this, id, src_tier, src_addr, dst_tier, dst_addr, sc, size, copied,
+               done](bool committed) {
+          auto it3 = objects_.find(id);
+          if (!committed) {
+            // Commit rejected (range released or a racing commit won). The
+            // bytes were copied but the fabric still routes at the source
+            // placement; roll back exactly like a failed copy.
+            ++stats_.migrations_failed;
+            if (it3 == objects_.end()) {
+              for (std::uint64_t a = src_addr; a < src_addr + size; a += 64) {
+                core_->InvalidateLine(a);
+              }
+              ReleaseBlock(src_tier, sc, src_addr);
+              tier_used_[static_cast<std::size_t>(src_tier)] -= sc;
+            } else {
+              for (std::uint64_t a = dst_addr; a < dst_addr + size; a += 64) {
+                core_->InvalidateLine(a);
+              }
+              ReleaseBlock(dst_tier, sc, dst_addr);
+              tier_used_[static_cast<std::size_t>(dst_tier)] -= sc;
+              it3->second.info.addr = src_addr;
+              it3->second.info.tier = src_tier;
+              it3->second.info.migrating = false;
+            }
+            FinishClaim(id);
+            if (done) {
+              done(false);
+            }
+            return;
+          }
+          // Every stale cached translation is gone: reclaim the src block.
+          for (std::uint64_t a = src_addr; a < src_addr + size; a += 64) {
+            core_->InvalidateLine(a);
+          }
+          ReleaseBlock(src_tier, sc, src_addr);
+          tier_used_[static_cast<std::size_t>(src_tier)] -= sc;
+          stats_.bytes_migrated += copied;
+          FinishClaim(id);
+          if (it3 == objects_.end()) {
+            if (done) {
+              done(false);  // freed during the commit handshake
+            }
+            return;
+          }
+          it3->second.info.migrating = false;
+          if (done) {
+            done(true);
+          }
+        });
   });
+  return MigrateResult::kStarted;
 }
 
 void UnifiedHeap::MaybeRunEpoch() {
@@ -422,24 +613,28 @@ void UnifiedHeap::RunEpoch() {
     next_epoch_at_ = now + config_.epoch_length;
   }
   stats_.epochs += elapsed;
-  const double idle_decay =
-      std::pow(1.0 - config_.ewma_alpha, static_cast<double>(elapsed - 1));
 
-  // Profile: fold this epoch's access counts into the EWMA temperature.
-  std::vector<ObjectInfo> snapshot;
-  snapshot.reserve(objects_.size());
-  for (auto& [id, obj] : objects_) {
-    if (elapsed > 1) {
-      obj.info.temperature *= idle_decay;
-    }
-    obj.info.temperature = config_.ewma_alpha * static_cast<double>(obj.info.epoch_accesses) +
-                           (1.0 - config_.ewma_alpha) * obj.info.temperature;
-    obj.info.epoch_accesses = 0;
-    snapshot.push_back(obj.info);
-  }
+  // Profile: the sharded profiler folds this epoch's access counts into the
+  // per-object EWMA temperatures and hands back only the bounded,
+  // deterministically ordered promote/demote candidate list — the policy
+  // no longer sees (or pays for) a full snapshot of millions of objects.
+  const auto candidates =
+      profiler_.FoldEpoch(elapsed, config_.promote_threshold, config_.demote_threshold);
 
   if (!config_.migration_enabled || policy_ == nullptr) {
     return;
+  }
+  std::vector<ObjectInfo> snapshot;
+  snapshot.reserve(candidates.size());
+  for (const auto& c : candidates) {
+    auto it = objects_.find(c.id);
+    if (it == objects_.end()) {
+      continue;  // profiler entries are erased on Free; defensive only
+    }
+    ObjectInfo info = it->second.info;
+    info.temperature = c.temperature;
+    info.epoch_accesses = 0;
+    snapshot.push_back(info);
   }
   const auto moves = policy_->Decide(snapshot, tiers_, tier_used_, config_);
   for (const auto& move : moves) {
@@ -449,7 +644,13 @@ void UnifiedHeap::RunEpoch() {
 
 ObjectInfo UnifiedHeap::Info(ObjectId id) const {
   auto it = objects_.find(id);
-  return it == objects_.end() ? ObjectInfo{} : it->second.info;
+  if (it == objects_.end()) {
+    return ObjectInfo{};
+  }
+  ObjectInfo info = it->second.info;
+  info.temperature = profiler_.TemperatureOf(id);
+  info.epoch_accesses = profiler_.PendingAccesses(id);
+  return info;
 }
 
 int UnifiedHeap::TierOf(ObjectId id) const {

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "src/core/etrans.h"
+#include "src/core/heap_profiler.h"
 #include "src/mem/hierarchy.h"
 #include "src/mem/memnode.h"
 #include "src/sim/audit.h"
@@ -35,6 +36,8 @@
 #include "src/sim/stats.h"
 
 namespace unifab {
+
+class SwitchMemClient;  // src/fabric/switch/mem_agent.h
 
 using ObjectId = std::uint64_t;
 inline constexpr ObjectId kInvalidObject = 0;
@@ -58,16 +61,31 @@ struct HeapConfig {
   double high_watermark = 0.9;        // tier occupancy that triggers demotion
   std::uint64_t migration_budget_bytes = 1 << 20;  // per epoch
   bool migration_enabled = true;
+  ProfilerConfig profiler;  // sharded temperature profiling (heap_profiler.h)
 };
 
 struct ObjectInfo {
   ObjectId id = kInvalidObject;
   std::uint64_t addr = 0;
+  // Fabric-virtual address of the object's range when switch-resident
+  // memory control is attached (0 otherwise). Stable across migrations;
+  // `addr` tracks the current physical placement.
+  std::uint64_t vaddr = 0;
   std::uint32_t size = 0;
   int tier = -1;
   double temperature = 0.0;
   std::uint64_t epoch_accesses = 0;
   bool migrating = false;
+};
+
+// Synchronous outcome of Migrate(); the async `done` callback still reports
+// whether the copy (and, under switch-mem, the commit) went through.
+enum class MigrateResult : std::uint8_t {
+  kStarted,       // migration admitted; `done` will fire
+  kBusy,          // a migration of this object is already in flight
+  kNoSuchObject,  // unknown/freed id
+  kSameTier,      // src == dst
+  kNoSpace,       // destination tier cannot carve the block
 };
 
 struct HeapStats {
@@ -131,8 +149,19 @@ class UnifiedHeap {
   // Shadow content access (untimed; pair with Read/Write for timing).
   std::vector<std::byte>& Shadow(ObjectId id);
 
-  // Explicit migration (the epoch policy calls this too).
-  void Migrate(ObjectId id, int dst_tier, std::function<void(bool ok)> done);
+  // Explicit migration (the epoch policy calls this too). Rejections
+  // (anything but kStarted) fire `done(false)` before returning so callers
+  // that only watch the callback keep working.
+  MigrateResult Migrate(ObjectId id, int dst_tier, std::function<void(bool ok)> done);
+
+  // Delegates translation and migration commits to a switch-resident memory
+  // agent: objects get stable fabric-virtual addresses, timed accesses
+  // resolve placement through the adapter's translation cache, and a
+  // migration's source block is only reclaimed once the agent has committed
+  // the new placement and every cached translation is invalidated. Must be
+  // called before the first allocation. `va_base` anchors this heap's
+  // virtual range (heaps sharing an agent need disjoint bases).
+  void AttachSwitchMem(SwitchMemClient* client, std::uint64_t va_base);
 
   // Runs one profiling/migration epoch now. Normally invoked lazily when
   // epoch_length has elapsed, checked on each access.
@@ -147,6 +176,8 @@ class UnifiedHeap {
   int num_tiers() const { return static_cast<int>(tiers_.size()); }
   const HeapStats& stats() const { return stats_; }
   std::size_t live_objects() const { return objects_.size(); }
+  const ShardedTemperatureProfiler& profiler() const { return profiler_; }
+  SwitchMemClient* switch_mem() const { return switch_mem_; }
 
  private:
   struct Bin {
@@ -164,12 +195,24 @@ class UnifiedHeap {
     std::vector<std::byte> shadow;
   };
 
+  // Tracks one in-flight migration; the audit check "migration_registry"
+  // reconciles this registry against tier_migrating_src_ every event.
+  struct InFlightMigration {
+    std::uint64_t vaddr = 0;
+    int src_tier = -1;
+    int dst_tier = -1;
+    std::uint32_t size_class = 0;
+    bool freed = false;  // Free() arrived mid-migration; finish then reap
+  };
+
   std::uint32_t ClassFor(std::uint32_t size) const;
   std::uint64_t CarveBlock(int tier, std::uint32_t size_class);  // 0 on failure
   void ReleaseBlock(int tier, std::uint32_t size_class, std::uint64_t addr);
   void Touch(Object& obj);
   void MaybeRunEpoch();
   Segment SegmentFor(const Object& obj) const;
+  void BeginClaim(ObjectId id, const InFlightMigration& claim);
+  void FinishClaim(ObjectId id);
 
   Engine* engine_;
   HeapConfig config_;
@@ -185,8 +228,13 @@ class UnifiedHeap {
   // the auditor checks.
   std::vector<std::uint64_t> tier_migrating_src_;
   std::uint64_t migrations_in_flight_ = 0;
+  std::unordered_map<ObjectId, InFlightMigration> inflight_;
   std::unordered_map<ObjectId, Object> objects_;
   std::unique_ptr<MigrationPolicy> policy_;
+  ShardedTemperatureProfiler profiler_;
+  SwitchMemClient* switch_mem_ = nullptr;
+  std::uint64_t va_base_ = 0;
+  std::uint64_t va_bump_ = 0;  // monotonic; vaddrs are never reused
   ObjectId next_id_ = 1;
   Tick next_epoch_at_ = 0;
   HeapStats stats_;

@@ -1,0 +1,141 @@
+#include "src/core/heap_profiler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace unifab {
+
+ShardedTemperatureProfiler::ShardedTemperatureProfiler(const ProfilerConfig& config,
+                                                       double ewma_alpha)
+    : config_(config), ewma_alpha_(ewma_alpha) {
+  assert(config_.shards > 0);
+  shards_.resize(static_cast<std::size_t>(config_.shards));
+}
+
+void ShardedTemperatureProfiler::OnAllocate(std::uint64_t id) {
+  shards_[ShardOf(id)].entries.emplace(id, Entry{});
+}
+
+void ShardedTemperatureProfiler::OnFree(std::uint64_t id) {
+  shards_[ShardOf(id)].entries.erase(id);
+}
+
+void ShardedTemperatureProfiler::OnAccess(std::uint64_t id) {
+  auto& entries = shards_[ShardOf(id)].entries;
+  auto it = entries.find(id);
+  if (it != entries.end()) {
+    ++it->second.pending;
+  }
+}
+
+std::vector<ShardedTemperatureProfiler::Candidate> ShardedTemperatureProfiler::FoldEpoch(
+    std::uint64_t elapsed, double hot_threshold, double cold_threshold) {
+  ++folds_;
+  epoch_temperature_.Clear();
+  const double idle_decay =
+      std::pow(1.0 - ewma_alpha_, static_cast<double>(elapsed > 0 ? elapsed - 1 : 0));
+
+  const auto hotter = [](const Candidate& a, const Candidate& b) {
+    return a.temperature != b.temperature ? a.temperature > b.temperature : a.id < b.id;
+  };
+  const auto colder = [](const Candidate& a, const Candidate& b) {
+    return a.temperature != b.temperature ? a.temperature < b.temperature : a.id < b.id;
+  };
+
+  std::vector<Candidate> hot;
+  std::vector<Candidate> cold;
+  std::vector<Candidate> shard_hot;
+  std::vector<Candidate> shard_cold;
+  for (Shard& shard : shards_) {
+    shard_hot.clear();
+    shard_cold.clear();
+    for (auto& [id, entry] : shard.entries) {
+      if (elapsed > 1) {
+        entry.temperature *= idle_decay;
+      }
+      entry.temperature = ewma_alpha_ * static_cast<double>(entry.pending) +
+                          (1.0 - ewma_alpha_) * entry.temperature;
+      entry.pending = 0;
+      epoch_temperature_.Add(entry.temperature);
+      // An entry can qualify both ways when the thresholds overlap
+      // (promote_threshold < demote_threshold); the policy re-filters, so
+      // report it in both directions like the legacy full snapshot did.
+      if (entry.temperature >= hot_threshold) {
+        shard_hot.push_back(Candidate{id, entry.temperature});
+      }
+      if (entry.temperature <= cold_threshold) {
+        shard_cold.push_back(Candidate{id, entry.temperature});
+      }
+    }
+    std::sort(shard_hot.begin(), shard_hot.end(), hotter);
+    std::sort(shard_cold.begin(), shard_cold.end(), colder);
+    if (shard_hot.size() > config_.max_candidates_per_shard) {
+      shard_hot.resize(config_.max_candidates_per_shard);
+    }
+    if (shard_cold.size() > config_.max_candidates_per_shard) {
+      shard_cold.resize(config_.max_candidates_per_shard);
+    }
+    hot.insert(hot.end(), shard_hot.begin(), shard_hot.end());
+    cold.insert(cold.end(), shard_cold.begin(), shard_cold.end());
+  }
+
+  // Deterministic cross-shard merge: the per-shard extracts were already
+  // totally ordered, so one global sort pins the final order regardless of
+  // shard iteration order (unordered_map order never leaks out).
+  std::sort(hot.begin(), hot.end(), hotter);
+  std::sort(cold.begin(), cold.end(), colder);
+  hot_candidates_ += hot.size();
+  cold_candidates_ += cold.size();
+
+  std::vector<Candidate> merged;
+  merged.reserve(hot.size() + cold.size());
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(hot.size() + cold.size());
+  for (const Candidate& c : hot) {
+    if (seen.insert(c.id).second) {
+      merged.push_back(c);
+    }
+  }
+  for (const Candidate& c : cold) {
+    if (seen.insert(c.id).second) {
+      merged.push_back(c);
+    }
+  }
+  return merged;
+}
+
+double ShardedTemperatureProfiler::TemperatureOf(std::uint64_t id) const {
+  const auto& entries = shards_[ShardOf(id)].entries;
+  auto it = entries.find(id);
+  return it == entries.end() ? 0.0 : it->second.temperature;
+}
+
+std::uint64_t ShardedTemperatureProfiler::PendingAccesses(std::uint64_t id) const {
+  const auto& entries = shards_[ShardOf(id)].entries;
+  auto it = entries.find(id);
+  return it == entries.end() ? 0 : it->second.pending;
+}
+
+std::size_t ShardedTemperatureProfiler::entries() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    n += shard.entries.size();
+  }
+  return n;
+}
+
+void ShardedTemperatureProfiler::BindMetrics(MetricGroup& group, const std::string& prefix) {
+  group.AddCounterFn(prefix + "folds", [this] { return folds_; });
+  group.AddCounterFn(prefix + "hot_candidates", [this] { return hot_candidates_; });
+  group.AddCounterFn(prefix + "cold_candidates", [this] { return cold_candidates_; });
+  group.AddGaugeFn(prefix + "entries", [this] { return static_cast<double>(entries()); });
+  group.AddSummaryFn(prefix + "epoch_temperature", [this] { return &epoch_temperature_; });
+  for (int s = 0; s < num_shards(); ++s) {
+    group.AddGaugeFn(prefix + "shard" + std::to_string(s) + "/entries",
+                     [this, s] { return static_cast<double>(ShardEntries(s)); });
+  }
+}
+
+}  // namespace unifab

@@ -3,9 +3,9 @@
 namespace unifab {
 namespace {
 
-// The arbiter's control logic sits on-die next to a switch: cheap
-// processing, one dedicated port.
-AdapterConfig ArbiterAdapterConfig() {
+// Control-service logic (arbiter, switch-mem agent) sits on-die next to a
+// switch: cheap processing, one dedicated port.
+AdapterConfig ControlAdapterConfig() {
   AdapterConfig cfg;
   cfg.request_proc_latency = FromNs(25.0);
   cfg.response_proc_latency = FromNs(25.0);
@@ -21,9 +21,8 @@ UniFabricRuntime::UniFabricRuntime(Cluster* cluster, const RuntimeOptions& optio
   FabricInterconnect& fabric = cluster->fabric();
 
   // --- Central arbiter on its own lightweight adapter (DP#4). -----------
-  HostAdapter* arb_adapter = fabric.AddHostAdapter(ArbiterAdapterConfig(), "arbiter/adapter");
-  fabric.Connect(cluster->fabric_switch(0), arb_adapter, cluster->config().link);
-  fabric.ConfigureRouting();
+  HostAdapter* arb_adapter =
+      cluster->AttachControlAdapter(ControlAdapterConfig(), "arbiter/adapter");
   arbiter_dispatcher_storage_ = std::make_unique<MessageDispatcher>(arb_adapter);
   arbiter_dispatcher_ = arbiter_dispatcher_storage_.get();
   arbiter_ = std::make_unique<FabricArbiter>(engine, options.arbiter, arbiter_dispatcher_);
@@ -98,6 +97,15 @@ UniFabricRuntime::UniFabricRuntime(Cluster* cluster, const RuntimeOptions& optio
     collect_->SetFallbackAgent(host_agents_[0].get());
   }
 
+  // --- Switch-resident memory control (DESIGN.md §8, opt-in). ------------
+  if (options.switch_mem) {
+    HostAdapter* sm_adapter =
+        cluster->AttachControlAdapter(ControlAdapterConfig(), "switch_mem/adapter");
+    switch_mem_dispatcher_ = std::make_unique<MessageDispatcher>(sm_adapter);
+    switch_mem_agent_ = std::make_unique<SwitchMemAgent>(engine, options.switch_mem_cfg,
+                                                         switch_mem_dispatcher_.get());
+  }
+
   // --- Unified heap per host (DP#2). -------------------------------------
   for (int h = 0; h < cluster->num_hosts(); ++h) {
     HostServer* host = cluster->host(h);
@@ -128,6 +136,18 @@ UniFabricRuntime::UniFabricRuntime(Cluster* cluster, const RuntimeOptions& optio
       tier.capacity = options.heap_fam_bytes;
       tier.rank = f + 1;
       heap->AddTier(tier);
+    }
+    if (switch_mem_agent_ != nullptr) {
+      // The translation cache lives on the host's fabric adapter; the
+      // client speaks to the agent over the host's existing dispatcher.
+      TranslationCache* cache = host->fha()->EnableTranslationCache(options.xlat_cache);
+      switch_mem_clients_.push_back(
+          std::make_unique<SwitchMemClient>(engine, options.switch_mem_cfg, host->dispatcher(),
+                                            switch_mem_agent_.get(), cache));
+      switch_mem_agent_->AttachClientForAudit(switch_mem_clients_.back().get());
+      // Disjoint per-host virtual ranges under one shared agent.
+      heap->AttachSwitchMem(switch_mem_clients_.back().get(),
+                            (1ULL << 50) + static_cast<std::uint64_t>(h) * (1ULL << 40));
     }
     heaps_.push_back(std::move(heap));
   }

@@ -24,6 +24,7 @@
 #include "src/core/heap.h"
 #include "src/core/itask.h"
 #include "src/core/sfunc.h"
+#include "src/fabric/switch/mem_agent.h"
 #include "src/topo/cluster.h"
 
 namespace unifab {
@@ -39,6 +40,15 @@ struct RuntimeOptions {
   double host_capacity_mbps = 16000.0;
   std::uint64_t heap_local_bytes = 1ULL << 30;   // host-DRAM carve per heap
   std::uint64_t heap_fam_bytes = 4ULL << 30;     // per-FAM carve per heap
+
+  // Switch-resident memory control (DESIGN.md §8): provision a
+  // SwitchMemAgent on its own control adapter, give every host adapter a
+  // translation cache plus a SwitchMemClient, and attach each heap to it —
+  // heap accesses then resolve placement through the fabric and migrations
+  // commit at the switch. Off by default (the classic host-resident path).
+  bool switch_mem = false;
+  SwitchMemConfig switch_mem_cfg;
+  TranslationCacheConfig xlat_cache;
 };
 
 class UniFabricRuntime {
@@ -64,6 +74,11 @@ class UniFabricRuntime {
   MigrationAgent* faa_agent(int faa) { return faa_agents_[static_cast<std::size_t>(faa)].get(); }
   CollectiveEngine* collect() { return collect_.get(); }
   UnifiedHeap* heap(int host) { return heaps_[static_cast<std::size_t>(host)].get(); }
+  // Non-null only when RuntimeOptions::switch_mem is set.
+  SwitchMemAgent* switch_mem_agent() { return switch_mem_agent_.get(); }
+  SwitchMemClient* switch_mem_client(int host) {
+    return switch_mem_clients_[static_cast<std::size_t>(host)].get();
+  }
   ITaskRuntime* itasks() { return itasks_.get(); }
   ScalableFunctionRuntime* sfunc(int faa) { return sfuncs_[static_cast<std::size_t>(faa)].get(); }
   SFuncClient* sfunc_client(int host) {
@@ -84,6 +99,9 @@ class UniFabricRuntime {
   std::vector<std::unique_ptr<MigrationAgent>> fam_agents_;
   std::vector<std::unique_ptr<MigrationAgent>> faa_agents_;
   std::unique_ptr<CollectiveEngine> collect_;
+  std::unique_ptr<MessageDispatcher> switch_mem_dispatcher_;
+  std::unique_ptr<SwitchMemAgent> switch_mem_agent_;
+  std::vector<std::unique_ptr<SwitchMemClient>> switch_mem_clients_;
   std::vector<std::unique_ptr<UnifiedHeap>> heaps_;
   std::unique_ptr<ITaskRuntime> itasks_;
   std::vector<std::unique_ptr<ScalableFunctionRuntime>> sfuncs_;

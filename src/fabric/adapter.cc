@@ -20,6 +20,12 @@ AdapterBase::AdapterBase(Engine* engine, const AdapterConfig& config, PbrId id, 
   stats_.BindTo(metrics_);
 }
 
+TranslationCache* AdapterBase::EnableTranslationCache(const TranslationCacheConfig& config) {
+  xlat_cache_ = std::make_unique<TranslationCache>(config);
+  xlat_cache_->stats().BindTo(metrics_, "xlat/");
+  return xlat_cache_.get();
+}
+
 void AdapterBase::AttachLink(LinkEndpoint* endpoint) {
   link_ = endpoint;
   endpoint->Bind(this, 0);

@@ -21,6 +21,7 @@
 
 #include "src/fabric/flit.h"
 #include "src/fabric/link.h"
+#include "src/fabric/switch/xlat_cache.h"
 #include "src/sim/audit.h"
 #include "src/sim/engine.h"
 #include "src/sim/metrics.h"
@@ -109,6 +110,14 @@ class AdapterBase : public FlitReceiver {
 
   void SetMessageHandler(MessageHandler handler) { message_handler_ = std::move(handler); }
 
+  // Provisions the DeACT-style translation cache this adapter consults for
+  // fabric-virtual addresses (switch-resident memory control). Stats bind
+  // under the adapter's metric group as "xlat/*". Returns the cache; it
+  // stays owned by the adapter. nullptr from translation_cache() until
+  // enabled.
+  TranslationCache* EnableTranslationCache(const TranslationCacheConfig& config);
+  TranslationCache* translation_cache() const { return xlat_cache_.get(); }
+
   // FlitReceiver: a link epoch change invalidates partially reassembled
   // transactions from the dead epoch (their missing flits will never come).
   void OnLinkEpochChange(int port, bool link_up) override;
@@ -139,6 +148,7 @@ class AdapterBase : public FlitReceiver {
   std::deque<Flit> egress_;
   std::unordered_map<std::uint64_t, std::uint32_t> rx_progress_;  // txn -> flits seen
   MessageHandler message_handler_;
+  std::unique_ptr<TranslationCache> xlat_cache_;
   AdapterStats stats_;
   MetricGroup metrics_;
   std::uint64_t next_txn_id_ = 1;

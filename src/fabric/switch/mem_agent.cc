@@ -1,0 +1,387 @@
+#include "src/fabric/switch/mem_agent.h"
+
+#include <cassert>
+#include <utility>
+
+namespace unifab {
+
+void SwitchMemStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "registers", [this] { return registers; });
+  group.AddCounterFn(prefix + "releases", [this] { return releases; });
+  group.AddCounterFn(prefix + "translations", [this] { return translations; });
+  group.AddCounterFn(prefix + "translate_faults", [this] { return translate_faults; });
+  group.AddCounterFn(prefix + "commits", [this] { return commits; });
+  group.AddCounterFn(prefix + "commit_rejects", [this] { return commit_rejects; });
+  group.AddCounterFn(prefix + "invalidations_sent", [this] { return invalidations_sent; });
+  group.AddCounterFn(prefix + "invalidation_acks", [this] { return invalidation_acks; });
+}
+
+SwitchMemAgent::SwitchMemAgent(Engine* engine, const SwitchMemConfig& config,
+                               MessageDispatcher* dispatcher)
+    : engine_(engine), config_(config), dispatcher_(dispatcher) {
+  dispatcher_->RegisterService(kSvcSwitchMem,
+                               [this](const FabricMessage& msg) { HandleMessage(msg); });
+  metrics_ = MetricGroup(&engine_->metrics(), "fabric/switch_mem");
+  stats_.BindTo(metrics_);
+  metrics_.AddGaugeFn("ranges", [this] { return static_cast<double>(ranges_.size()); });
+  metrics_.AddGaugeFn("pending_invalidations",
+                      [this] { return static_cast<double>(pending_invals_.size()); });
+  audit_ = AuditScope(&engine_->audit(), "fabric/switch_mem");
+  // Translation-cache entries are conserved: every entry cached at any
+  // attached client refers to a range the agent still tracks, and the agent
+  // remembers that client as a sharer (or has an invalidation to it in
+  // flight). The agent may conservatively over-remember sharers — a client
+  // can evict silently — but never under-remember, or a migration commit
+  // could leave a cached translation it does not know to invalidate.
+  audit_.AddCheck("cache_entries_conserved", [this]() -> std::string {
+    for (const SwitchMemClient* client : audit_clients_) {
+      const PbrId cid = client->id();
+      std::string fail;
+      client->cache()->ForEach([&](const Translation& e) {
+        if (!fail.empty()) {
+          return;
+        }
+        auto it = ranges_.find(e.vbase);
+        if (it == ranges_.end()) {
+          fail = "client " + std::to_string(cid) + " caches unknown range vbase=" +
+                 std::to_string(e.vbase);
+          return;
+        }
+        if (it->second.sharers.count(cid) == 0 &&
+            pending_invals_.count({e.vbase, cid}) == 0) {
+          fail = "client " + std::to_string(cid) + " caches vbase=" +
+                 std::to_string(e.vbase) + " but is neither sharer nor pending-invalidate";
+        }
+      });
+      if (!fail.empty()) {
+        return fail;
+      }
+    }
+    return {};
+  });
+  // No stale translation outlives its invalidation ack: a cached entry
+  // either matches the range's current placement/version or the agent has
+  // an invalidation to that client still in flight. Anything else means a
+  // commit finished (freed the source block) while a cache could still
+  // route accesses at the old address.
+  audit_.AddCheck("no_stale_translation", [this]() -> std::string {
+    for (const SwitchMemClient* client : audit_clients_) {
+      const PbrId cid = client->id();
+      std::string fail;
+      client->cache()->ForEach([&](const Translation& e) {
+        if (!fail.empty()) {
+          return;
+        }
+        auto it = ranges_.find(e.vbase);
+        if (it == ranges_.end()) {
+          return;  // cache_entries_conserved reports this
+        }
+        const Translation& cur = it->second.xlat;
+        const bool fresh =
+            e.version == cur.version && e.node == cur.node && e.addr == cur.addr;
+        if (!fresh && pending_invals_.count({e.vbase, cid}) == 0) {
+          fail = "client " + std::to_string(cid) + " holds stale translation for vbase=" +
+                 std::to_string(e.vbase) + " (cached v" + std::to_string(e.version) +
+                 ", current v" + std::to_string(cur.version) + ") with no invalidation in flight";
+        }
+      });
+      if (!fail.empty()) {
+        return fail;
+      }
+    }
+    return {};
+  });
+}
+
+void SwitchMemAgent::RegisterRange(std::uint64_t vbase, std::uint64_t bytes, PbrId node,
+                                   std::uint64_t addr) {
+  assert(ranges_.count(vbase) == 0 && "vbase reuse: heap va cursor must be monotonic");
+  Range range;
+  range.xlat.vbase = vbase;
+  range.xlat.bytes = bytes;
+  range.xlat.node = node;
+  range.xlat.addr = addr;
+  range.xlat.version = 0;  // bumped by each migration commit
+  ranges_.emplace(vbase, std::move(range));
+  ++stats_.registers;
+}
+
+void SwitchMemAgent::ReleaseRange(std::uint64_t vbase) {
+  auto it = ranges_.find(vbase);
+  if (it == ranges_.end()) {
+    return;
+  }
+  ++stats_.releases;
+  Range& range = it->second;
+  range.dying = true;
+  // Cached copies must still be flushed: until their acks land, the range
+  // lingers in the dying state so the audit sweeps can account for them.
+  std::set<PbrId> sharers;
+  sharers.swap(range.sharers);
+  for (const PbrId sharer : sharers) {
+    if (pending_invals_.insert({vbase, sharer}).second) {
+      SendInvalidate(sharer, range.xlat);
+    }
+  }
+  MaybeReapRange(vbase);
+}
+
+Translation SwitchMemAgent::Lookup(std::uint64_t vaddr) const {
+  auto it = ranges_.upper_bound(vaddr);
+  if (it != ranges_.begin()) {
+    --it;
+    if (!it->second.dying && it->second.xlat.Covers(vaddr)) {
+      return it->second.xlat;
+    }
+  }
+  return Translation{};
+}
+
+bool SwitchMemAgent::HasPendingInvals(std::uint64_t vbase) const {
+  auto it = pending_invals_.lower_bound({vbase, 0});
+  return it != pending_invals_.end() && it->first == vbase;
+}
+
+void SwitchMemAgent::MaybeReapRange(std::uint64_t vbase) {
+  auto it = ranges_.find(vbase);
+  if (it == ranges_.end() || !it->second.dying) {
+    return;
+  }
+  if (it->second.sharers.empty() && !HasPendingInvals(vbase) &&
+      pending_commits_.count(vbase) == 0) {
+    ranges_.erase(it);
+  }
+}
+
+void SwitchMemAgent::HandleMessage(const FabricMessage& msg) {
+  const auto req = std::static_pointer_cast<SwitchMemMsg>(msg.body);
+  assert(req != nullptr);
+  switch (req->kind) {
+    case SwitchMemMsg::Kind::kTranslate:
+      engine_->Schedule(config_.lookup_latency,
+                        [this, m = *req, src = msg.src] { HandleTranslate(src, m); });
+      return;
+    case SwitchMemMsg::Kind::kCommit:
+      engine_->Schedule(config_.commit_latency,
+                        [this, m = *req, src = msg.src] { HandleCommit(src, m); });
+      return;
+    case SwitchMemMsg::Kind::kInvalidateAck:
+      HandleInvalidateAck(msg.src, *req);
+      return;
+    default:
+      return;
+  }
+}
+
+void SwitchMemAgent::HandleTranslate(PbrId src, const SwitchMemMsg& m) {
+  SwitchMemMsg resp;
+  resp.kind = SwitchMemMsg::Kind::kTranslateResp;
+  resp.request_id = m.request_id;
+  auto it = ranges_.upper_bound(m.vaddr);
+  if (it != ranges_.begin()) {
+    --it;
+    if (!it->second.dying && it->second.xlat.Covers(m.vaddr)) {
+      resp.ok = true;
+      resp.xlat = it->second.xlat;
+      // Remembered before the response leaves: the sharer set must cover
+      // the cache entry the client is about to install.
+      it->second.sharers.insert(src);
+      ++stats_.translations;
+      Send(src, resp);
+      return;
+    }
+  }
+  ++stats_.translate_faults;
+  Send(src, resp);
+}
+
+void SwitchMemAgent::HandleCommit(PbrId src, const SwitchMemMsg& m) {
+  const std::uint64_t vbase = m.xlat.vbase;
+  auto it = ranges_.find(vbase);
+  if (it == ranges_.end() || it->second.dying || pending_commits_.count(vbase) != 0) {
+    ++stats_.commit_rejects;
+    SwitchMemMsg ack;
+    ack.kind = SwitchMemMsg::Kind::kCommitAck;
+    ack.request_id = m.request_id;
+    Send(src, ack);
+    return;
+  }
+  Range& range = it->second;
+  ++stats_.commits;
+  // Apply-first: from this instant every fresh translate serves the new
+  // placement. Holders of the old one are invalidated below; they may keep
+  // using it (old-or-new, never torn) until their ack, and the committer's
+  // ack — the signal that the old block is reclaimable — waits for all of
+  // them.
+  range.xlat.node = m.xlat.node;
+  range.xlat.addr = m.xlat.addr;
+  ++range.xlat.version;
+
+  std::set<PbrId> sharers;
+  sharers.swap(range.sharers);
+  PendingCommit pc;
+  pc.request_id = m.request_id;
+  pc.committer = src;
+  for (const PbrId sharer : sharers) {
+    if (pending_invals_.insert({vbase, sharer}).second) {
+      ++pc.acks_outstanding;
+      SendInvalidate(sharer, range.xlat);
+    }
+  }
+  if (pc.acks_outstanding == 0) {
+    range.sharers.insert(src);  // the ack carries the new translation
+    SwitchMemMsg ack;
+    ack.kind = SwitchMemMsg::Kind::kCommitAck;
+    ack.request_id = m.request_id;
+    ack.ok = true;
+    ack.xlat = range.xlat;
+    Send(src, ack);
+    return;
+  }
+  pending_commits_.emplace(vbase, pc);
+}
+
+void SwitchMemAgent::HandleInvalidateAck(PbrId src, const SwitchMemMsg& m) {
+  const std::uint64_t vbase = m.xlat.vbase;
+  ++stats_.invalidation_acks;
+  pending_invals_.erase({vbase, src});
+
+  auto pc = pending_commits_.find(vbase);
+  if (pc != pending_commits_.end() && --pc->second.acks_outstanding == 0) {
+    const PbrId committer = pc->second.committer;
+    SwitchMemMsg ack;
+    ack.kind = SwitchMemMsg::Kind::kCommitAck;
+    ack.request_id = pc->second.request_id;
+    pending_commits_.erase(pc);
+    auto rit = ranges_.find(vbase);
+    if (rit != ranges_.end() && !rit->second.dying) {
+      rit->second.sharers.insert(committer);
+      ack.ok = true;
+      ack.xlat = rit->second.xlat;
+    }
+    Send(committer, ack);
+  }
+  MaybeReapRange(vbase);
+}
+
+void SwitchMemAgent::SendInvalidate(PbrId dst, const Translation& xlat) {
+  ++stats_.invalidations_sent;
+  SwitchMemMsg inval;
+  inval.kind = SwitchMemMsg::Kind::kInvalidate;
+  inval.xlat = xlat;
+  Send(dst, inval);
+}
+
+void SwitchMemAgent::Send(PbrId dst, const SwitchMemMsg& msg) {
+  dispatcher_->adapter()->SendMessage(dst, Channel::kControl, Opcode::kMsg,
+                                      MakeTag(kSvcSwitchMem, msg.request_id),
+                                      config_.ctrl_msg_bytes,
+                                      std::make_shared<SwitchMemMsg>(msg));
+}
+
+void SwitchMemClientStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "resolves", [this] { return resolves; });
+  group.AddCounterFn(prefix + "cache_hits", [this] { return cache_hits; });
+  group.AddCounterFn(prefix + "translate_requests", [this] { return translate_requests; });
+  group.AddCounterFn(prefix + "translate_faults", [this] { return translate_faults; });
+  group.AddCounterFn(prefix + "commit_requests", [this] { return commit_requests; });
+  group.AddCounterFn(prefix + "invalidates_received", [this] { return invalidates_received; });
+}
+
+SwitchMemClient::SwitchMemClient(Engine* engine, const SwitchMemConfig& config,
+                                 MessageDispatcher* dispatcher, SwitchMemAgent* agent,
+                                 TranslationCache* cache)
+    : engine_(engine), config_(config), dispatcher_(dispatcher), agent_(agent), cache_(cache) {
+  assert(cache_ != nullptr && "client needs the adapter's translation cache");
+  dispatcher_->RegisterService(kSvcSwitchMem,
+                               [this](const FabricMessage& msg) { HandleMessage(msg); });
+  metrics_ = MetricGroup(&engine_->metrics(),
+                         "fabric/switch_mem/client/" + dispatcher_->adapter()->name());
+  stats_.BindTo(metrics_);
+}
+
+void SwitchMemClient::Resolve(std::uint64_t vaddr, ResolveCb cb) {
+  ++stats_.resolves;
+  if (const Translation* hit = cache_->Lookup(vaddr)) {
+    ++stats_.cache_hits;
+    engine_->Schedule(cache_->config().hit_latency,
+                      [cb = std::move(cb), xlat = *hit] { cb(xlat, true); });
+    return;
+  }
+  SwitchMemMsg m;
+  m.kind = SwitchMemMsg::Kind::kTranslate;
+  m.request_id = next_request_++;
+  m.vaddr = vaddr;
+  pending_resolves_.emplace(m.request_id, std::move(cb));
+  ++stats_.translate_requests;
+  Send(m);
+}
+
+void SwitchMemClient::Commit(const Translation& next, std::function<void(bool)> cb) {
+  SwitchMemMsg m;
+  m.kind = SwitchMemMsg::Kind::kCommit;
+  m.request_id = next_request_++;
+  m.xlat = next;
+  pending_commits_.emplace(m.request_id, std::move(cb));
+  ++stats_.commit_requests;
+  Send(m);
+}
+
+void SwitchMemClient::HandleMessage(const FabricMessage& msg) {
+  const auto resp = std::static_pointer_cast<SwitchMemMsg>(msg.body);
+  assert(resp != nullptr);
+  switch (resp->kind) {
+    case SwitchMemMsg::Kind::kTranslateResp: {
+      auto it = pending_resolves_.find(resp->request_id);
+      if (it == pending_resolves_.end()) {
+        return;
+      }
+      auto cb = std::move(it->second);
+      pending_resolves_.erase(it);
+      if (resp->ok) {
+        cache_->Insert(resp->xlat);
+      } else {
+        ++stats_.translate_faults;
+      }
+      if (cb) {
+        cb(resp->xlat, resp->ok);
+      }
+      return;
+    }
+    case SwitchMemMsg::Kind::kCommitAck: {
+      auto it = pending_commits_.find(resp->request_id);
+      if (it == pending_commits_.end()) {
+        return;
+      }
+      auto cb = std::move(it->second);
+      pending_commits_.erase(it);
+      if (resp->ok) {
+        cache_->Insert(resp->xlat);  // the committer learns the new placement
+      }
+      if (cb) {
+        cb(resp->ok);
+      }
+      return;
+    }
+    case SwitchMemMsg::Kind::kInvalidate: {
+      ++stats_.invalidates_received;
+      cache_->Invalidate(resp->xlat.vbase);
+      SwitchMemMsg ack;
+      ack.kind = SwitchMemMsg::Kind::kInvalidateAck;
+      ack.xlat.vbase = resp->xlat.vbase;
+      Send(ack);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void SwitchMemClient::Send(const SwitchMemMsg& msg) {
+  dispatcher_->adapter()->SendMessage(agent_->fabric_id(), Channel::kControl, Opcode::kMsg,
+                                      MakeTag(kSvcSwitchMem, msg.request_id),
+                                      config_.ctrl_msg_bytes,
+                                      std::make_shared<SwitchMemMsg>(msg));
+}
+
+}  // namespace unifab

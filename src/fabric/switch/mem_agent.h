@@ -1,0 +1,213 @@
+// Switch-resident memory-control agent (ROADMAP open item 2).
+//
+// The paper's fabric-centric view argues resource management belongs *in*
+// the fabric; MIND (PAPERS.md) shows address translation and migration
+// bookkeeping can run in the switch itself. This module models that agent:
+// like the central arbiter it is a programmable service on a dedicated
+// lightweight switch-attached adapter, speaking on the Channel::kControl
+// virtual channel. It owns
+//   * the authoritative range map: fabric-virtual range -> (node, address,
+//     version) for every heap object registered with it;
+//   * per-range sharer sets: which initiator adapters were served a
+//     translation (and so may cache it, xlat_cache.h);
+//   * the migration-commit protocol: a commit bumps the range's version,
+//     invalidates every cached copy, and acks the committer only after all
+//     invalidation acks arrive — the source block of a migration is not
+//     reusable before that ack, because a cached stale translation could
+//     still route reads at it.
+//
+// Range registration/release piggyback on the allocation path (the
+// initiator already pays that round trip) and are modeled untimed; the
+// timed paths are translate misses, commits, and invalidations.
+
+#ifndef SRC_FABRIC_SWITCH_MEM_AGENT_H_
+#define SRC_FABRIC_SWITCH_MEM_AGENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/fabric/dispatch.h"
+#include "src/fabric/switch/xlat_cache.h"
+#include "src/sim/audit.h"
+#include "src/sim/engine.h"
+#include "src/sim/metrics.h"
+
+namespace unifab {
+
+// Wire format for switch-mem control messages (rides Channel::kControl).
+struct SwitchMemMsg {
+  enum class Kind : std::uint8_t {
+    kTranslate,      // client -> agent: resolve vaddr
+    kTranslateResp,  // agent -> client: xlat (ok) or fault (!ok)
+    kCommit,         // client -> agent: flip xlat.vbase to (node, addr)
+    kCommitAck,      // agent -> client: committed (ok) after caches clean
+    kInvalidate,     // agent -> client: drop cached xlat.vbase
+    kInvalidateAck,  // client -> agent: dropped
+  };
+  Kind kind = Kind::kTranslate;
+  std::uint64_t request_id = 0;
+  std::uint64_t vaddr = 0;  // kTranslate only
+  Translation xlat;
+  bool ok = false;
+};
+
+struct SwitchMemConfig {
+  std::uint32_t ctrl_msg_bytes = 64;     // one control flit per message
+  Tick lookup_latency = FromNs(60.0);    // switch-SRAM range walk
+  Tick commit_latency = FromNs(90.0);    // version bump + sharer walk
+};
+
+struct SwitchMemStats {
+  std::uint64_t registers = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t translations = 0;        // translate requests served
+  std::uint64_t translate_faults = 0;    // lookup missed every live range
+  std::uint64_t commits = 0;
+  std::uint64_t commit_rejects = 0;      // unknown/dying range or commit race
+  std::uint64_t invalidations_sent = 0;
+  std::uint64_t invalidation_acks = 0;
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
+};
+
+class SwitchMemClient;
+
+// Server side. Attach to a MessageDispatcher whose adapter hangs off a
+// fabric switch (the runtime provisions a dedicated lightweight adapter,
+// same pattern as the arbiter).
+class SwitchMemAgent {
+ public:
+  SwitchMemAgent(Engine* engine, const SwitchMemConfig& config, MessageDispatcher* dispatcher);
+
+  // Untimed control-plane range management (allocation-path piggyback).
+  // vbase values are never reused (the heap bumps a monotonic va cursor),
+  // so a released range can linger in a dying state until its cached
+  // copies are invalidated without colliding with a re-registration.
+  void RegisterRange(std::uint64_t vbase, std::uint64_t bytes, PbrId node, std::uint64_t addr);
+  void ReleaseRange(std::uint64_t vbase);
+
+  // Authoritative untimed lookup (tests, audits). bytes == 0 on miss.
+  Translation Lookup(std::uint64_t vaddr) const;
+
+  // Audit wiring: lets the conservation/staleness sweeps walk every
+  // initiator cache. Read-only at sweep time.
+  void AttachClientForAudit(SwitchMemClient* client) { audit_clients_.push_back(client); }
+
+  std::size_t num_ranges() const { return ranges_.size(); }
+  std::size_t pending_invalidations() const { return pending_invals_.size(); }
+  const SwitchMemStats& stats() const { return stats_; }
+  PbrId fabric_id() const { return dispatcher_->adapter()->id(); }
+
+ private:
+  struct Range {
+    Translation xlat;
+    bool dying = false;       // released; erased once all invalidation acks land
+    std::set<PbrId> sharers;  // clients served this translation (may over-remember)
+  };
+
+  struct PendingCommit {
+    std::uint64_t request_id = 0;
+    PbrId committer = kInvalidPbrId;
+    std::size_t acks_outstanding = 0;
+  };
+
+  void HandleMessage(const FabricMessage& msg);
+  void HandleTranslate(PbrId src, const SwitchMemMsg& m);
+  void HandleCommit(PbrId src, const SwitchMemMsg& m);
+  void HandleInvalidateAck(PbrId src, const SwitchMemMsg& m);
+  void SendInvalidate(PbrId dst, const Translation& xlat);
+  void Send(PbrId dst, const SwitchMemMsg& msg);
+  // Erases a dying range once nothing references it anymore.
+  void MaybeReapRange(std::uint64_t vbase);
+  bool HasPendingInvals(std::uint64_t vbase) const;
+
+  Engine* engine_;
+  SwitchMemConfig config_;
+  MessageDispatcher* dispatcher_;
+  std::map<std::uint64_t, Range> ranges_;                  // vbase -> range
+  std::map<std::uint64_t, PendingCommit> pending_commits_; // vbase -> commit
+  // (vbase, client) pairs with an invalidation in flight: the staleness
+  // audit admits exactly these as transiently stale.
+  std::set<std::pair<std::uint64_t, PbrId>> pending_invals_;
+  std::vector<SwitchMemClient*> audit_clients_;
+  SwitchMemStats stats_;
+  MetricGroup metrics_;
+  AuditScope audit_;  // after the state the checks read
+
+  friend class AuditTestPeer;
+};
+
+struct SwitchMemClientStats {
+  std::uint64_t resolves = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t translate_requests = 0;
+  std::uint64_t translate_faults = 0;
+  std::uint64_t commit_requests = 0;
+  std::uint64_t invalidates_received = 0;
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
+};
+
+// Client side: one per initiator (host). Resolves fabric-virtual addresses
+// through the adapter's translation cache, falling back to a control-VC
+// round trip to the agent; answers the agent's invalidations; and drives
+// migration commits on the heap's behalf.
+class SwitchMemClient {
+ public:
+  // `cache` is the adapter-resident translation cache (the adapter owns
+  // it; see AdapterBase::EnableTranslationCache). `agent` is only used for
+  // the untimed register/release forwarders and audit introspection; all
+  // timed traffic goes through the fabric.
+  SwitchMemClient(Engine* engine, const SwitchMemConfig& config, MessageDispatcher* dispatcher,
+                  SwitchMemAgent* agent, TranslationCache* cache);
+
+  using ResolveCb = std::function<void(const Translation& xlat, bool ok)>;
+
+  // Resolves `vaddr`: cache hits complete after the cache's hit latency,
+  // misses after a translate round trip (installing the entry). `ok` is
+  // false when no live range covers vaddr (released underneath an in-flight
+  // access).
+  void Resolve(std::uint64_t vaddr, ResolveCb cb);
+
+  // Asks the agent to flip xlat.vbase to the new placement. `cb(true)`
+  // fires only after every cached copy of the old translation has been
+  // invalidated and acknowledged; the caller may then reuse the old block.
+  void Commit(const Translation& next, std::function<void(bool ok)> cb);
+
+  // Untimed allocation-path forwarders.
+  void RegisterRange(std::uint64_t vbase, std::uint64_t bytes, PbrId node, std::uint64_t addr) {
+    agent_->RegisterRange(vbase, bytes, node, addr);
+  }
+  void ReleaseRange(std::uint64_t vbase) { agent_->ReleaseRange(vbase); }
+
+  TranslationCache* cache() { return cache_; }
+  const TranslationCache* cache() const { return cache_; }
+  SwitchMemAgent* agent() { return agent_; }
+  PbrId id() const { return dispatcher_->adapter()->id(); }
+  const SwitchMemClientStats& stats() const { return stats_; }
+
+ private:
+  void HandleMessage(const FabricMessage& msg);
+  void Send(const SwitchMemMsg& msg);
+
+  Engine* engine_;
+  SwitchMemConfig config_;
+  MessageDispatcher* dispatcher_;
+  SwitchMemAgent* agent_;
+  TranslationCache* cache_;
+  std::uint64_t next_request_ = 1;
+  std::unordered_map<std::uint64_t, ResolveCb> pending_resolves_;
+  std::unordered_map<std::uint64_t, std::function<void(bool)>> pending_commits_;
+  SwitchMemClientStats stats_;
+  MetricGroup metrics_;
+};
+
+}  // namespace unifab
+
+#endif  // SRC_FABRIC_SWITCH_MEM_AGENT_H_

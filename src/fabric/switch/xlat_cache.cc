@@ -1,0 +1,64 @@
+#include "src/fabric/switch/xlat_cache.h"
+
+namespace unifab {
+
+void TranslationCacheStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "lookups", [this] { return lookups; });
+  group.AddCounterFn(prefix + "hits", [this] { return hits; });
+  group.AddCounterFn(prefix + "misses", [this] { return misses; });
+  group.AddCounterFn(prefix + "insertions", [this] { return insertions; });
+  group.AddCounterFn(prefix + "evictions", [this] { return evictions; });
+  group.AddCounterFn(prefix + "invalidations", [this] { return invalidations; });
+  group.AddCounterFn(prefix + "spurious_invalidations",
+                     [this] { return spurious_invalidations; });
+}
+
+const Translation* TranslationCache::Lookup(std::uint64_t vaddr) {
+  ++stats_.lookups;
+  // The covering range, if any, is the last one starting at or below vaddr.
+  auto it = entries_.upper_bound(vaddr);
+  if (it != entries_.begin()) {
+    --it;
+    if (it->second.xlat.Covers(vaddr)) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+      return &it->second.xlat;
+    }
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+void TranslationCache::Insert(const Translation& xlat) {
+  auto it = entries_.find(xlat.vbase);
+  if (it != entries_.end()) {
+    // Refresh in place (a commit ack carries the range's new placement).
+    it->second.xlat = xlat;
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    ++stats_.insertions;
+    return;
+  }
+  if (entries_.size() >= config_.capacity && !lru_.empty()) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+  lru_.push_front(xlat.vbase);
+  entries_.emplace(xlat.vbase, Entry{xlat, lru_.begin()});
+  ++stats_.insertions;
+}
+
+bool TranslationCache::Invalidate(std::uint64_t vbase) {
+  auto it = entries_.find(vbase);
+  if (it == entries_.end()) {
+    ++stats_.spurious_invalidations;
+    return false;
+  }
+  lru_.erase(it->second.lru);
+  entries_.erase(it);
+  ++stats_.invalidations;
+  return true;
+}
+
+}  // namespace unifab

@@ -1,0 +1,103 @@
+// DeACT-style translation cache at a fabric adapter (PAPERS.md: DeACT).
+//
+// With switch-resident memory control, initiators address fabric objects by
+// fabric-virtual ranges; the switch-resident agent (mem_agent.h) owns the
+// authoritative range map. Each initiator-side adapter keeps a small cache
+// of recently served translations so the common case avoids the control-VC
+// round trip. Entries are versioned: the agent bumps a range's version on
+// every migration commit and explicitly invalidates cached copies, so a
+// cached translation is either current or provably inside an invalidation
+// handshake — never silently stale (the agent's auditor checks exactly
+// this).
+
+#ifndef SRC_FABRIC_SWITCH_XLAT_CACHE_H_
+#define SRC_FABRIC_SWITCH_XLAT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <string>
+
+#include "src/fabric/flit.h"
+#include "src/sim/metrics.h"
+#include "src/sim/time.h"
+
+namespace unifab {
+
+// One range translation: fabric-virtual [vbase, vbase + bytes) currently
+// lives at `addr` (host address-map view) on memory node `node`.
+struct Translation {
+  std::uint64_t vbase = 0;
+  std::uint64_t bytes = 0;
+  PbrId node = kInvalidPbrId;
+  std::uint64_t addr = 0;
+  std::uint64_t version = 0;
+
+  bool Covers(std::uint64_t vaddr) const {
+    return vaddr >= vbase && vaddr - vbase < bytes;
+  }
+};
+
+struct TranslationCacheConfig {
+  std::size_t capacity = 1024;     // entries (ranges); LRU-evicted beyond this
+  Tick hit_latency = FromNs(8.0);  // on-adapter SRAM lookup
+};
+
+struct TranslationCacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t invalidations = 0;           // entries dropped by agent message
+  std::uint64_t spurious_invalidations = 0;  // invalidate for an absent entry
+
+  double HitRate() const {
+    return lookups == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
+};
+
+class TranslationCache {
+ public:
+  explicit TranslationCache(const TranslationCacheConfig& config) : config_(config) {}
+
+  // The cached translation covering `vaddr`, or nullptr on miss. Hits move
+  // the entry to the LRU front.
+  const Translation* Lookup(std::uint64_t vaddr);
+
+  // Installs (or refreshes) the entry keyed by xlat.vbase, evicting the LRU
+  // entry when full.
+  void Insert(const Translation& xlat);
+
+  // Drops the entry for `vbase`; true when one existed.
+  bool Invalidate(std::uint64_t vbase);
+
+  std::size_t size() const { return entries_.size(); }
+  const TranslationCacheConfig& config() const { return config_; }
+  const TranslationCacheStats& stats() const { return stats_; }
+
+  // Deterministic (vbase-ordered) iteration for the agent's audit sweeps.
+  template <typename F>
+  void ForEach(F&& fn) const {
+    for (const auto& [vbase, entry] : entries_) {
+      fn(entry.xlat);
+    }
+  }
+
+ private:
+  struct Entry {
+    Translation xlat;
+    std::list<std::uint64_t>::iterator lru;  // position in lru_ (front = hottest)
+  };
+
+  std::map<std::uint64_t, Entry> entries_;  // vbase -> entry; ordered lookup
+  std::list<std::uint64_t> lru_;
+  TranslationCacheConfig config_;
+  TranslationCacheStats stats_;
+};
+
+}  // namespace unifab
+
+#endif  // SRC_FABRIC_SWITCH_XLAT_CACHE_H_

@@ -83,4 +83,12 @@ Cluster::Cluster(const ClusterConfig& config)
   }
 }
 
+HostAdapter* Cluster::AttachControlAdapter(const AdapterConfig& config, const std::string& name,
+                                           int sw) {
+  HostAdapter* adapter = fabric_->AddHostAdapter(config, name);
+  fabric_->Connect(fabric_switch(sw), adapter, config_.link);
+  fabric_->ConfigureRouting();
+  return adapter;
+}
+
 }  // namespace unifab

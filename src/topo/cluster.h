@@ -74,6 +74,13 @@ class Cluster {
   int num_fams() const { return static_cast<int>(fams_.size()); }
   int num_faas() const { return static_cast<int>(faas_.size()); }
 
+  // Provisions a dedicated lightweight control adapter on fabric switch
+  // `sw` and re-resolves routes: the attachment pattern shared by the
+  // central arbiter and the switch-resident memory agent. The interconnect
+  // owns the returned adapter.
+  HostAdapter* AttachControlAdapter(const AdapterConfig& config, const std::string& name,
+                                    int sw = 0);
+
   // Address-space base of FAM chassis i (same in every host).
   std::uint64_t FamBase(int i) const {
     return config_.fam_base + static_cast<std::uint64_t>(i) * config_.fam_stride;

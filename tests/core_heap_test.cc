@@ -108,6 +108,89 @@ TEST_F(HeapTest, FreeDuringMigrationIsSafe) {
   EXPECT_EQ(heap_->TierUsed(1), 0u);
 }
 
+TEST_F(HeapTest, MigrateReturnsStatus) {
+  const ObjectId id = heap_->Allocate(4096, 1);
+  EXPECT_EQ(heap_->Migrate(999999, 0, nullptr), MigrateResult::kNoSuchObject);
+  EXPECT_EQ(heap_->Migrate(id, 1, nullptr), MigrateResult::kSameTier);
+
+  // Two concurrent migrations of the same object: the second is rejected
+  // with a busy status (and its callback sees false) instead of silently
+  // double-claiming the source block.
+  bool first_ok = false;
+  bool second_ok = true;
+  EXPECT_EQ(heap_->Migrate(id, 0, [&](bool v) { first_ok = v; }), MigrateResult::kStarted);
+  EXPECT_EQ(heap_->Migrate(id, 0, [&](bool v) { second_ok = v; }), MigrateResult::kBusy);
+  cluster_.engine().Run();
+  EXPECT_TRUE(first_ok);
+  EXPECT_FALSE(second_ok);
+
+  // Once resolved the object is migratable again.
+  EXPECT_EQ(heap_->Migrate(id, 1, nullptr), MigrateResult::kStarted);
+  cluster_.engine().Run();
+  EXPECT_EQ(heap_->TierOf(id), 1);
+}
+
+TEST_F(HeapTest, MigrateIntoFullTierReportsNoSpace) {
+  std::vector<ObjectId> fill;
+  for (int i = 0; i < 4; ++i) {
+    fill.push_back(heap_->Allocate(262144, 0));  // 4 x 256K = the whole 1 MiB
+    ASSERT_NE(fill.back(), kInvalidObject);
+  }
+  const ObjectId id = heap_->Allocate(4096, 1);
+  bool cb_ok = true;
+  EXPECT_EQ(heap_->Migrate(id, 0, [&](bool v) { cb_ok = v; }), MigrateResult::kNoSpace);
+  EXPECT_FALSE(cb_ok);
+  EXPECT_EQ(heap_->TierOf(id), 1);
+}
+
+TEST_F(HeapTest, UntouchedObjectsDecayEveryEpoch) {
+  // Regression: the epoch fold must decay every live object, not only the
+  // ones touched that epoch — an idle object left at its old temperature
+  // never qualifies for demotion.
+  const ObjectId idle = heap_->Allocate(64, 1);
+  const ObjectId busy = heap_->Allocate(64, 1);
+  for (int i = 0; i < 8; ++i) {
+    heap_->Read(idle, nullptr);
+  }
+  cluster_.engine().Run();
+  heap_->RunEpoch();
+  double expect = 4.0;  // alpha=0.5 over 8 accesses
+  EXPECT_DOUBLE_EQ(heap_->Info(idle).temperature, expect);
+
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    heap_->Read(busy, nullptr);  // activity elsewhere; `idle` is never touched
+    cluster_.engine().Run();
+    heap_->RunEpoch();
+    expect *= 0.5;
+    EXPECT_DOUBLE_EQ(heap_->Info(idle).temperature, expect);
+  }
+}
+
+TEST_F(HeapTest, ProfilerSummaryCountsEachLiveObjectOnce) {
+  // Three objects spread over the profiler's default 8 shards leave most
+  // shards empty; the per-epoch temperature summary must still hold exactly
+  // one sample per live object (empty shards contribute nothing, and no
+  // sample is merged twice).
+  const ObjectId a = heap_->Allocate(64, 1);
+  const ObjectId b = heap_->Allocate(64, 1);
+  const ObjectId c = heap_->Allocate(64, 1);
+  heap_->Read(a, nullptr);
+  heap_->Read(b, nullptr);
+  heap_->Read(c, nullptr);
+  cluster_.engine().Run();
+  heap_->RunEpoch();
+  EXPECT_EQ(heap_->profiler().epoch_temperature().Count(), 3u);
+  EXPECT_DOUBLE_EQ(heap_->profiler().epoch_temperature().Mean(), 0.5);
+
+  heap_->RunEpoch();  // no accesses: same population, decayed
+  EXPECT_EQ(heap_->profiler().epoch_temperature().Count(), 3u);
+  EXPECT_DOUBLE_EQ(heap_->profiler().epoch_temperature().Mean(), 0.25);
+
+  heap_->Free(c);
+  heap_->RunEpoch();
+  EXPECT_EQ(heap_->profiler().epoch_temperature().Count(), 2u);
+}
+
 TEST_F(HeapTest, EpochDecaysTemperature) {
   const ObjectId id = heap_->Allocate(64, 1);
   for (int i = 0; i < 10; ++i) {

@@ -1,0 +1,317 @@
+// Switch-resident memory control (DESIGN.md §8): translation-cache unit
+// tests, the agent/client protocol driven through a real runtime (register,
+// translate, commit, invalidate, release), seeded violations for the new
+// audit checks, and the heap's delegation of accesses and migration commits.
+
+#include "src/fabric/switch/mem_agent.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/heap.h"
+#include "src/core/runtime.h"
+#include "src/fabric/switch/xlat_cache.h"
+#include "src/topo/cluster.h"
+
+namespace unifab {
+
+// Test-only corruption hook (same pattern as sim_audit_test.cc): reaches
+// into the heap's migration ledger so a test can seed exactly one violation
+// of the new migration_registry check and put the state back afterwards.
+class AuditTestPeer {
+ public:
+  static std::uint64_t& HeapMigratingSrc(UnifiedHeap& h, int tier) {
+    return h.tier_migrating_src_[static_cast<std::size_t>(tier)];
+  }
+};
+
+namespace {
+
+bool AnyPathEndsWith(const std::vector<InvariantViolation>& violations,
+                     const std::string& suffix) {
+  for (const auto& v : violations) {
+    if (v.path.size() >= suffix.size() &&
+        v.path.compare(v.path.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ------------------------- TranslationCache unit --------------------------
+
+Translation MakeXlat(std::uint64_t vbase, std::uint64_t bytes, PbrId node,
+                     std::uint64_t addr, std::uint64_t version = 0) {
+  Translation x;
+  x.vbase = vbase;
+  x.bytes = bytes;
+  x.node = node;
+  x.addr = addr;
+  x.version = version;
+  return x;
+}
+
+TEST(TranslationCacheTest, MissThenHitWithinRange) {
+  TranslationCache cache(TranslationCacheConfig{});
+  EXPECT_EQ(cache.Lookup(0x1000), nullptr);
+  cache.Insert(MakeXlat(0x1000, 256, 7, 0xA000));
+
+  const Translation* hit = cache.Lookup(0x10FF);  // last byte of the range
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->addr, 0xA000u);
+  EXPECT_EQ(cache.Lookup(0x1100), nullptr);  // one past the end
+  EXPECT_EQ(cache.Lookup(0x0FFF), nullptr);  // one before the base
+  EXPECT_EQ(cache.stats().lookups, 4u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST(TranslationCacheTest, LruEvictionAtCapacity) {
+  TranslationCacheConfig cfg;
+  cfg.capacity = 2;
+  TranslationCache cache(cfg);
+  cache.Insert(MakeXlat(0x1000, 64, 1, 0xA000));
+  cache.Insert(MakeXlat(0x2000, 64, 1, 0xB000));
+  ASSERT_NE(cache.Lookup(0x1000), nullptr);  // refresh: 0x2000 becomes LRU
+
+  cache.Insert(MakeXlat(0x3000, 64, 1, 0xC000));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.Lookup(0x2000), nullptr);  // the LRU entry was evicted
+  EXPECT_NE(cache.Lookup(0x1000), nullptr);
+  EXPECT_NE(cache.Lookup(0x3000), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(TranslationCacheTest, InvalidateDropsEntryAndCountsSpurious) {
+  TranslationCache cache(TranslationCacheConfig{});
+  cache.Insert(MakeXlat(0x1000, 64, 1, 0xA000));
+  EXPECT_TRUE(cache.Invalidate(0x1000));
+  EXPECT_EQ(cache.Lookup(0x1000), nullptr);
+  // A second invalidation races an eviction in real runs: spurious, counted.
+  EXPECT_FALSE(cache.Invalidate(0x1000));
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.stats().spurious_invalidations, 1u);
+}
+
+TEST(TranslationCacheTest, InsertRefreshesInPlace) {
+  TranslationCache cache(TranslationCacheConfig{});
+  cache.Insert(MakeXlat(0x1000, 64, 1, 0xA000, 0));
+  cache.Insert(MakeXlat(0x1000, 64, 2, 0xB000, 1));  // the committed placement
+  EXPECT_EQ(cache.size(), 1u);
+  const Translation* hit = cache.Lookup(0x1000);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->addr, 0xB000u);
+  EXPECT_EQ(hit->version, 1u);
+}
+
+// ------------------------ Runtime-level protocol --------------------------
+
+class SwitchMemTest : public ::testing::Test {
+ protected:
+  SwitchMemTest()
+      : cluster_([] {
+          ClusterConfig cfg;
+          cfg.num_hosts = 1;
+          cfg.num_fams = 2;
+          cfg.num_faas = 0;
+          return cfg;
+        }()) {
+    RuntimeOptions opts;
+    opts.heap_local_bytes = 1 << 20;
+    opts.heap.migration_enabled = false;  // tests drive migrations explicitly
+    opts.switch_mem = true;
+    runtime_ = std::make_unique<UniFabricRuntime>(&cluster_, opts);
+    heap_ = runtime_->heap(0);
+    agent_ = runtime_->switch_mem_agent();
+    client_ = runtime_->switch_mem_client(0);
+  }
+
+  Cluster cluster_;
+  std::unique_ptr<UniFabricRuntime> runtime_;
+  UnifiedHeap* heap_ = nullptr;
+  SwitchMemAgent* agent_ = nullptr;
+  SwitchMemClient* client_ = nullptr;
+};
+
+TEST_F(SwitchMemTest, AllocateRegistersRangeAndFreeReleasesIt) {
+  const ObjectId id = heap_->Allocate(4096, 1);
+  ASSERT_NE(id, kInvalidObject);
+  const ObjectInfo info = heap_->Info(id);
+  EXPECT_NE(info.vaddr, 0u);
+  EXPECT_EQ(agent_->num_ranges(), 1u);
+
+  const Translation x = agent_->Lookup(info.vaddr);
+  EXPECT_EQ(x.bytes, 4096u);
+  EXPECT_EQ(x.addr, info.addr);
+  EXPECT_EQ(x.node, cluster_.fam(0)->id());
+
+  heap_->Free(id);
+  cluster_.engine().Run();
+  EXPECT_EQ(agent_->num_ranges(), 0u);
+  EXPECT_EQ(agent_->pending_invalidations(), 0u);
+  EXPECT_TRUE(cluster_.engine().audit().Sweep().empty());
+}
+
+TEST_F(SwitchMemTest, ResolveMissesThenHits) {
+  const ObjectId id = heap_->Allocate(4096, 1);
+  bool first = false;
+  heap_->Read(id, [&] { first = true; });
+  cluster_.engine().Run();
+  ASSERT_TRUE(first);
+
+  const TranslationCacheStats& cs = client_->cache()->stats();
+  EXPECT_EQ(cs.misses, 1u);
+  EXPECT_EQ(cs.hits, 0u);
+  EXPECT_EQ(agent_->stats().translations, 1u);
+
+  bool second = false;
+  heap_->Read(id, [&] { second = true; });
+  cluster_.engine().Run();
+  ASSERT_TRUE(second);
+  EXPECT_EQ(cs.hits, 1u);
+  EXPECT_EQ(agent_->stats().translations, 1u);  // served on-adapter this time
+  EXPECT_EQ(client_->stats().cache_hits, 1u);
+}
+
+TEST_F(SwitchMemTest, MigrationCommitsInvalidatesAndRefreshesCache) {
+  const ObjectId id = heap_->Allocate(4096, 1);
+  const std::uint64_t vaddr = heap_->Info(id).vaddr;
+  heap_->Read(id, nullptr);  // populate the cached old translation
+  cluster_.engine().Run();
+  const std::uint64_t old_addr = heap_->Info(id).addr;
+
+  bool ok = false;
+  bool caches_clean_at_done = false;
+  const MigrateResult res = heap_->Migrate(id, 2, [&](bool v) {
+    ok = v;
+    // The commit ack arrives only after every invalidation ack: at done
+    // time no invalidation may still be in flight.
+    caches_clean_at_done = agent_->pending_invalidations() == 0;
+  });
+  EXPECT_EQ(res, MigrateResult::kStarted);
+  cluster_.engine().Run();
+
+  ASSERT_TRUE(ok);
+  EXPECT_TRUE(caches_clean_at_done);
+  EXPECT_EQ(heap_->TierOf(id), 2);
+  EXPECT_NE(heap_->Info(id).addr, old_addr);
+  EXPECT_EQ(agent_->stats().commits, 1u);
+  EXPECT_GE(agent_->stats().invalidations_sent, 1u);
+  EXPECT_EQ(agent_->stats().invalidation_acks, agent_->stats().invalidations_sent);
+
+  // The authoritative map moved to the new placement, version bumped...
+  const Translation x = agent_->Lookup(vaddr);
+  EXPECT_EQ(x.addr, heap_->Info(id).addr);
+  EXPECT_EQ(x.node, cluster_.fam(1)->id());
+  EXPECT_EQ(x.version, 1u);
+  // ...and the committer's cache was re-primed by the ack, not left stale.
+  const Translation* cached = client_->cache()->Lookup(vaddr);
+  ASSERT_NE(cached, nullptr);
+  EXPECT_EQ(cached->addr, x.addr);
+  EXPECT_EQ(cached->version, 1u);
+  EXPECT_TRUE(cluster_.engine().audit().Sweep().empty());
+}
+
+TEST_F(SwitchMemTest, ResolveUnknownVaddrFaults) {
+  bool called = false;
+  bool ok = true;
+  client_->Resolve(0xDEAD0000u, [&](const Translation&, bool v) {
+    called = true;
+    ok = v;
+  });
+  cluster_.engine().Run();
+  ASSERT_TRUE(called);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(agent_->stats().translate_faults, 1u);
+}
+
+TEST_F(SwitchMemTest, FreeDuringMigrationReleasesRangeAfterResolve) {
+  const ObjectId id = heap_->Allocate(4096, 1);
+  heap_->Read(id, nullptr);
+  cluster_.engine().Run();
+
+  bool result = true;
+  EXPECT_EQ(heap_->Migrate(id, 2, [&](bool v) { result = v; }), MigrateResult::kStarted);
+  heap_->Free(id);  // before the copy completes: range release is deferred
+  EXPECT_EQ(agent_->num_ranges(), 1u);
+  cluster_.engine().Run();
+
+  EXPECT_FALSE(result);
+  EXPECT_EQ(agent_->num_ranges(), 0u);
+  EXPECT_EQ(agent_->pending_invalidations(), 0u);
+  EXPECT_EQ(heap_->TierUsed(1), 0u);
+  EXPECT_EQ(heap_->TierUsed(2), 0u);
+  EXPECT_TRUE(cluster_.engine().audit().Sweep().empty());
+}
+
+TEST_F(SwitchMemTest, SeededCacheViolationsTripAgentAudit) {
+  const ObjectId id = heap_->Allocate(4096, 1);
+  const std::uint64_t vaddr = heap_->Info(id).vaddr;
+  heap_->Read(id, nullptr);
+  cluster_.engine().Run();
+  EXPECT_TRUE(cluster_.engine().audit().Sweep().empty());
+
+  // An entry nothing at the agent accounts for: conservation fires.
+  TranslationCache* cache = client_->cache();
+  Translation bogus = MakeXlat(0x999000, 64, 3, 0xF000);
+  cache->Insert(bogus);
+  EXPECT_TRUE(AnyPathEndsWith(cluster_.engine().audit().Sweep(),
+                              "fabric/switch_mem/cache_entries_conserved"));
+  cache->Invalidate(0x999000);
+  EXPECT_TRUE(cluster_.engine().audit().Sweep().empty());
+
+  // A tracked range cached at the wrong version with no invalidation in
+  // flight: staleness fires.
+  Translation stale = agent_->Lookup(vaddr);
+  stale.version += 7;
+  cache->Insert(stale);
+  EXPECT_TRUE(AnyPathEndsWith(cluster_.engine().audit().Sweep(),
+                              "fabric/switch_mem/no_stale_translation"));
+  cache->Insert(agent_->Lookup(vaddr));
+  EXPECT_TRUE(cluster_.engine().audit().Sweep().empty());
+}
+
+TEST_F(SwitchMemTest, SeededMigrationRegistryViolationTripsHeapAudit) {
+  ASSERT_NE(heap_->Allocate(4096, 1), kInvalidObject);
+  cluster_.engine().Run();
+  EXPECT_TRUE(cluster_.engine().audit().Sweep().empty());
+
+  std::uint64_t& claimed = AuditTestPeer::HeapMigratingSrc(*heap_, 1);
+  claimed += 64;  // ledger claims migrating-src bytes no registry entry backs
+  EXPECT_TRUE(AnyPathEndsWith(cluster_.engine().audit().Sweep(),
+                              "core/heap/migration_registry"));
+  claimed -= 64;
+  EXPECT_TRUE(cluster_.engine().audit().Sweep().empty());
+}
+
+TEST_F(SwitchMemTest, ChurnDrainsCleanly) {
+  std::vector<ObjectId> live;
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      const ObjectId id = heap_->Allocate(1024, 1 + (i % 2));
+      ASSERT_NE(id, kInvalidObject);
+      live.push_back(id);
+    }
+    for (const ObjectId id : live) {
+      heap_->Read(id, nullptr);
+    }
+    // Migrate a few between the FAM tiers while reads are still in flight.
+    for (std::size_t i = 0; i < live.size(); i += 3) {
+      heap_->Migrate(live[i], heap_->TierOf(live[i]) == 1 ? 2 : 1, nullptr);
+    }
+    if (round % 2 == 1) {
+      heap_->Free(live.front());
+      live.erase(live.begin());
+    }
+    cluster_.engine().Run();
+  }
+  EXPECT_EQ(agent_->pending_invalidations(), 0u);
+  EXPECT_EQ(agent_->num_ranges(), live.size());
+  EXPECT_TRUE(cluster_.engine().audit().Sweep().empty());
+}
+
+}  // namespace
+}  // namespace unifab

@@ -254,6 +254,124 @@ TEST_P(HeapFuzzTest, AccountingStaysConsistentUnderRandomOps) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HeapFuzzTest, ::testing::Values(11u, 22u, 33u, 44u));
 
+// ---------------------- Switch-mem translation fuzz -----------------------
+//
+// Random resolves racing random migration commits against the switch-resident
+// memory agent. The protocol contract: every resolved translation is exactly
+// one placement the range has ever had (old or new, never a torn mix of
+// fields), commits serialized per range always succeed, and at quiescence no
+// invalidation is in flight and every cached entry matches the agent's
+// authoritative map.
+
+class SwitchMemChurnFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SwitchMemChurnFuzzTest, ResolveSeesOldOrNewTranslationNeverTorn) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+
+  ClusterConfig ccfg;
+  ccfg.num_hosts = 1;
+  ccfg.num_fams = 2;
+  ccfg.num_faas = 0;
+  ccfg.seed = seed;
+  Cluster cluster(ccfg);
+  RuntimeOptions opts;
+  opts.heap.migration_enabled = false;
+  opts.switch_mem = true;
+  UniFabricRuntime runtime(&cluster, opts);
+  SwitchMemClient* client = runtime.switch_mem_client(0);
+  Rng rng(seed * 31 + 3);
+
+  // A handful of ranges, each with its full placement history: every version
+  // ever committed, recorded at commit-issue time (the agent applies commits
+  // before acking, so a resolve may legally see the new version early).
+  struct RangeState {
+    Translation current;
+    std::vector<Translation> history;
+    bool commit_in_flight = false;
+    bool released = false;
+  };
+  constexpr std::uint64_t kBase = 1ULL << 55;  // clear of the heap's va space
+  const PbrId nodes[2] = {cluster.fam(0)->id(), cluster.fam(1)->id()};
+  std::vector<RangeState> ranges;
+  for (int r = 0; r < 6; ++r) {
+    RangeState st;
+    st.current.vbase = kBase + static_cast<std::uint64_t>(r) * 4096;
+    st.current.bytes = 4096;
+    st.current.node = nodes[r % 2];
+    st.current.addr = 0x10000u + static_cast<std::uint64_t>(r) * 4096;
+    st.current.version = 0;
+    client->RegisterRange(st.current.vbase, st.current.bytes, st.current.node,
+                          st.current.addr);
+    st.history.push_back(st.current);
+    ranges.push_back(st);
+  }
+
+  int resolves_ok = 0;
+  int commits_ok = 0;
+  for (int i = 0; i < 400; ++i) {
+    auto& st = ranges[rng.NextBelow(ranges.size())];
+    if (st.released) {
+      continue;
+    }
+    if (rng.NextBool(0.8)) {
+      const std::uint64_t vaddr = st.current.vbase + rng.NextBelow(st.current.bytes);
+      client->Resolve(vaddr, [&st, &resolves_ok](const Translation& x, bool ok) {
+        if (!ok) {
+          return;  // released underneath the resolve: a legal fault
+        }
+        ++resolves_ok;
+        bool known = false;
+        for (const Translation& h : st.history) {
+          if (x.version == h.version && x.node == h.node && x.addr == h.addr &&
+              x.vbase == h.vbase && x.bytes == h.bytes) {
+            known = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(known) << "torn translation: vbase=" << x.vbase
+                           << " version=" << x.version << " addr=" << x.addr;
+      });
+    } else if (!st.commit_in_flight) {
+      // Migrate the range to a fresh placement. Commits are serialized per
+      // range (the heap's migrating flag does the same), so each must land.
+      Translation next = st.current;
+      next.node = nodes[rng.NextBelow(2)];
+      next.addr = 0x400000u + static_cast<std::uint64_t>(i) * 4096;
+      next.version = st.current.version + 1;
+      st.current = next;
+      st.history.push_back(next);
+      st.commit_in_flight = true;
+      client->Commit(next, [&st, &commits_ok](bool ok) {
+        EXPECT_TRUE(ok);
+        st.commit_in_flight = false;
+        ++commits_ok;
+      });
+    }
+    if (i % 40 == 0) {
+      cluster.engine().Run();
+    }
+  }
+  cluster.engine().Run();
+
+  EXPECT_GT(resolves_ok, 0);
+  EXPECT_GT(commits_ok, 0);
+  SwitchMemAgent* agent = runtime.switch_mem_agent();
+  EXPECT_EQ(agent->pending_invalidations(), 0u);
+
+  // Post-quiescence: every cached entry equals the authoritative placement.
+  client->cache()->ForEach([&](const Translation& cached) {
+    const Translation truth = agent->Lookup(cached.vbase);
+    EXPECT_EQ(cached.version, truth.version) << "vbase " << cached.vbase;
+    EXPECT_EQ(cached.addr, truth.addr);
+    EXPECT_EQ(cached.node, truth.node);
+  });
+  EXPECT_TRUE(cluster.engine().audit().Sweep().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwitchMemChurnFuzzTest,
+                         ::testing::Values(5u, 15u, 25u, 35u, 45u));
+
 // -------------------------- Fabric traffic fuzz --------------------------
 
 class FabricFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
