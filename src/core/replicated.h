@@ -16,7 +16,13 @@
 //   log_base + 0        : tail index (how many ops exist)
 //   log_base + 64 * (i+1): the i-th operation record
 // Functional op payloads ride a host-side shadow (like UnifiedHeap's
-// shadow); all timing comes from the CcNumaPort accesses.
+// shadow); all timing comes from the port accesses.
+//
+// The Port template parameter selects the coherence substrate: CcNumaPort
+// (default, the software-visible CC-NUMA directory) or CoherentPort (the
+// CXL.cache coherent window) — any type with Read/Write(addr, void-callback)
+// and HoldsBlock(addr) works. bench_coherent_window races the two backends
+// against CohPtr to locate the hardware-coherence crossover.
 
 #ifndef SRC_CORE_REPLICATED_H_
 #define SRC_CORE_REPLICATED_H_
@@ -40,6 +46,7 @@ struct ReplicatedStats {
   std::uint64_t reads = 0;
   std::uint64_t entries_replayed = 0;
   std::uint64_t sync_fetches = 0;  // tail reads that missed (invalidated)
+  std::uint64_t sync_races = 0;    // entry fetches whose index another sync applied first
   Summary op_latency_ns;
   Summary read_latency_ns;
 
@@ -48,18 +55,19 @@ struct ReplicatedStats {
     group.AddCounterFn(prefix + "reads", [this] { return reads; });
     group.AddCounterFn(prefix + "entries_replayed", [this] { return entries_replayed; });
     group.AddCounterFn(prefix + "sync_fetches", [this] { return sync_fetches; });
+    group.AddCounterFn(prefix + "sync_races", [this] { return sync_races; });
     group.AddSummaryFn(prefix + "op_latency_ns", [this] { return &op_latency_ns; });
     group.AddSummaryFn(prefix + "read_latency_ns", [this] { return &read_latency_ns; });
   }
 };
 
-template <typename State, typename Op>
+template <typename State, typename Op, typename Port = CcNumaPort>
 class NodeReplicated {
  public:
   using ApplyFn = std::function<void(State&, const Op&)>;
 
-  // `log_base` must point at an unused region of the CC-NUMA node's
-  // address space; `capacity` bounds the number of ops the log can hold.
+  // `log_base` must point at an unused region of the memory node's address
+  // space; `capacity` bounds the number of ops the log can hold.
   NodeReplicated(Engine* engine, std::uint64_t log_base, std::size_t capacity, ApplyFn apply)
       : engine_(engine), log_base_(log_base), capacity_(capacity), apply_(std::move(apply)) {
     metrics_ = MetricGroup(&engine_->metrics(), "core/replicated");
@@ -67,18 +75,18 @@ class NodeReplicated {
   }
 
   // Registers a host's coherent port; returns the replica index.
-  int AddReplica(CcNumaPort* port, State initial = State{}) {
-    replicas_.push_back(Replica{port, std::move(initial), 0});
+  int AddReplica(Port* port, State initial = State{}) {
+    replicas_.push_back(Replica{port, std::move(initial), 0, 0});
     return static_cast<int>(replicas_.size()) - 1;
   }
 
   // Executes a mutating operation from replica `r`. Completion fires when
   // the op is durably in the log and applied locally.
   void Execute(int r, Op op, std::function<void()> done = nullptr) {
-    Replica& rep = replicas_[static_cast<std::size_t>(r)];
     const Tick t0 = engine_->Now();
     // Acquire the tail block in M (serializes concurrent writers through
     // the directory), bump it, then write the entry block.
+    Replica& rep = replicas_[static_cast<std::size_t>(r)];
     rep.port->Write(TailAddr(), [this, r, op = std::move(op), t0,
                                  done = std::move(done)]() mutable {
       assert(log_.size() < capacity_ && "replication log full");
@@ -109,8 +117,9 @@ class NodeReplicated {
       if (!had_tail) {
         ++stats_.sync_fetches;
       }
-      Replica& rep2 = replicas_[static_cast<std::size_t>(r)];
-      SyncEntries(r, rep2.synced, log_.size(), [this, r, t0, done = std::move(done)] {
+      // Snapshot the tail now; entries appended after this point belong to
+      // the next read's sync.
+      SyncEntries(r, log_.size(), [this, r, t0, done = std::move(done)] {
         Replica& rep3 = replicas_[static_cast<std::size_t>(r)];
         ++stats_.reads;
         stats_.read_latency_ns.Add(ToNs(engine_->Now() - t0));
@@ -121,13 +130,18 @@ class NodeReplicated {
 
   const State& UnsafePeek(int r) const { return replicas_[static_cast<std::size_t>(r)].state; }
   std::uint64_t LogSize() const { return log_.size(); }
+  std::uint64_t Synced(int r) const { return replicas_[static_cast<std::size_t>(r)].synced; }
   const ReplicatedStats& stats() const { return stats_; }
 
  private:
   struct Replica {
-    CcNumaPort* port;
+    Port* port;
     State state;
     std::uint64_t synced;  // log entries applied to `state`
+    // Independently maintained copy of the replay position. Replay checks
+    // the two against each other so any future out-of-order or duplicate
+    // application trips immediately instead of silently corrupting `state`.
+    std::uint64_t replay_cursor;
   };
 
   std::uint64_t TailAddr() const { return log_base_; }
@@ -135,23 +149,38 @@ class NodeReplicated {
 
   void Replay(Replica& rep, std::uint64_t upto) {
     while (rep.synced < upto) {
+      assert(rep.synced == rep.replay_cursor && "replay cursor must advance monotonically");
       apply_(rep.state, log_[rep.synced]);
       ++rep.synced;
+      ++rep.replay_cursor;
       ++stats_.entries_replayed;
     }
   }
 
-  // Fetches entry blocks [from, upto) through the port, then replays them.
-  void SyncEntries(int r, std::uint64_t from, std::uint64_t upto, std::function<void()> done) {
+  // Fetches entry blocks through the port until the replica has applied
+  // [0, upto). The next index to fetch is re-read from the replica at every
+  // step: with several reads (or a read racing the replica's own append) in
+  // flight, an index captured before the fetch can be stale by the time the
+  // block arrives — applying from it would replay an entry twice or out of
+  // order. The stale-fetch case is counted, applied exactly once, and the
+  // cursor assert in Replay enforces the ordering.
+  void SyncEntries(int r, std::uint64_t upto, std::function<void()> done) {
+    Replica& rep = replicas_[static_cast<std::size_t>(r)];
+    const std::uint64_t from = rep.synced;
     if (from >= upto) {
       done();
       return;
     }
-    Replica& rep = replicas_[static_cast<std::size_t>(r)];
     rep.port->Read(EntryAddr(from), [this, r, from, upto, done = std::move(done)]() mutable {
       Replica& rep2 = replicas_[static_cast<std::size_t>(r)];
-      Replay(rep2, from + 1);
-      SyncEntries(r, from + 1, upto, std::move(done));
+      if (rep2.synced == from) {
+        Replay(rep2, from + 1);
+      } else {
+        // Another sync (or this replica's own append) already applied this
+        // index while the fetch was in flight.
+        ++stats_.sync_races;
+      }
+      SyncEntries(r, upto, std::move(done));
     });
   }
 
@@ -170,7 +199,7 @@ class NodeReplicated {
 // coherence blocks) and every write dirties its first block. This is what
 // node replication's operation log avoids: readers replay compact ops
 // instead of re-fetching invalidated state.
-template <typename State, typename Op>
+template <typename State, typename Op, typename Port = CcNumaPort>
 class CentralizedShared {
  public:
   using ApplyFn = std::function<void(State&, const Op&)>;
@@ -182,20 +211,20 @@ class CentralizedShared {
     stats_.BindTo(metrics_);
   }
 
-  int AddHost(CcNumaPort* port) {
+  int AddHost(Port* port) {
     ports_.push_back(port);
     return static_cast<int>(ports_.size()) - 1;
   }
 
   void Execute(int h, Op op, std::function<void()> done = nullptr) {
     ports_[static_cast<std::size_t>(h)]->Write(
-        addr_, [this, op = std::move(op), done = std::move(done)] {
+        addr_, std::function<void()>([this, op = std::move(op), done = std::move(done)] {
           apply_(state_, op);
           ++stats_.ops_executed;
           if (done) {
             done();
           }
-        });
+        }));
   }
 
   void Read(int h, std::function<void(const State&)> done) {
@@ -215,16 +244,16 @@ class CentralizedShared {
     }
     ports_[static_cast<std::size_t>(h)]->Read(
         addr_ + static_cast<std::uint64_t>(i) * 64,
-        [this, h, i, t0, done = std::move(done)]() mutable {
+        std::function<void()>([this, h, i, t0, done = std::move(done)]() mutable {
           ReadBlocks(h, i + 1, t0, std::move(done));
-        });
+        }));
   }
 
   Engine* engine_;
   std::uint64_t addr_;
   ApplyFn apply_;
   std::uint32_t state_blocks_;
-  std::vector<CcNumaPort*> ports_;
+  std::vector<Port*> ports_;
   State state_{};
   ReplicatedStats stats_;
   MetricGroup metrics_;

@@ -106,6 +106,26 @@ UniFabricRuntime::UniFabricRuntime(Cluster* cluster, const RuntimeOptions& optio
                                                          switch_mem_dispatcher_.get());
   }
 
+  // --- Coherent shared-memory window (DESIGN.md §9, opt-in). -------------
+  if (options.coherent_window && cluster->num_fams() > 0 && cluster->num_hosts() > 0) {
+    FamChassis* fam = cluster->fam(0);
+    const std::uint64_t win_base =
+        cluster->FamBase(0) + fam->expander()->CreateCoherentWindow(options.coherent_window_bytes);
+    // The directory is device logic: it runs on the chassis's own engine
+    // shard (its deadline events must be locally cancellable) and speaks
+    // through the chassis FEA dispatcher.
+    coherent_directory_ = std::make_unique<CoherentDirectory>(
+        fam->engine(), options.coherent, fam->dispatcher(), fam->expander(), fam->name());
+    coherent_window_ = std::make_unique<CoherentWindow>(coherent_directory_.get(), win_base,
+                                                        options.coherent_window_bytes);
+    for (int h = 0; h < cluster->num_hosts(); ++h) {
+      HostServer* host = cluster->host(h);
+      coherent_ports_.push_back(std::make_unique<CoherentPort>(
+          engine, options.coherent, host->dispatcher(), coherent_directory_.get(),
+          host->name()));
+    }
+  }
+
   // --- Unified heap per host (DP#2). -------------------------------------
   for (int h = 0; h < cluster->num_hosts(); ++h) {
     HostServer* host = cluster->host(h);

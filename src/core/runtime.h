@@ -25,6 +25,7 @@
 #include "src/core/itask.h"
 #include "src/core/sfunc.h"
 #include "src/fabric/switch/mem_agent.h"
+#include "src/mem/coherent.h"
 #include "src/topo/cluster.h"
 
 namespace unifab {
@@ -49,6 +50,15 @@ struct RuntimeOptions {
   bool switch_mem = false;
   SwitchMemConfig switch_mem_cfg;
   TranslationCacheConfig xlat_cache;
+
+  // Coherent shared-memory window (DESIGN.md §9): carve a CXL.cache-style
+  // window out of FAM 0, run a CoherentDirectory (bounded snoop filter with
+  // back-invalidation) at its expander, and give every host a CoherentPort.
+  // CohPtr<T> objects allocated from the window are then hardware-coherent
+  // across hosts. Off by default (no window, goldens untouched).
+  bool coherent_window = false;
+  CoherentConfig coherent;
+  std::uint64_t coherent_window_bytes = 1ULL << 20;
 };
 
 class UniFabricRuntime {
@@ -79,6 +89,12 @@ class UniFabricRuntime {
   SwitchMemClient* switch_mem_client(int host) {
     return switch_mem_clients_[static_cast<std::size_t>(host)].get();
   }
+  // Non-null only when RuntimeOptions::coherent_window is set.
+  CoherentDirectory* coherent_directory() { return coherent_directory_.get(); }
+  CoherentWindow* coherent_window() { return coherent_window_.get(); }
+  CoherentPort* coherent_port(int host) {
+    return coherent_ports_[static_cast<std::size_t>(host)].get();
+  }
   ITaskRuntime* itasks() { return itasks_.get(); }
   ScalableFunctionRuntime* sfunc(int faa) { return sfuncs_[static_cast<std::size_t>(faa)].get(); }
   SFuncClient* sfunc_client(int host) {
@@ -102,6 +118,9 @@ class UniFabricRuntime {
   std::unique_ptr<MessageDispatcher> switch_mem_dispatcher_;
   std::unique_ptr<SwitchMemAgent> switch_mem_agent_;
   std::vector<std::unique_ptr<SwitchMemClient>> switch_mem_clients_;
+  std::unique_ptr<CoherentDirectory> coherent_directory_;
+  std::unique_ptr<CoherentWindow> coherent_window_;
+  std::vector<std::unique_ptr<CoherentPort>> coherent_ports_;
   std::vector<std::unique_ptr<UnifiedHeap>> heaps_;
   std::unique_ptr<ITaskRuntime> itasks_;
   std::vector<std::unique_ptr<ScalableFunctionRuntime>> sfuncs_;

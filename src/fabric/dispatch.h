@@ -22,6 +22,7 @@ inline constexpr std::uint8_t kSvcArbiter = 3;
 inline constexpr std::uint8_t kSvcITask = 4;
 inline constexpr std::uint8_t kSvcScalableFunc = 5;
 inline constexpr std::uint8_t kSvcSwitchMem = 6;
+inline constexpr std::uint8_t kSvcCoherent = 7;
 inline constexpr std::uint8_t kSvcUser = 32;  // first id free for applications
 
 constexpr std::uint64_t MakeTag(std::uint8_t service, std::uint64_t payload) {

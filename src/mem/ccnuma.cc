@@ -27,6 +27,12 @@ const char* CohOpName(CohOp op) {
       return "Recall";
     case CohOp::kRecallResp:
       return "RecallResp";
+    case CohOp::kBackInval:
+      return "BackInval";
+    case CohOp::kBackInvalAck:
+      return "BackInvalAck";
+    case CohOp::kNack:
+      return "Nack";
   }
   return "?";
 }
@@ -224,6 +230,8 @@ void DirectoryStats::BindTo(MetricGroup& group, const std::string& prefix) const
   group.AddCounterFn(prefix + "recalls", [this] { return recalls; });
   group.AddCounterFn(prefix + "invalidations", [this] { return invalidations; });
   group.AddCounterFn(prefix + "queued_requests", [this] { return queued_requests; });
+  group.AddCounterFn(prefix + "stale_acks", [this] { return stale_acks; });
+  group.AddCounterFn(prefix + "implicit_evict_acks", [this] { return implicit_evict_acks; });
 }
 
 DirectoryController::DirectoryController(Engine* engine, const CcNumaConfig& config,
@@ -238,6 +246,32 @@ DirectoryController::DirectoryController(Engine* engine, const CcNumaConfig& con
                                [this](const FabricMessage& msg) { HandleMessage(msg); });
   metrics_ = MetricGroup(&engine_->metrics(), "mem/ccnuma/dir/" + name_);
   stats_.BindTo(metrics_);
+  audit_ = AuditScope(&engine_->audit(), "mem/ccnuma");
+  // Every line resident in a port cache must be visible to the directory as
+  // that port being the owner or a sharer of the block. The reverse is not
+  // an invariant (eviction notices are in flight), but a port holding a line
+  // the directory does not attribute to it is a coherence leak. Port caches
+  // live on the hosts' engine; when the directory runs on a different shard
+  // (sharded cluster runs) the cross-shard peek would race, so the check
+  // degrades to a no-op there — plain-engine test rigs keep it armed.
+  audit_.AddCheck("sharers_conserved", [this]() -> std::string {
+    for (const CcNumaPort* p : ports_) {
+      if (p->engine_ != engine_) {
+        return "";
+      }
+      for (std::uint64_t line : p->cache_.ValidLines()) {
+        auto it = blocks_.find(line);
+        const int h = p->host_index_;
+        const bool tracked = it != blocks_.end() &&
+                             (it->second.owner == h || it->second.sharers.count(h) != 0);
+        if (!tracked) {
+          return "port " + p->name_ + " holds block " + std::to_string(line) +
+                 " unknown to directory " + name_;
+        }
+      }
+    }
+    return "";
+  });
 }
 
 int DirectoryController::RegisterPort(CcNumaPort* port) {
@@ -290,8 +324,11 @@ void DirectoryController::Process(const CohMsg& msg) {
       ++stats_.putm;
       // Race: the owner's eviction can cross a Recall we sent it. Treat the
       // PutM as the recall response so the blocked transaction completes;
-      // the eventual RecallResp(not-present) is then ignored below.
-      if (e.busy && e.state == BlockState::kModified && e.owner == msg.requester) {
+      // the eventual RecallResp(not-present) is then discarded as stale.
+      if (e.busy && e.recall_from == msg.requester && e.state == BlockState::kModified &&
+          e.owner == msg.requester) {
+        ++stats_.implicit_evict_acks;
+        e.recall_from = -1;
         dram_->Access(msg.block, config_.block_bytes, /*is_write=*/true, nullptr);
         e.owner = -1;
         GrantAndUnblock(e, msg.block, e.active.requester,
@@ -317,13 +354,28 @@ void DirectoryController::Process(const CohMsg& msg) {
       if (e.state == BlockState::kShared && e.sharers.empty()) {
         e.state = BlockState::kUncached;
       }
+      // The eviction notice crossed an Inv we sent this port for the active
+      // GetM: count it as the ack. The port's real InvAck (it acks Inv even
+      // for absent lines) is then discarded as stale, and if the port dies
+      // before acking, the transaction still completes.
+      if (e.busy && e.inv_waiting.erase(msg.requester) != 0) {
+        ++stats_.implicit_evict_acks;
+        if (e.inv_waiting.empty()) {
+          GrantAndUnblock(e, msg.block, e.active.requester, /*exclusive=*/true);
+        }
+      }
       return;
 
     case CohOp::kInvAck: {
-      if (!e.busy) {
-        return;  // the transaction already completed via a crossing PutM/PutS
+      // Honor the ack only from a port we are actually waiting on; anything
+      // else (a late ack after a crossing eviction already counted, or an
+      // ack belonging to a previous transaction on this block) would corrupt
+      // the count for the transaction now in flight.
+      if (!e.busy || e.inv_waiting.erase(msg.requester) == 0) {
+        ++stats_.stale_acks;
+        return;
       }
-      if (--e.acks_outstanding == 0) {
+      if (e.inv_waiting.empty()) {
         // All sharers gone; grant exclusive to the active requester.
         GrantAndUnblock(e, msg.block, e.active.requester, /*exclusive=*/true);
       }
@@ -331,9 +383,11 @@ void DirectoryController::Process(const CohMsg& msg) {
     }
 
     case CohOp::kRecallResp: {
-      if (!e.busy) {
-        return;  // resolved earlier by a crossing PutM
+      if (!e.busy || e.recall_from != msg.requester) {
+        ++stats_.stale_acks;
+        return;  // resolved earlier by a crossing PutM, or not our responder
       }
+      e.recall_from = -1;
       const CohMsg active = e.active;
       if (msg.was_dirty) {
         dram_->Access(msg.block, config_.block_bytes, /*is_write=*/true, nullptr);
@@ -365,6 +419,7 @@ void DirectoryController::ServeGetS(BlockEntry& e, const CohMsg& msg) {
       return;
     case BlockState::kModified:
       ++stats_.recalls;
+      e.recall_from = e.owner;
       SendToPort(e.owner, CohOp::kRecall, msg.block, /*with_data=*/false, /*downgrade=*/true);
       return;  // completion continues at kRecallResp
   }
@@ -376,23 +431,21 @@ void DirectoryController::ServeGetM(BlockEntry& e, const CohMsg& msg) {
       GrantAndUnblock(e, msg.block, msg.requester, /*exclusive=*/true);
       return;
     case BlockState::kShared: {
-      int invs = 0;
       for (int s : e.sharers) {
         if (s != msg.requester) {
           ++stats_.invalidations;
           SendToPort(s, CohOp::kInv, msg.block, /*with_data=*/false);
-          ++invs;
+          e.inv_waiting.insert(s);
         }
       }
-      if (invs == 0) {
+      if (e.inv_waiting.empty()) {
         GrantAndUnblock(e, msg.block, msg.requester, /*exclusive=*/true);
-        return;
       }
-      e.acks_outstanding = invs;
-      return;  // completion continues at kInvAck
+      return;  // otherwise completion continues at kInvAck
     }
     case BlockState::kModified:
       ++stats_.recalls;
+      e.recall_from = e.owner;
       SendToPort(e.owner, CohOp::kRecall, msg.block, /*with_data=*/false, /*downgrade=*/false);
       return;  // completion continues at kRecallResp
   }
@@ -420,7 +473,8 @@ void DirectoryController::GrantAndUnblock(BlockEntry& /*entry*/, std::uint64_t b
 
 void DirectoryController::FinishTxn(BlockEntry& e, std::uint64_t /*block*/) {
   e.busy = false;
-  e.acks_outstanding = 0;
+  e.inv_waiting.clear();
+  e.recall_from = -1;
   if (e.pending.empty()) {
     return;
   }

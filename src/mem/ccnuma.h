@@ -28,13 +28,16 @@
 #include "src/mem/cache.h"
 #include "src/mem/dram.h"
 #include "src/mem/memnode.h"
+#include "src/sim/audit.h"
 #include "src/sim/engine.h"
 #include "src/sim/metrics.h"
 #include "src/sim/stats.h"
 
 namespace unifab {
 
-// Coherence message opcodes.
+// Coherence message opcodes. The last three are used only by the coherent
+// window (src/mem/coherent.h), which shares this wire format so traces show
+// one protocol vocabulary.
 enum class CohOp : std::uint8_t {
   kGetS,        // port -> home: read miss
   kGetM,        // port -> home: write miss or S->M upgrade
@@ -46,6 +49,9 @@ enum class CohOp : std::uint8_t {
   kInvAck,      // port -> home
   kRecall,      // home -> owner: give the block back (downgrade or invalidate)
   kRecallResp,  // owner -> home
+  kBackInval,     // home -> port: snoop-filter capacity eviction (CXL BISnp)
+  kBackInvalAck,  // port -> home: BIRsp, carries writeback data when dirty
+  kNack,          // home -> port: transaction aborted terminally (fault path)
 };
 
 const char* CohOpName(CohOp op);
@@ -67,6 +73,8 @@ struct DirectoryStats {
   std::uint64_t recalls = 0;
   std::uint64_t invalidations = 0;
   std::uint64_t queued_requests = 0;  // arrived while the block was busy
+  std::uint64_t stale_acks = 0;       // InvAck/RecallResp from a non-expected responder
+  std::uint64_t implicit_evict_acks = 0;  // Put* that stood in for a pending InvAck
 
   void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
@@ -114,6 +122,7 @@ class CcNumaPort {
 
  private:
   friend class DirectoryController;
+  friend class AuditTestPeer;
 
   struct PendingTxn {
     bool wants_m;
@@ -165,6 +174,7 @@ class DirectoryController {
 
  private:
   friend class CcNumaPort;
+  friend class AuditTestPeer;
 
   struct BlockEntry {
     BlockState state = BlockState::kUncached;
@@ -172,8 +182,13 @@ class DirectoryController {
     int owner = -1;
     bool busy = false;
     std::deque<CohMsg> pending;
-    int acks_outstanding = 0;
-    CohMsg active;  // the transaction being served
+    // Ports we sent an Inv to and still owe us an ack for the active GetM.
+    // Tracking identities (not a bare count) makes the ack path tolerant of
+    // crossing evictions: a PutS/PutM from a waited-on port stands in for
+    // its ack, and acks from anyone else are discarded as stale.
+    std::set<int> inv_waiting;
+    int recall_from = -1;  // port whose RecallResp the active txn is blocked on
+    CohMsg active;         // the transaction being served
   };
 
   void HandleMessage(const FabricMessage& msg);
@@ -193,6 +208,7 @@ class DirectoryController {
   std::unordered_map<std::uint64_t, BlockEntry> blocks_;
   DirectoryStats stats_;
   MetricGroup metrics_;
+  AuditScope audit_;  // declared last: checks read the state above
 };
 
 }  // namespace unifab

@@ -10,6 +10,8 @@ void ExpanderStats::BindTo(MetricGroup& group, const std::string& prefix) const 
   group.AddCounterFn(prefix + "writes", [this] { return writes; });
   group.AddCounterFn(prefix + "partition_faults", [this] { return partition_faults; });
   group.AddCounterFn(prefix + "serialized_conflicts", [this] { return serialized_conflicts; });
+  group.AddCounterFn(prefix + "window_reads", [this] { return window_reads; });
+  group.AddCounterFn(prefix + "window_writes", [this] { return window_writes; });
 }
 
 MemoryExpander::MemoryExpander(Engine* engine, DramDevice* dram, std::string name,
@@ -36,6 +38,30 @@ std::uint64_t MemoryExpander::CreateSharedRegion(std::uint64_t size) {
   partitions_.push_back(Partition{kInvalidPbrId, base, size, /*shared=*/true});
   next_base_ += size;
   return base;
+}
+
+std::uint64_t MemoryExpander::CreateCoherentWindow(std::uint64_t size) {
+  assert(coherent_size_ == 0 && "one coherent window per device");
+  assert(next_base_ + size <= dram_->config().capacity_bytes);
+  const std::uint64_t base = next_base_;
+  partitions_.push_back(Partition{kInvalidPbrId, base, size, /*shared=*/true});
+  next_base_ += size;
+  coherent_base_ = base;
+  coherent_size_ = size;
+  return base;
+}
+
+void MemoryExpander::WindowAccess(std::uint64_t addr, std::uint32_t bytes, bool is_write,
+                                  std::function<void()> done) {
+  addr = Translate(addr);
+  assert(coherent_size_ != 0 && addr >= coherent_base_ &&
+         addr + bytes <= coherent_base_ + coherent_size_ && "access outside coherent window");
+  if (is_write) {
+    ++stats_.window_writes;
+  } else {
+    ++stats_.window_reads;
+  }
+  dram_->Access(addr, bytes, is_write, std::move(done));
 }
 
 const MemoryExpander::Partition* MemoryExpander::PartitionFor(std::uint64_t addr) const {

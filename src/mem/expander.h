@@ -29,6 +29,8 @@ struct ExpanderStats {
   std::uint64_t writes = 0;
   std::uint64_t partition_faults = 0;   // access outside the caller's partition
   std::uint64_t serialized_conflicts = 0;  // shared-line accesses that had to wait
+  std::uint64_t window_reads = 0;   // backing accesses issued by a coherent directory
+  std::uint64_t window_writes = 0;
 
   void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
@@ -47,6 +49,25 @@ class MemoryExpander : public FabricTarget {
   // Marks [base, base+size) as shared among all hosts; conflicting accesses
   // to the same 64B line are serialized at the device.
   std::uint64_t CreateSharedRegion(std::uint64_t size);
+
+  // Carves a hardware-coherent window (CXL.cache HDM-DB semantics): the
+  // region is owned by a CoherentDirectory colocated with this device, which
+  // tracks sharers in a bounded snoop filter and back-invalidates host
+  // caches. Direct FabricTarget reads/writes to it stay legal (they bypass
+  // coherence, like non-cacheable accesses); the directory is the only
+  // component expected to touch it, via WindowAccess.
+  std::uint64_t CreateCoherentWindow(std::uint64_t size);
+
+  // Backing-store access for the coherent directory: same DRAM timing as a
+  // fabric access, chassis-relative after window translation, but without
+  // the shared-region line serialization (the directory already serializes
+  // per block).
+  void WindowAccess(std::uint64_t addr, std::uint32_t bytes, bool is_write,
+                    std::function<void()> done);
+
+  // Bounds of the coherent window (chassis-relative); size 0 when absent.
+  std::uint64_t CoherentWindowBase() const { return coherent_base_; }
+  std::uint64_t CoherentWindowSize() const { return coherent_size_; }
 
   // Hosts address the chassis through a window in their physical address
   // map (e.g. Cluster::FamBase); the device decodes by subtracting it.
@@ -97,6 +118,8 @@ class MemoryExpander : public FabricTarget {
   std::unordered_map<std::uint64_t, LineLock> line_locks_;
   std::uint64_t next_base_ = 0;
   std::uint64_t address_base_ = 0;
+  std::uint64_t coherent_base_ = 0;
+  std::uint64_t coherent_size_ = 0;
   PbrId current_requester_ = kInvalidPbrId;
   ExpanderStats stats_;
   MetricGroup metrics_;

@@ -4,7 +4,7 @@ namespace unifab {
 
 FamChassis::FamChassis(Engine* engine, FabricInterconnect* fabric, const FamChassisConfig& config,
                        const std::string& name, std::uint16_t domain)
-    : name_(name) {
+    : name_(name), engine_(engine) {
   dram_ = std::make_unique<DramDevice>(engine, config.rdimm, name + "/rdimm");
   expander_ = std::make_unique<MemoryExpander>(engine, dram_.get(), name + "/expander",
                                                config.device_serialization_latency);

@@ -37,11 +37,16 @@ class FamChassis {
   MemoryExpander* expander() { return expander_.get(); }
   DramDevice* dram() { return dram_.get(); }
   MessageDispatcher* dispatcher() { return dispatcher_.get(); }
+  // The engine this chassis's components run on (its own shard under
+  // shard-by-domain clustering; protocol agents homed here must schedule
+  // their local events on it).
+  Engine* engine() { return engine_; }
   PbrId id() const { return fea_->id(); }
   const std::string& name() const { return name_; }
 
  private:
   std::string name_;
+  Engine* engine_;
   std::unique_ptr<DramDevice> dram_;
   std::unique_ptr<MemoryExpander> expander_;
   EndpointAdapter* fea_;  // owned by the interconnect

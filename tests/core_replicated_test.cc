@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
 #include "src/fabric/dispatch.h"
 #include "src/fabric/interconnect.h"
 #include "src/mem/dram.h"
+#include "src/sim/random.h"
 #include "src/topo/presets.h"
 
 namespace unifab {
@@ -234,6 +236,77 @@ TEST(NodeReplicatedTest, ReadsBeatCentralizedBaselineUnderSharing) {
   central.Read(c1, [&](const Counter& c) { c_val = c.value; });
   rig.engine.Run();
   EXPECT_EQ(nr_val, c_val);
+}
+
+// Replay-race regression: a reader's entry fetch can still be in flight when
+// another sync (or the replica's own append) applies that index. The stale
+// fetch used to replay from its captured index — applying an entry twice /
+// out of order — which the replay-cursor assert now traps; the fixed path
+// re-reads the cursor, counts the race, and applies exactly once.
+TEST(NodeReplicatedTest, ConcurrentReadsRacingAppendsApplyExactlyOnce) {
+  Rig rig;
+  // Every op carries a unique delta so each replica's application history is
+  // recoverable from its counter sequence.
+  struct Seen {
+    std::int64_t value = 0;
+    std::vector<std::int64_t> order;
+  };
+  NodeReplicated<Seen, AddOp> nr(&rig.engine, 0x10000, 4096, [](Seen& s, const AddOp& op) {
+    s.value += op.delta;
+    s.order.push_back(op.delta);
+  });
+  int reps[3];
+  for (int i = 0; i < 3; ++i) {
+    reps[i] = nr.AddReplica(rig.port[static_cast<std::size_t>(i)].get());
+  }
+
+  Rng rng(271828);
+  std::int64_t next_delta = 1;
+  std::int64_t issued_sum = 0;
+  int issued_ops = 0;
+  // Interleave appends and (deliberately overlapping) reads without draining
+  // the engine, so several syncs per replica are in flight at once.
+  for (int iter = 0; iter < 400; ++iter) {
+    const int r = reps[rng.NextBelow(3)];
+    if (rng.NextDouble() < 0.4) {
+      nr.Execute(r, AddOp{next_delta});
+      issued_sum += next_delta;
+      ++next_delta;
+      ++issued_ops;
+    } else {
+      nr.Read(r, [](const Seen&) {});
+      if (rng.NextDouble() < 0.5) {
+        nr.Read(r, [](const Seen&) {});  // back-to-back: two syncs in flight
+      }
+    }
+    if (rng.NextDouble() < 0.25) {
+      rig.engine.RunUntil(rig.engine.Now() + FromNs(rng.NextInRange(50, 2000)));
+    }
+  }
+  rig.engine.Run();
+
+  EXPECT_EQ(nr.LogSize(), static_cast<std::uint64_t>(issued_ops));
+  // Final sync on every replica, then check exactly-once in-order replay:
+  // all application histories must be the identical log-order sequence.
+  std::vector<std::int64_t> reference;
+  for (int i = 0; i < 3; ++i) {
+    Seen got;
+    nr.Read(reps[i], [&](const Seen& s) { got = s; });
+    rig.engine.Run();
+    EXPECT_EQ(nr.Synced(reps[i]), nr.LogSize()) << "replica " << i;
+    EXPECT_EQ(got.value, issued_sum) << "replica " << i;
+    ASSERT_EQ(got.order.size(), static_cast<std::size_t>(issued_ops)) << "replica " << i;
+    if (i == 0) {
+      reference = got.order;
+    } else {
+      EXPECT_EQ(got.order, reference) << "replica " << i << " applied out of order";
+    }
+  }
+  // The workload genuinely raced: stale fetches were detected and skipped
+  // rather than re-applied.
+  EXPECT_GT(nr.stats().sync_races, 0u);
+  EXPECT_EQ(nr.stats().entries_replayed,
+            3u * static_cast<std::uint64_t>(issued_ops));
 }
 
 }  // namespace

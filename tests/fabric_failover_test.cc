@@ -4,9 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include <memory>
 #include <string>
 
+#include "src/core/cohptr.h"
 #include "src/core/runtime.h"
 #include "src/fabric/dispatch.h"
 #include "src/fabric/interconnect.h"
@@ -440,6 +443,94 @@ TEST(RuntimeRecoveryTest, TaskJobCompletesAcrossFaaOutage) {
   EXPECT_EQ(itasks->stats().completed, 3u);
   EXPECT_GE(itasks->stats().attempts, 3u);
   EXPECT_EQ(itasks->tasks_pending(), 0u);
+}
+
+// ------------- coherent window under chassis fault campaigns --------------
+
+struct Rec {
+  std::int64_t value = 0;
+};
+
+// A chassis outage in the middle of an invalidation handshake: the write
+// must either complete (ok=true) or fail terminally (ok=false) with the
+// host-side shadow untouched — a stale Modified line must never be readable
+// anywhere. After recovery the protocol must work again.
+TEST(RuntimeRecoveryTest, CoherentWriteDuringChassisFlapFailsTerminallyOrCompletes) {
+  ClusterConfig ccfg;
+  ccfg.num_hosts = 2;
+  ccfg.num_fams = 1;
+  ccfg.num_faas = 0;
+  Cluster cluster(ccfg);
+  RuntimeOptions opts;
+  opts.coherent_window = true;
+  opts.coherent.ack_deadline = FromUs(20.0);
+  opts.coherent.txn_deadline = FromUs(50.0);
+  UniFabricRuntime runtime(&cluster, opts);
+  FaultScheduler faults(&cluster.engine(), &cluster.fabric());
+  faults.RegisterChassis("fam0", cluster.fam(0),
+                         cluster.fabric().LinkTo(cluster.fam(0)->id()));
+
+  CoherentWindow* window = runtime.coherent_window();
+  auto rec = CohPtr<Rec>::Make(window, Rec{5});
+  const std::uint64_t addr = rec.addr();
+
+  // Warm a shared copy at host 0, so host 1's write needs an invalidation.
+  bool warm = false;
+  rec.Read(runtime.coherent_port(0), [&](const Rec& r, bool ok) {
+    warm = ok && r.value == 5;
+  });
+  cluster.engine().Run();
+  ASSERT_TRUE(warm);
+
+  // The chassis goes down right as the write's GetM is in flight and stays
+  // down past both deadlines (plan times are microseconds); the handshake
+  // cannot complete.
+  const double t0_us = ToNs(cluster.engine().Now()) / 1000.0;
+  char plan[96];
+  std::snprintf(plan, sizeof(plan), "flap fam0 start=%.3f period=200 down=80 cycles=1",
+                t0_us + 0.1);
+  faults.Schedule(FaultPlan::Parse(plan));
+  bool done = false;
+  bool ok = true;
+  rec.Write(runtime.coherent_port(1), Rec{99}, [&](bool k) {
+    done = true;
+    ok = k;
+  });
+  cluster.engine().Run();
+
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(ok);
+  // Never-observable failed write: shadow still holds the committed value,
+  // and no port is left holding a Modified line the directory or the fault
+  // didn't account for.
+  EXPECT_EQ(rec.Peek().value, 5);
+  CoherentDirectory* dir = runtime.coherent_directory();
+  for (int h = 0; h < 2; ++h) {
+    if (runtime.coherent_port(h)->HoldsModified(addr)) {
+      EXPECT_EQ(dir->StateOf(addr), CoherentDirectory::BlockState::kModified);
+      EXPECT_EQ(dir->OwnerOf(addr), h);
+    }
+  }
+  EXPECT_GT(runtime.coherent_port(1)->stats().txn_failures, 0u);
+
+  // The chassis is back: the same write now completes and is visible at the
+  // other host through the protocol.
+  bool redo_ok = false;
+  rec.Write(runtime.coherent_port(1), Rec{42}, [&](bool k) { redo_ok = k; });
+  cluster.engine().Run();
+  EXPECT_TRUE(redo_ok);
+  std::int64_t seen = -1;
+  bool read_ok = false;
+  rec.Read(runtime.coherent_port(0), [&](const Rec& r, bool k) {
+    seen = r.value;
+    read_ok = k;
+  });
+  cluster.engine().Run();
+  EXPECT_TRUE(read_ok);
+  EXPECT_EQ(seen, 42);
+  EXPECT_EQ(faults.stats().faults_injected, 1u);
+  EXPECT_EQ(faults.stats().recoveries, 1u);
+  EXPECT_TRUE(cluster.engine().audit().Sweep().empty());
 }
 
 }  // namespace

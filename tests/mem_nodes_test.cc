@@ -16,7 +16,27 @@
 #include "src/topo/presets.h"
 
 namespace unifab {
+
+// Test-only hook (same pattern as fabric_switch_mem_test.cc): reaches into a
+// port's block cache to model a silent eviction and to seed a deliberate
+// violation of the mem/ccnuma/sharers_conserved audit check.
+class AuditTestPeer {
+ public:
+  static SetAssocCache& PortCache(CcNumaPort& p) { return p.cache_; }
+};
+
 namespace {
+
+bool AnyPathEndsWith(const std::vector<InvariantViolation>& violations,
+                     const std::string& suffix) {
+  for (const auto& v : violations) {
+    if (v.path.size() >= suffix.size() &&
+        v.path.compare(v.path.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
 
 // ------------------------- MemoryExpander --------------------------------
 
@@ -211,6 +231,91 @@ TEST_F(CcNumaTest, PingPongWritesAlternateOwnership) {
   EXPECT_GE(dir_->stats().recalls, 3u);
   EXPECT_EQ(dir_->StateOf(0x6000), DirectoryController::BlockState::kModified);
   EXPECT_TRUE(port_[1]->HoldsModified(0x6000));
+}
+
+// Regression: a clean eviction notice (PutS) that crosses an in-flight Inv
+// must stand in for the ack. Before identity-tracked inv_waiting, the
+// directory counted acks numerically, so the evicting port's unconditional
+// later InvAck double-decremented and a concurrent writer could be granted
+// while another sharer still held the line.
+TEST_F(CcNumaTest, EvictionNoticeCrossingInvCompletesTheWrite) {
+  port_[0]->Read(0x5000, nullptr);
+  engine_.Run();
+  ASSERT_EQ(dir_->StateOf(0x5000), DirectoryController::BlockState::kShared);
+
+  bool wrote = false;
+  port_[1]->Write(0x5000, [&] { wrote = true; });
+  // Advance into the window where the directory has sent the Inv but port 0
+  // has not yet received it.
+  const Tick probe_limit = engine_.Now() + FromUs(5);
+  while (dir_->stats().invalidations == 0) {
+    ASSERT_LT(engine_.Now(), probe_limit) << "Inv never sent";
+    engine_.RunUntil(engine_.Now() + FromNs(25));
+  }
+  ASSERT_EQ(port_[0]->stats().invalidations_received, 0u);
+
+  // Port 0's cache silently drops the clean line (capacity eviction) and the
+  // eviction notice races the Inv to the directory.
+  AuditTestPeer::PortCache(*port_[0]).Invalidate(0x5000);
+  auto puts = std::make_shared<CohMsg>();
+  puts->op = CohOp::kPutS;
+  puts->block = 0x5000;
+  puts->requester = 0;
+  host_dispatch_[0]->Send(dir_->fabric_id(), kSvcCcNuma,
+                          static_cast<std::uint64_t>(CohOp::kPutS), 16, puts, Channel::kCache);
+  engine_.Run();
+
+  EXPECT_TRUE(wrote);
+  EXPECT_EQ(dir_->stats().implicit_evict_acks, 1u);
+  // Port 0 still answered the Inv when it eventually arrived; the directory
+  // must discard that ack instead of mis-crediting it.
+  EXPECT_EQ(port_[0]->stats().invalidations_received, 1u);
+  EXPECT_EQ(dir_->stats().stale_acks, 1u);
+  EXPECT_EQ(dir_->StateOf(0x5000), DirectoryController::BlockState::kModified);
+  EXPECT_TRUE(port_[1]->HoldsModified(0x5000));
+  EXPECT_TRUE(engine_.audit().Sweep().empty());
+}
+
+// Regression: an InvAck from a port the directory is not waiting on (spoofed
+// here; previously reachable via the eviction race above) must not perturb
+// sharer bookkeeping or unblock a transaction early.
+TEST_F(CcNumaTest, InvAckFromNonWaiterIsCountedStaleAndIgnored) {
+  port_[0]->Read(0x5000, nullptr);
+  engine_.Run();
+  ASSERT_EQ(dir_->SharerCount(0x5000), 1u);
+
+  auto spoof = std::make_shared<CohMsg>();
+  spoof->op = CohOp::kInvAck;
+  spoof->block = 0x5000;
+  spoof->requester = 1;
+  host_dispatch_[1]->Send(dir_->fabric_id(), kSvcCcNuma,
+                          static_cast<std::uint64_t>(CohOp::kInvAck), 16, spoof,
+                          Channel::kCache);
+  engine_.Run();
+  EXPECT_EQ(dir_->stats().stale_acks, 1u);
+  EXPECT_EQ(dir_->SharerCount(0x5000), 1u);
+  EXPECT_EQ(dir_->StateOf(0x5000), DirectoryController::BlockState::kShared);
+
+  // The protocol still works afterwards.
+  bool wrote = false;
+  port_[1]->Write(0x5000, [&] { wrote = true; });
+  engine_.Run();
+  EXPECT_TRUE(wrote);
+  EXPECT_TRUE(port_[1]->HoldsModified(0x5000));
+  EXPECT_TRUE(engine_.audit().Sweep().empty());
+}
+
+// The new mem/ccnuma/sharers_conserved check: every valid line in a port
+// cache must be tracked by the home directory.
+TEST_F(CcNumaTest, AuditCatchesUntrackedPortLine) {
+  port_[0]->Read(0x5000, nullptr);
+  engine_.Run();
+  EXPECT_TRUE(engine_.audit().Sweep().empty());
+
+  AuditTestPeer::PortCache(*port_[0]).Insert(0x7000, /*dirty=*/false);
+  EXPECT_TRUE(AnyPathEndsWith(engine_.audit().Sweep(), "mem/ccnuma/sharers_conserved"));
+  AuditTestPeer::PortCache(*port_[0]).Invalidate(0x7000);
+  EXPECT_TRUE(engine_.audit().Sweep().empty());
 }
 
 // --------------------------- Non-CC NUMA ---------------------------------
