@@ -131,7 +131,8 @@ void MigrationAgent::FailJob(const std::shared_ptr<ActiveJob>& job, TransferStat
     job->watchdog = kInvalidEventId;
   }
   if (job->granted_mbps > 0.0 && arbiter_ != nullptr) {
-    arbiter_->Release(job->lease_resource, job->granted_mbps);
+    const ETransAttributes& attrs = job->job.desc.attributes;
+    arbiter_->Release(job->lease_resource, job->granted_mbps, attrs.tenant, attrs.qos);
     job->granted_mbps = 0.0;
   }
   if (job->done) {
@@ -148,12 +149,14 @@ void MigrationAgent::StartJob(std::shared_ptr<ActiveJob> job) {
     // Lease bandwidth toward the (first) destination node; pace chunks at
     // the granted rate.
     job->lease_resource = job->job.desc.dst.front().node;
-    arbiter_->Reserve(job->lease_resource, attrs.request_mbps, [this, job](double granted) {
+    arbiter_->Reserve(job->lease_resource, attrs.request_mbps, attrs.tenant, attrs.qos,
+                      [this, job](double granted) {
       if (job->dead) {
         // The watchdog already killed this attempt; hand the late grant
         // straight back.
         if (granted > 0.0 && arbiter_ != nullptr) {
-          arbiter_->Release(job->lease_resource, granted);
+          const ETransAttributes& a = job->job.desc.attributes;
+          arbiter_->Release(job->lease_resource, granted, a.tenant, a.qos);
         }
         return;
       }
@@ -195,11 +198,13 @@ void MigrationAgent::MaybeRenewLease(const std::shared_ptr<ActiveJob>& job) {
   // as contention changes.
   job->renew_pending = true;
   arbiter_->Reserve(job->lease_resource, job->job.desc.attributes.request_mbps,
+                    job->job.desc.attributes.tenant, job->job.desc.attributes.qos,
                     [this, job](double granted) {
                       job->renew_pending = false;
                       if (job->dead) {
                         if (granted > 0.0 && arbiter_ != nullptr) {
-                          arbiter_->Release(job->lease_resource, granted);
+                          const ETransAttributes& a = job->job.desc.attributes;
+                          arbiter_->Release(job->lease_resource, granted, a.tenant, a.qos);
                         }
                         return;
                       }
@@ -298,7 +303,8 @@ void MigrationAgent::IssueChunk(const std::shared_ptr<ActiveJob>& job, std::uint
         ++stats_.jobs_executed;
         stats_.job_latency_us.Add(ToUs(engine_->Now() - job->started_at));
         if (job->granted_mbps > 0.0 && arbiter_ != nullptr) {
-          arbiter_->Release(job->lease_resource, job->granted_mbps);
+          const ETransAttributes& a = job->job.desc.attributes;
+          arbiter_->Release(job->lease_resource, job->granted_mbps, a.tenant, a.qos);
         }
         if (job->done) {
           job->done(TransferResult{true, TransferStatus::kOk, engine_->Now(), job->total});

@@ -58,6 +58,12 @@ struct ETransAttributes {
   double request_mbps = 8000.0; // lease ask when throttled
   Channel channel = Channel::kMem;
 
+  // Multi-tenant identity for arbiter leases: (initiating adapter, tenant)
+  // is the flow key, and `qos` picks the arbitration class. The defaults
+  // are the single-tenant legacy flow.
+  std::uint32_t tenant = 0;
+  QosClass qos = QosClass::kBestEffort;
+
   // Token-bucket depth for lease pacing, in chunks. A paced job may issue up
   // to this many chunks back to back before the token clock throttles it,
   // and after an idle stretch it catches up with an equally sized burst —

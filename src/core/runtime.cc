@@ -190,4 +190,9 @@ UniFabricRuntime::UniFabricRuntime(Cluster* cluster, const RuntimeOptions& optio
   }
 }
 
+TenantEngine* UniFabricRuntime::AttachTenants(const ScenarioSpec& spec) {
+  tenants_ = std::make_unique<TenantEngine>(this, spec);
+  return tenants_.get();
+}
+
 }  // namespace unifab

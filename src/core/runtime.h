@@ -24,6 +24,7 @@
 #include "src/core/heap.h"
 #include "src/core/itask.h"
 #include "src/core/sfunc.h"
+#include "src/core/tenant.h"
 #include "src/fabric/switch/mem_agent.h"
 #include "src/mem/coherent.h"
 #include "src/topo/cluster.h"
@@ -96,6 +97,11 @@ class UniFabricRuntime {
     return coherent_ports_[static_cast<std::size_t>(host)].get();
   }
   ITaskRuntime* itasks() { return itasks_.get(); }
+  // Builds (and owns) a multi-tenant workload engine driving this runtime
+  // from a parsed scenario; call TenantEngine::Start to begin arrivals.
+  // Replaces any previously attached engine.
+  TenantEngine* AttachTenants(const ScenarioSpec& spec);
+  TenantEngine* tenants() { return tenants_.get(); }
   ScalableFunctionRuntime* sfunc(int faa) { return sfuncs_[static_cast<std::size_t>(faa)].get(); }
   SFuncClient* sfunc_client(int host) {
     return sfunc_clients_[static_cast<std::size_t>(host)].get();
@@ -123,6 +129,7 @@ class UniFabricRuntime {
   std::vector<std::unique_ptr<CoherentPort>> coherent_ports_;
   std::vector<std::unique_ptr<UnifiedHeap>> heaps_;
   std::unique_ptr<ITaskRuntime> itasks_;
+  std::unique_ptr<TenantEngine> tenants_;
   std::vector<std::unique_ptr<ScalableFunctionRuntime>> sfuncs_;
   std::vector<std::unique_ptr<SFuncClient>> sfunc_clients_;
 };

@@ -1,0 +1,100 @@
+// Multi-tenant workload engine: drives a parsed ScenarioSpec against a
+// UniFabricRuntime (ROADMAP item 4).
+//
+// Each tenant is an independent open-loop traffic source: arrivals are
+// scheduled from a per-tenant Rng stream derived from the campaign seed
+// (DeriveStream), so the same spec replays bit-identically regardless of
+// worker-thread count, and adding a tenant class never perturbs another
+// class's draws. Ops fan out over the runtime's primitives — eTrans
+// transfers (tagged with the tenant's id + QoS class for arbiter leases),
+// unified-heap reads/writes/migrations, eCollect AllReduce, and FAA
+// idempotent tasks — and completion latency is recorded per class so
+// per-class SLOs and isolation bounds are checkable.
+
+#ifndef SRC_CORE_TENANT_H_
+#define SRC_CORE_TENANT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/heap.h"
+#include "src/sim/audit.h"
+#include "src/sim/metrics.h"
+#include "src/sim/random.h"
+#include "src/sim/scenario.h"
+#include "src/sim/stats.h"
+
+namespace unifab {
+
+class UniFabricRuntime;
+
+// Per-class accounting. The conservation invariant (audited) is
+// issued == completed + failed + in-flight, summed across classes: a lost
+// or double-counted completion is a bug, not load.
+struct TenantClassStats {
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t ops[kNumTenantOps] = {0, 0, 0, 0, 0, 0};  // issued per op kind
+  Summary latency_us;  // issue -> terminal, completed ops only
+};
+
+class TenantEngine {
+ public:
+  // `runtime` must outlive the engine. The spec must have parsed cleanly
+  // (no errors) and is copied.
+  TenantEngine(UniFabricRuntime* runtime, const ScenarioSpec& spec);
+
+  TenantEngine(const TenantEngine&) = delete;
+  TenantEngine& operator=(const TenantEngine&) = delete;
+
+  // Schedules every tenant's first arrival. Arrivals stop at the spec
+  // horizon; in-flight ops drain on their own afterwards.
+  void Start();
+
+  const ScenarioSpec& spec() const { return spec_; }
+  const TenantClassStats& class_stats(std::size_t cls) const { return class_stats_[cls]; }
+  std::size_t num_classes() const { return class_stats_.size(); }
+  std::uint64_t in_flight() const { return in_flight_; }
+  std::uint64_t issued() const;
+  std::uint64_t completed() const;
+  std::uint64_t failed() const;
+
+ private:
+  struct Tenant {
+    std::uint32_t id;  // 1-based: tenant 0 is the legacy single-tenant flow
+    int cls;
+    int host;  // home host (round-robin)
+    int fam;   // target FAM chassis (round-robin)
+    Rng rng;
+    ObjectId object = kInvalidObject;  // lazily allocated heap object
+    std::uint32_t burst_left = 0;      // remaining ops in the current burst
+  };
+
+  void ScheduleNext(std::size_t idx);
+  void Arrive(std::size_t idx);
+  TenantOp PickOp(Tenant& t);
+  void IssueETrans(Tenant& t);
+  void IssueHeap(Tenant& t, TenantOp op);
+  void IssueCollect(Tenant& t);
+  void IssueFaa(Tenant& t);
+  // Terminal accounting for one op issued at `issued_at` by class `cls`.
+  void Complete(int cls, Tick issued_at, bool ok);
+  bool EnsureObject(Tenant& t);
+
+  UniFabricRuntime* runtime_;
+  ScenarioSpec spec_;
+  std::vector<Tenant> tenants_;
+  std::vector<TenantClassStats> class_stats_;
+  std::uint64_t in_flight_ = 0;
+  MetricGroup metrics_;
+  AuditScope audit_;
+
+  friend class AuditTestPeer;
+};
+
+}  // namespace unifab
+
+#endif  // SRC_CORE_TENANT_H_

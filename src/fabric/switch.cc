@@ -135,11 +135,27 @@ bool FabricSwitch::OutputCanAccept(int out, Channel channel) const {
   return in_queue + outputs_[out].reserved[static_cast<int>(channel)] < depth;
 }
 
+bool FabricSwitch::ArrivesBefore(const QueuedFlit& a, const QueuedFlit& b) {
+  if (a.arrival != b.arrival) {
+    return a.arrival < b.arrival;
+  }
+  if (a.flit.src != b.flit.src) {
+    return a.flit.src < b.flit.src;
+  }
+  if (a.flit.txn_id != b.flit.txn_id) {
+    return a.flit.txn_id < b.flit.txn_id;
+  }
+  if (a.flit.seq != b.flit.seq) {
+    return a.flit.seq < b.flit.seq;
+  }
+  return a.order < b.order;
+}
+
 int FabricSwitch::PickInput(int out) {
   // Gather candidate inputs whose head flit wants `out` and whose channel
   // has room at the output.
   int best = -1;
-  std::uint64_t best_order = 0;
+  const QueuedFlit* best_head = nullptr;
   int best_priority = 0;
   double best_weight = 0.0;
 
@@ -159,9 +175,9 @@ int FabricSwitch::PickInput(int out) {
     }
     switch (config_.arbitration) {
       case SwitchArbitration::kFifo:
-        if (best < 0 || head->order < best_order) {
+        if (best < 0 || ArrivesBefore(*head, *best_head)) {
           best = input;
-          best_order = head->order;
+          best_head = head;
         }
         break;
       case SwitchArbitration::kRoundRobin:
@@ -178,10 +194,10 @@ int FabricSwitch::PickInput(int out) {
       case SwitchArbitration::kPriority: {
         const int p = PriorityOf(head->flit.src);
         if (best < 0 || p > best_priority ||
-            (p == best_priority && head->order < best_order)) {
+            (p == best_priority && ArrivesBefore(*head, *best_head))) {
           best = input;
           best_priority = p;
-          best_order = head->order;
+          best_head = head;
         }
         break;
       }

@@ -105,8 +105,15 @@ class FabricSwitch : public FlitReceiver {
     Flit flit;
     int out_port;
     Tick arrival;
-    std::uint64_t order;  // global arrival order for FIFO arbitration
+    std::uint64_t order;  // global enqueue order (tie-break of last resort)
   };
+
+  // FIFO service order: earliest arrival tick first; same-tick arrivals are
+  // ordered by flit identity (src, txn_id, seq) rather than by the enqueue
+  // counter, so the winner does not depend on how the engine interleaved
+  // same-tick deliveries across input ports. `order` only breaks the
+  // (impossible for distinct flits) full-identity tie.
+  static bool ArrivesBefore(const QueuedFlit& a, const QueuedFlit& b);
 
   struct InputPort {
     // Non-VOQ mode uses queues[0]; VOQ mode uses one queue per output port.

@@ -1,0 +1,36 @@
+// QoS service classes shared by the scenario spec (src/sim) and the fabric
+// arbiter (src/core). Lives in sim/ because the scenario DSL must name
+// classes without pulling in core headers.
+
+#ifndef SRC_SIM_QOS_H_
+#define SRC_SIM_QOS_H_
+
+#include <cstdint>
+
+namespace unifab {
+
+// Ordered by strictness: kGuaranteed may preempt kBestEffort leases at the
+// arbiter; kBurstable shares by weight but never preempts.
+enum class QosClass : std::uint8_t {
+  kGuaranteed = 0,
+  kBurstable = 1,
+  kBestEffort = 2,
+};
+
+inline constexpr int kNumQosClasses = 3;
+
+inline const char* QosClassName(QosClass c) {
+  switch (c) {
+    case QosClass::kGuaranteed:
+      return "guaranteed";
+    case QosClass::kBurstable:
+      return "burstable";
+    case QosClass::kBestEffort:
+      return "best_effort";
+  }
+  return "unknown";
+}
+
+}  // namespace unifab
+
+#endif  // SRC_SIM_QOS_H_

@@ -18,6 +18,12 @@ std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); 
 
 }  // namespace
 
+std::uint64_t DeriveStream(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t state = seed ^ (stream * 0x9E3779B97F4A7C15ULL);
+  (void)SplitMix64(state);
+  return SplitMix64(state);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) {

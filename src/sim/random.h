@@ -50,6 +50,13 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+// Derives an independent substream seed from a campaign seed: stream i of a
+// campaign gets `Rng(DeriveStream(campaign_seed, i))`. Two SplitMix64 steps
+// over (seed, golden-gamma-spread stream index) decorrelate adjacent
+// streams, so per-tenant generators drawn from one campaign seed neither
+// collide nor march in lockstep.
+std::uint64_t DeriveStream(std::uint64_t seed, std::uint64_t stream);
+
 // Samples from a Zipf(s, n) distribution over {0, .., n-1} using an inverted
 // CDF table. Used by the unified-heap benchmarks to generate skewed object
 // popularity, the regime where temperature-driven migration pays off.

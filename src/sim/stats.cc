@@ -63,6 +63,11 @@ double Summary::Percentile(double p) const {
   if (samples_.empty()) {
     return 0.0;  // deterministic sentinel: no samples, no latency
   }
+  if (std::isnan(p)) {
+    // NaN compares false against both clamp bounds below and would flow
+    // into ceil()/size_t conversion — UB. Same sentinel as the empty case.
+    return 0.0;
+  }
   SortIfNeeded();
   if (p <= 0.0) {
     return samples_.front();

@@ -33,9 +33,10 @@ class Summary {
   double Max() const;
   double Stddev() const;
 
-  // Exact percentile by nearest-rank, p in [0, 100]. An empty summary
-  // deterministically reports 0.0 (so e.g. a p99 over zero completed
-  // operations reads as zero latency instead of invoking UB).
+  // Exact percentile by nearest-rank. p is clamped into [0, 100] (p < 0
+  // reads the minimum, p > 100 the maximum); NaN p and an empty summary
+  // both deterministically report the 0.0 sentinel (so e.g. a p99 over
+  // zero completed operations reads as zero latency instead of UB).
   double Percentile(double p) const;
   double Median() const { return Percentile(50.0); }
   double P99() const { return Percentile(99.0); }

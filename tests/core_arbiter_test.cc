@@ -146,6 +146,147 @@ TEST(ArbiterClientTest, ReplyCancelsDeadline) {
   EXPECT_EQ(rig.clients[0]->stats().timeouts, 0u);
 }
 
+TEST(ArbiterClientTest, LateGrantIsReleasedNotLeaked) {
+  // Regression: a grant that arrives after the client deadline already
+  // fired cb(0) used to be dropped on the floor — the arbiter kept the
+  // lease reserved until expiry even though no caller would ever release
+  // it. The client must hand the late grant straight back.
+  ArbiterConfig cfg;
+  cfg.request_timeout = FromNs(50);  // far below the control-path RTT
+  ArbiterRig rig(cfg);
+  const PbrId res = rig.client_adapters[1]->id();
+  rig.arbiter->RegisterResource(res, 8000.0);
+
+  std::vector<double> grants;
+  rig.clients[0]->Reserve(res, 4000.0, [&](double g) { grants.push_back(g); });
+  rig.engine.Run();
+
+  // The caller saw exactly one callback, with 0 granted (the deadline).
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_DOUBLE_EQ(grants[0], 0.0);
+  EXPECT_EQ(rig.clients[0]->stats().timeouts, 1u);
+  EXPECT_EQ(rig.clients[0]->stats().replies, 0u);
+  EXPECT_EQ(rig.clients[0]->stats().late_grants, 1u);
+
+  // The arbiter granted, then got the bandwidth back via the client's
+  // automatic release — not via lease expiry.
+  EXPECT_EQ(rig.arbiter->stats().reservations, 1u);
+  EXPECT_EQ(rig.arbiter->stats().releases, 1u);
+  EXPECT_EQ(rig.arbiter->stats().expirations, 0u);
+  EXPECT_DOUBLE_EQ(rig.arbiter->ReservedOf(res), 0.0);
+}
+
+TEST(FabricArbiterQosTest, WeightedShareAcrossClasses) {
+  // With preemption off, a guaranteed request against a fully committed
+  // pool still gets its weighted entitlement (cap * 8/9 here), and the
+  // best-effort renewal shrinks to its own entitlement so the pool
+  // converges back to capacity.
+  ArbiterConfig cfg;
+  cfg.preempt_best_effort = false;
+  ArbiterRig rig(cfg);
+  const PbrId res = rig.client_adapters[1]->id();
+  rig.arbiter->RegisterResource(res, 9000.0);
+
+  double be = -1.0;
+  rig.clients[1]->Reserve(res, 9000.0, 2, QosClass::kBestEffort, [&](double g) { be = g; });
+  rig.engine.Run();
+  ASSERT_DOUBLE_EQ(be, 9000.0);  // sole flow: work-conserving
+
+  double gua = -1.0;
+  rig.clients[0]->Reserve(res, 9000.0, 1, QosClass::kGuaranteed, [&](double g) { gua = g; });
+  rig.engine.Run();
+  // Active classes: guaranteed (w=8) and best-effort (w=1).
+  EXPECT_DOUBLE_EQ(gua, 8000.0);
+
+  double be_renewed = -1.0;
+  rig.clients[1]->Reserve(res, 9000.0, 2, QosClass::kBestEffort,
+                          [&](double g) { be_renewed = g; });
+  rig.engine.Run();
+  EXPECT_DOUBLE_EQ(be_renewed, 1000.0);
+  EXPECT_DOUBLE_EQ(rig.arbiter->ReservedOf(res), 9000.0);
+  EXPECT_DOUBLE_EQ(rig.arbiter->TenantReservedOf(res, 1), 8000.0);
+  EXPECT_DOUBLE_EQ(rig.arbiter->TenantReservedOf(res, 2), 1000.0);
+  EXPECT_EQ(rig.arbiter->qos_stats().preemptions, 0u);
+}
+
+TEST(FabricArbiterQosTest, GuaranteedPreemptsBestEffortLeases) {
+  ArbiterRig rig;  // preempt_best_effort defaults on
+  const PbrId res = rig.client_adapters[1]->id();
+  rig.arbiter->RegisterResource(res, 8000.0);
+
+  double be = -1.0;
+  rig.clients[1]->Reserve(res, 8000.0, 2, QosClass::kBestEffort, [&](double g) { be = g; });
+  rig.engine.Run();
+  ASSERT_DOUBLE_EQ(be, 8000.0);
+
+  // The guaranteed request evicts the best-effort lease outright and takes
+  // the whole pool.
+  double gua = -1.0;
+  rig.clients[0]->Reserve(res, 8000.0, 1, QosClass::kGuaranteed, [&](double g) { gua = g; });
+  rig.engine.Run();
+  EXPECT_DOUBLE_EQ(gua, 8000.0);
+  EXPECT_EQ(rig.arbiter->qos_stats().preemptions, 1u);
+  EXPECT_DOUBLE_EQ(rig.arbiter->qos_stats().preempted_mbps, 8000.0);
+  EXPECT_EQ(rig.arbiter->qos_stats().grants[static_cast<int>(QosClass::kGuaranteed)], 1u);
+  EXPECT_EQ(rig.arbiter->qos_stats().grants[static_cast<int>(QosClass::kBestEffort)], 1u);
+  EXPECT_DOUBLE_EQ(rig.arbiter->ReservedOf(res), 8000.0);
+  EXPECT_DOUBLE_EQ(rig.arbiter->TenantReservedOf(res, 1), 8000.0);
+  EXPECT_DOUBLE_EQ(rig.arbiter->TenantReservedOf(res, 2), 0.0);
+}
+
+TEST(FabricArbiterQosTest, TenantBudgetClampsGrants) {
+  ArbiterConfig cfg;
+  cfg.qos[static_cast<int>(QosClass::kGuaranteed)].tenant_budget_mbps = 3000.0;
+  ArbiterRig rig(cfg);
+  const PbrId res = rig.client_adapters[1]->id();
+  rig.arbiter->RegisterResource(res, 8000.0);
+
+  // First flow of tenant 7 is clipped from its fair share to the budget.
+  double g0 = -1.0;
+  rig.clients[0]->Reserve(res, 8000.0, 7, QosClass::kGuaranteed, [&](double g) { g0 = g; });
+  rig.engine.Run();
+  EXPECT_DOUBLE_EQ(g0, 3000.0);
+  EXPECT_EQ(rig.arbiter->qos_stats().budget_clamps, 1u);
+
+  // A second flow of the same tenant (different holder) finds the budget
+  // exhausted and is rejected, even though the pool has headroom.
+  double g1 = -1.0;
+  rig.clients[1]->Reserve(res, 8000.0, 7, QosClass::kGuaranteed, [&](double g) { g1 = g; });
+  rig.engine.Run();
+  EXPECT_DOUBLE_EQ(g1, 0.0);
+  EXPECT_EQ(rig.arbiter->qos_stats().budget_clamps, 2u);
+  EXPECT_EQ(rig.arbiter->stats().rejections, 1u);
+  EXPECT_DOUBLE_EQ(rig.arbiter->TenantReservedOf(res, 7), 3000.0);
+  EXPECT_DOUBLE_EQ(rig.arbiter->ReservedOf(res), 3000.0);
+}
+
+TEST(FabricArbiterQosTest, SameHolderDistinctTenantsHoldIndependentLeases) {
+  ArbiterRig rig;
+  const PbrId res = rig.client_adapters[1]->id();
+  rig.arbiter->RegisterResource(res, 8000.0);
+
+  double g0 = -1.0;
+  rig.clients[0]->Reserve(res, 4000.0, 1, QosClass::kBestEffort, [&](double g) { g0 = g; });
+  rig.engine.Run();
+  ASSERT_DOUBLE_EQ(g0, 4000.0);
+
+  // Same holder adapter, different tenant: a second, independent flow — it
+  // must not be treated as a renewal of tenant 1's lease.
+  double g1 = -1.0;
+  rig.clients[0]->Reserve(res, 8000.0, 2, QosClass::kBestEffort, [&](double g) { g1 = g; });
+  rig.engine.Run();
+  EXPECT_DOUBLE_EQ(g1, 4000.0);  // two flows in one class: fair share each
+  EXPECT_DOUBLE_EQ(rig.arbiter->ReservedOf(res), 8000.0);
+  EXPECT_DOUBLE_EQ(rig.arbiter->TenantReservedOf(res, 1), 4000.0);
+  EXPECT_DOUBLE_EQ(rig.arbiter->TenantReservedOf(res, 2), 4000.0);
+
+  // Releasing tenant 1's lease leaves tenant 2's intact.
+  rig.clients[0]->Release(res, 4000.0, 1, QosClass::kBestEffort);
+  rig.engine.Run();
+  EXPECT_DOUBLE_EQ(rig.arbiter->TenantReservedOf(res, 1), 0.0);
+  EXPECT_DOUBLE_EQ(rig.arbiter->TenantReservedOf(res, 2), 4000.0);
+}
+
 TEST(ArbiterClientTest, ZeroTimeoutDisablesDeadline) {
   ArbiterConfig cfg;
   cfg.request_timeout = 0;

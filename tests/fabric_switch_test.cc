@@ -161,6 +161,41 @@ TEST(SwitchTest, RoundRobinSharesOutputFairly) {
   }
 }
 
+TEST(SwitchTest, FifoBreaksSameTickTiesByFlitIdentity) {
+  // Two flits that arrive at the switch on the same tick are a genuine tie
+  // for kFifo. The tie-break is the flit identity (src, txn, seq) — not the
+  // global enqueue counter, which tracks event-processing order and would
+  // let the issue order inside a tick (here: node 1 before node 0) decide.
+  auto run = [] {
+    SwitchConfig cfg;
+    cfg.arbitration = SwitchArbitration::kFifo;
+    Star star(3, cfg);
+    const PbrId sink = star.nodes[2]->self;
+    for (int i = 0; i < 8; ++i) {
+      // Well-separated rounds; within each, the higher-id source sends
+      // first so enqueue order and identity order disagree.
+      star.engine.Schedule(FromUs(1) * static_cast<Tick>(i), [&star, sink] {
+        star.nodes[1]->Send(sink);
+        star.nodes[0]->Send(sink);
+      });
+    }
+    star.engine.Run();
+    std::vector<PbrId> srcs;
+    for (const auto& a : star.nodes[2]->received) {
+      srcs.push_back(a.flit.src);
+    }
+    return srcs;
+  };
+
+  const std::vector<PbrId> srcs = run();
+  ASSERT_EQ(srcs.size(), 16u);
+  for (std::size_t i = 0; i < srcs.size(); i += 2) {
+    EXPECT_EQ(srcs[i], 1u) << "round " << i / 2;      // node 0 wins the tie
+    EXPECT_EQ(srcs[i + 1], 2u) << "round " << i / 2;
+  }
+  EXPECT_EQ(run(), srcs);  // and the order is reproducible
+}
+
 TEST(SwitchTest, PrioritySchedulingFavorsMarkedSource) {
   SwitchConfig cfg;
   cfg.arbitration = SwitchArbitration::kPriority;

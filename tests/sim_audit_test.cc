@@ -57,6 +57,21 @@ class AuditTestPeer {
   static double& ArbiterReservedCache(FabricArbiter& a, PbrId resource) {
     return a.resources_[resource].reserved_cache;
   }
+  static double& ArbiterClassReservedCache(FabricArbiter& a, PbrId resource, QosClass c) {
+    return a.resources_[resource].class_reserved_cache[static_cast<int>(c)];
+  }
+  static double& ArbiterTenantReservedCache(FabricArbiter& a, PbrId resource,
+                                            std::uint32_t tenant) {
+    return a.resources_[resource].tenant_reserved_cache[tenant];
+  }
+  // Inflates one lease directly (the caches deliberately stay behind, as a
+  // buggy grant path would leave them).
+  static void ArbiterBumpLease(FabricArbiter& a, PbrId resource, PbrId holder,
+                               std::uint32_t tenant, double delta) {
+    a.resources_[resource].leases.at(FabricArbiter::FlowKey{holder, tenant}).mbps += delta;
+  }
+
+  static std::uint64_t& TenantInFlight(TenantEngine& t) { return t.in_flight_; }
 
   static std::uint64_t& HeapTierUsed(UnifiedHeap& h, int tier) {
     return h.tier_used_[static_cast<std::size_t>(tier)];
@@ -186,7 +201,7 @@ TEST(SeededViolationTest, LinkFlitConservation) {
 // One switch, an arbiter adapter, and two client adapters — the same shape
 // the runtime provisions (mirrors core_arbiter_test.cc).
 struct ArbiterRig {
-  ArbiterRig() : fabric(&engine, 11) {
+  explicit ArbiterRig(ArbiterConfig arb_cfg = ArbiterConfig{}) : fabric(&engine, 11) {
     AdapterConfig lean;
     lean.request_proc_latency = FromNs(20);
     lean.response_proc_latency = FromNs(20);
@@ -200,10 +215,10 @@ struct ArbiterRig {
     fabric.ConfigureRouting();
 
     arb_dispatcher = std::make_unique<MessageDispatcher>(arb_adapter);
-    arbiter = std::make_unique<FabricArbiter>(&engine, ArbiterConfig{}, arb_dispatcher.get());
+    arbiter = std::make_unique<FabricArbiter>(&engine, arb_cfg, arb_dispatcher.get());
     for (int i = 0; i < 2; ++i) {
       client_dispatchers[i] = std::make_unique<MessageDispatcher>(client_adapters[i]);
-      clients[i] = std::make_unique<ArbiterClient>(&engine, ArbiterConfig{},
+      clients[i] = std::make_unique<ArbiterClient>(&engine, arb_cfg,
                                                   client_dispatchers[i].get(),
                                                   arbiter->fabric_id());
     }
@@ -235,6 +250,77 @@ TEST(SeededViolationTest, ArbiterReservedAccounting) {
   EXPECT_TRUE(AnyPathEndsWith(rig.engine.audit().Sweep(),
                               "core/arbiter/reserved_accounting"));
   cache = saved;
+  EXPECT_TRUE(rig.engine.audit().Sweep().empty());
+}
+
+TEST(SeededViolationTest, ArbiterQosClassAccounting) {
+  ArbiterRig rig;
+  const PbrId res = rig.client_adapters[1]->id();
+  rig.arbiter->RegisterResource(res, 8000.0);
+  double granted = -1.0;
+  rig.clients[0]->Reserve(res, 4000.0, /*tenant=*/3, QosClass::kGuaranteed,
+                          [&](double g) { granted = g; });
+  rig.engine.Run();
+  ASSERT_GT(granted, 0.0);
+  EXPECT_TRUE(rig.engine.audit().Sweep().empty());
+
+  double& cache =
+      AuditTestPeer::ArbiterClassReservedCache(*rig.arbiter, res, QosClass::kGuaranteed);
+  const double saved = cache;
+  cache = saved + 77.0;  // per-class shadow drifts off the lease map
+  EXPECT_TRUE(AnyPathEndsWith(rig.engine.audit().Sweep(),
+                              "core/arbiter/qos/class_accounting"));
+  cache = saved;
+  EXPECT_TRUE(rig.engine.audit().Sweep().empty());
+}
+
+TEST(SeededViolationTest, ArbiterQosTenantAccounting) {
+  ArbiterRig rig;
+  const PbrId res = rig.client_adapters[1]->id();
+  rig.arbiter->RegisterResource(res, 8000.0);
+  double granted = -1.0;
+  rig.clients[0]->Reserve(res, 4000.0, /*tenant=*/3, QosClass::kBurstable,
+                          [&](double g) { granted = g; });
+  rig.engine.Run();
+  ASSERT_GT(granted, 0.0);
+  EXPECT_TRUE(rig.engine.audit().Sweep().empty());
+
+  double& cache = AuditTestPeer::ArbiterTenantReservedCache(*rig.arbiter, res, 3);
+  const double saved = cache;
+  cache = saved - 1.0;  // per-tenant shadow undercounts the tenant's lease
+  EXPECT_TRUE(AnyPathEndsWith(rig.engine.audit().Sweep(),
+                              "core/arbiter/qos/tenant_accounting"));
+  cache = saved;
+  EXPECT_TRUE(rig.engine.audit().Sweep().empty());
+
+  // A phantom tenant in the shadow map (no lease behind it) must also trip.
+  AuditTestPeer::ArbiterTenantReservedCache(*rig.arbiter, res, 99) = 50.0;
+  EXPECT_TRUE(AnyPathEndsWith(rig.engine.audit().Sweep(),
+                              "core/arbiter/qos/tenant_accounting"));
+  AuditTestPeer::ArbiterTenantReservedCache(*rig.arbiter, res, 99) = 0.0;
+  EXPECT_TRUE(rig.engine.audit().Sweep().empty());
+}
+
+TEST(SeededViolationTest, ArbiterQosTenantBudgetCeiling) {
+  ArbiterConfig cfg;
+  cfg.qos[static_cast<int>(QosClass::kGuaranteed)].tenant_budget_mbps = 3000.0;
+  ArbiterRig rig(cfg);
+  const PbrId res = rig.client_adapters[1]->id();
+  rig.arbiter->RegisterResource(res, 8000.0);
+  double granted = -1.0;
+  rig.clients[0]->Reserve(res, 8000.0, /*tenant=*/7, QosClass::kGuaranteed,
+                          [&](double g) { granted = g; });
+  rig.engine.Run();
+  ASSERT_DOUBLE_EQ(granted, 3000.0);  // clipped to the budget
+  EXPECT_TRUE(rig.engine.audit().Sweep().empty());
+
+  // Push the lease past the budget as a buggy grant path would.
+  AuditTestPeer::ArbiterBumpLease(*rig.arbiter, res, rig.client_adapters[0]->id(),
+                                  /*tenant=*/7, +1000.0);
+  EXPECT_TRUE(AnyPathEndsWith(rig.engine.audit().Sweep(),
+                              "core/arbiter/qos/tenant_budget_ceiling"));
+  AuditTestPeer::ArbiterBumpLease(*rig.arbiter, res, rig.client_adapters[0]->id(),
+                                  /*tenant=*/7, -1000.0);
   EXPECT_TRUE(rig.engine.audit().Sweep().empty());
 }
 
@@ -294,6 +380,29 @@ TEST(SeededViolationTest, ETransTerminalExactlyOnce) {
   EXPECT_TRUE(AnyPathEndsWith(rig.cluster.engine().audit().Sweep(),
                               "core/etrans/engine/terminal_exactly_once"));
   --doubles;
+  EXPECT_TRUE(rig.cluster.engine().audit().Sweep().empty());
+}
+
+TEST(SeededViolationTest, TenantCompletionsConserved) {
+  RuntimeRig rig;
+  ScenarioSpec spec = ScenarioSpec::Parse(
+      "scenario audit\n"
+      "seed 7\n"
+      "horizon_us 50\n"
+      "class name=bg qos=best_effort tenants=2 arrival=poisson rate_ops_s=100000 "
+      "bytes=4096 mix=heap_read:1,heap_write:1\n");
+  ASSERT_TRUE(spec.errors.empty());
+  TenantEngine* tenants = rig.runtime->AttachTenants(spec);
+  tenants->Start();
+  rig.cluster.engine().Run();
+  ASSERT_GT(tenants->issued(), 0u);
+  EXPECT_TRUE(rig.cluster.engine().audit().Sweep().empty());
+
+  std::uint64_t& in_flight = AuditTestPeer::TenantInFlight(*tenants);
+  ++in_flight;  // a completion vanished (or an issue was double-counted)
+  EXPECT_TRUE(AnyPathEndsWith(rig.cluster.engine().audit().Sweep(),
+                              "core/tenant/completions_conserved"));
+  --in_flight;
   EXPECT_TRUE(rig.cluster.engine().audit().Sweep().empty());
 }
 

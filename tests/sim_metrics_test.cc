@@ -1,6 +1,7 @@
 // Tests for the metric registry, instrument groups, the event-trace sink,
 // and Summary::Percentile edge cases.
 
+#include <limits>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -70,6 +71,26 @@ TEST(SummaryPercentileTest, NearestRankOnSmallSets) {
   s.Add(20.0);
   EXPECT_DOUBLE_EQ(s.Percentile(50.0), 10.0);  // nearest-rank: ceil(0.5*2)=1st
   EXPECT_DOUBLE_EQ(s.Percentile(51.0), 20.0);
+}
+
+TEST(SummaryPercentileTest, OutOfDomainPercentilesAreClampedOrSentinel) {
+  // Regression: p outside [0, 100] used to index past the sample vector
+  // (ceil(p/100 * n) > n), and NaN p flowed through the clamp comparisons
+  // into a size_t conversion — both UB. Out-of-range p clamps to the
+  // min/max sample; NaN p reports the same 0.0 sentinel as an empty
+  // summary.
+  Summary s;
+  for (double v : {5.0, 1.0, 9.0, 3.0, 7.0}) {
+    s.Add(v);
+  }
+  EXPECT_DOUBLE_EQ(s.Percentile(-5.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(200.0), 9.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(std::numeric_limits<double>::infinity()), 9.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(-std::numeric_limits<double>::infinity()), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(std::numeric_limits<double>::quiet_NaN()), 0.0);
+
+  Summary empty;
+  EXPECT_DOUBLE_EQ(empty.Percentile(std::numeric_limits<double>::quiet_NaN()), 0.0);
 }
 
 TEST(MetricRegistryTest, CounterGaugeSummaryRoundTrip) {
