@@ -1,0 +1,224 @@
+// E-POD: hierarchical pod scale-out over the CXL-Ethernet hybrid fabric.
+// Sweeps cross-pod AllReduce across pod count (2/4/8) and algorithm (flat
+// ring vs pod-aware hierarchical vs auto), mixes a heap workload with a
+// cross-pod collective on a 4-pod cluster, and drives a 16-pod cluster
+// with > 1000 simulated components. Gates: the hierarchical schedule must
+// beat the flat ring once the group spans >= 4 pods, auto must pick the
+// hierarchy there, and every leg must finish with a clean invariant sweep.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/collect_algo.h"
+#include "src/core/runtime.h"
+#include "src/topo/cluster.h"
+#include "src/topo/pod.h"
+
+namespace unifab {
+namespace {
+
+struct Outcome {
+  bool ok = false;
+  double latency_us = 0.0;
+  std::uint64_t bytes = 0;
+  CollectiveAlgorithm algo = CollectiveAlgorithm::kAuto;
+  std::uint64_t audit_violations = 0;
+};
+
+// One cross-pod AllReduce on a fresh pod cluster: `faas_per_pod` members
+// from every pod, everything at t=0, so the completion tick is the
+// collective's latency.
+Outcome RunScaleOut(int pods, int faas_per_pod, std::uint64_t bytes,
+                    CollectiveAlgorithm algo) {
+  PodConfig pod;
+  pod.num_hosts = 2;
+  pod.num_fams = 1;
+  pod.num_faas = faas_per_pod;
+  Cluster cluster(DFabricPodCluster(pods, pod));
+  UniFabricRuntime runtime(&cluster, RuntimeOptions{});
+
+  CollectiveGroup group;
+  for (int p = 0; p < pods; ++p) {
+    for (int a : cluster.pod(p).faas) {
+      group.members.push_back(CollectiveMember{cluster.faa(a)->id(), 1ULL << 20});
+    }
+  }
+
+  CollectiveFuture f = runtime.collect()->AllReduce(group, bytes, algo);
+  cluster.engine().Run();
+
+  Outcome out;
+  if (!f.Ready()) {
+    return out;  // wedged: ok stays false
+  }
+  const CollectiveResult& r = f.Value();
+  out.ok = r.ok && r.status == TransferStatus::kOk;
+  out.latency_us = ToUs(r.completed_at);
+  out.bytes = r.bytes;
+  out.algo = r.algorithm;
+  out.audit_violations = cluster.engine().audit().Sweep().size();
+  out.ok = out.ok && out.audit_violations == 0;
+  return out;
+}
+
+}  // namespace
+}  // namespace unifab
+
+int main() {
+  using namespace unifab;
+  PrintHeader("E-POD", "pod scale-out",
+              "cross-pod AllReduce over the CXL-Ethernet hybrid: flat ring vs "
+              "hierarchical vs auto across 2/4/8 pods, heap+collective mix, and a "
+              "16-pod >1000-component cluster");
+
+  BenchReport report("pod_scaleout");
+  bool failed = false;
+
+  constexpr std::uint64_t kBytes = 16 * 1024;
+  constexpr int kFaasPerPod = 4;
+
+  // --- Scale-out sweep: pod count x algorithm. ---------------------------
+  std::printf("%-24s %-12s %-12s %-10s %-8s\n", "scenario", "algo", "latency us", "MB moved",
+              "ok");
+  const std::vector<std::pair<const char*, CollectiveAlgorithm>> algos = {
+      {"ring", CollectiveAlgorithm::kRing},
+      {"hier", CollectiveAlgorithm::kHierarchical},
+      {"auto", CollectiveAlgorithm::kAuto},
+  };
+  for (const int pods : {2, 4, 8}) {
+    double ring_us = 0.0;
+    double hier_us = 0.0;
+    CollectiveAlgorithm auto_pick = CollectiveAlgorithm::kAuto;
+    for (const auto& [aname, algo] : algos) {
+      const Outcome out = RunScaleOut(pods, kFaasPerPod, kBytes, algo);
+      failed = failed || !out.ok;
+      char label[48];
+      std::snprintf(label, sizeof(label), "pods%d_n%d_%s", pods, pods * kFaasPerPod, aname);
+      std::printf("%-24s %-12s %-12.1f %-10.2f %-8s\n", label,
+                  CollectiveAlgorithmName(out.algo), out.latency_us,
+                  static_cast<double>(out.bytes) / (1024.0 * 1024.0), out.ok ? "yes" : "NO");
+      report.Note(std::string(label) + "/latency_us", out.latency_us);
+      report.Note(std::string(label) + "/bytes", out.bytes);
+      report.Note(std::string(label) + "/algo", CollectiveAlgorithmName(out.algo));
+      if (algo == CollectiveAlgorithm::kRing) {
+        ring_us = out.latency_us;
+      } else if (algo == CollectiveAlgorithm::kHierarchical) {
+        hier_us = out.latency_us;
+      } else {
+        auto_pick = out.algo;
+      }
+    }
+    // The scale-out premise: once the group spans >= 4 pods, confining the
+    // bulk of the traffic to the CXL tier beats ringing every slice across
+    // the Ethernet bridges — in the simulated fabric, not just the model.
+    if (pods >= 4) {
+      if (!(hier_us < ring_us)) {
+        std::fprintf(stderr,
+                     "FAIL: hierarchical (%.1f us) not faster than flat ring (%.1f us) "
+                     "for %d pods\n",
+                     hier_us, ring_us, pods);
+        failed = true;
+      }
+      if (auto_pick != CollectiveAlgorithm::kHierarchical) {
+        std::fprintf(stderr, "FAIL: auto picked %s (want hierarchical) for %d pods\n",
+                     CollectiveAlgorithmName(auto_pick), pods);
+        failed = true;
+      }
+    }
+  }
+
+  // --- Mixed leg: heap traffic concurrent with a cross-pod AllReduce. ----
+  {
+    PodConfig pod;
+    pod.num_hosts = 2;
+    pod.num_fams = 2;
+    pod.num_faas = 4;
+    Cluster cluster(DFabricPodCluster(4, pod));
+    UniFabricRuntime runtime(&cluster, RuntimeOptions{});
+
+    int heap_done = 0;
+    int heap_issued = 0;
+    for (int p = 0; p < 4; ++p) {
+      UnifiedHeap* heap = runtime.heap(cluster.pod(p).hosts[0]);
+      std::vector<ObjectId> objs;
+      for (int i = 0; i < 8; ++i) {
+        const ObjectId id = heap->Allocate(4096);
+        if (id != kInvalidObject) {
+          objs.push_back(id);
+        }
+      }
+      for (int i = 0; i < 32; ++i) {
+        ++heap_issued;
+        if (i % 3 == 0) {
+          heap->Write(objs[static_cast<std::size_t>(i) % objs.size()], [&] { ++heap_done; });
+        } else {
+          heap->Read(objs[static_cast<std::size_t>(i) % objs.size()], [&] { ++heap_done; });
+        }
+      }
+    }
+
+    CollectiveGroup group;
+    for (int p = 0; p < 4; ++p) {
+      for (int a : cluster.pod(p).faas) {
+        group.members.push_back(CollectiveMember{cluster.faa(a)->id(), 1ULL << 20});
+      }
+    }
+    CollectiveFuture f = runtime.collect()->AllReduce(group, kBytes);
+    cluster.engine().Run();
+
+    const bool coll_ok = f.Ready() && f.Value().ok;
+    const std::uint64_t violations = cluster.engine().audit().Sweep().size();
+    const bool ok = coll_ok && heap_done == heap_issued && violations == 0;
+    failed = failed || !ok;
+    std::printf("\n%-24s %-12s %-12s %-8s\n", "mixed (4 pods)", "heap ops", "latency us", "ok");
+    std::printf("%-24s %d/%d      %-12.1f %-8s\n", "heap+allreduce", heap_done, heap_issued,
+                coll_ok ? ToUs(f.Value().completed_at) : 0.0, ok ? "yes" : "NO");
+    report.Note("mixed/heap_ops", static_cast<std::uint64_t>(heap_done));
+    report.Note("mixed/latency_us", coll_ok ? ToUs(f.Value().completed_at) : 0.0);
+    report.Note("mixed/ok", ok ? std::uint64_t{1} : std::uint64_t{0});
+  }
+
+  // --- Scale leg: 16 pods, > 1000 simulated components. ------------------
+  {
+    PodConfig pod;
+    pod.num_hosts = 4;
+    pod.num_fams = 30;
+    pod.num_faas = 30;
+    Cluster cluster(DFabricPodCluster(16, pod));
+    UniFabricRuntime runtime(&cluster, RuntimeOptions{});
+    const int components =
+        cluster.num_hosts() + cluster.num_fams() + cluster.num_faas();
+
+    CollectiveGroup group;
+    for (int p = 0; p < 16; ++p) {
+      for (int i = 0; i < 2; ++i) {
+        group.members.push_back(
+            CollectiveMember{cluster.faa(cluster.pod(p).faas[i])->id(), 1ULL << 20});
+      }
+    }
+    CollectiveFuture f = runtime.collect()->AllReduce(group, kBytes);
+    cluster.engine().Run();
+
+    const bool coll_ok = f.Ready() && f.Value().ok;
+    const std::uint64_t violations = cluster.engine().audit().Sweep().size();
+    const bool ok = coll_ok && components > 1000 && violations == 0;
+    failed = failed || !ok;
+    std::printf("\n%-24s %-12s %-12s %-12s %-8s\n", "scale (16 pods)", "components", "algo",
+                "latency us", "ok");
+    std::printf("%-24s %-12d %-12s %-12.1f %-8s\n", "allreduce_n32", components,
+                coll_ok ? CollectiveAlgorithmName(f.Value().algorithm) : "-",
+                coll_ok ? ToUs(f.Value().completed_at) : 0.0, ok ? "yes" : "NO");
+    report.Note("scale16/components", static_cast<std::uint64_t>(components));
+    report.Note("scale16/latency_us", coll_ok ? ToUs(f.Value().completed_at) : 0.0);
+    report.Note("scale16/algo",
+                coll_ok ? CollectiveAlgorithmName(f.Value().algorithm) : "-");
+    report.Note("scale16/ok", ok ? std::uint64_t{1} : std::uint64_t{0});
+  }
+
+  report.Note("failed", failed ? std::uint64_t{1} : std::uint64_t{0});
+  report.WriteJson();
+  PrintFooter();
+  return failed ? 1 : 0;
+}

@@ -199,6 +199,6 @@ echo "=== build: ${ROOT}/build-tsan ==="
 cmake --build "${ROOT}/build-tsan" -j "${JOBS}"
 echo "=== ctest: ${ROOT}/build-tsan (UNIFAB_SHARDS=${SHARDS}, concurrency subset) ==="
 UNIFAB_SHARDS="${SHARDS}" ctest --test-dir "${ROOT}/build-tsan" --output-on-failure \
-    -j "${JOBS}" -R 'Sharded|ShardCancel|FabricFuzz|FaultCampaign|Cluster|Collect|Failover|Contention|ETrans|Heap|SwitchMem|TranslationCache|Coherent|CcNuma|Tenant|Scenario|FabricArbiterQos'
+    -j "${JOBS}" -R 'Sharded|ShardCancel|FabricFuzz|FaultCampaign|Cluster|Collect|Failover|Contention|ETrans|Heap|SwitchMem|TranslationCache|Coherent|CcNuma|Tenant|Scenario|FabricArbiterQos|Pod|Bridge|Ofi'
 
 echo "=== all checks passed ==="

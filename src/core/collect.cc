@@ -19,8 +19,12 @@ void CollectiveStats::BindTo(MetricGroup& group, const std::string& prefix) cons
   group.AddCounterFn(prefix + "algo_ring", [this] { return algo_ring; });
   group.AddCounterFn(prefix + "algo_tree", [this] { return algo_tree; });
   group.AddCounterFn(prefix + "algo_linear", [this] { return algo_linear; });
+  group.AddCounterFn(prefix + "algo_hier", [this] { return algo_hier; });
+  group.AddCounterFn(prefix + "collectives_queued", [this] { return collectives_queued; });
+  group.AddCounterFn(prefix + "collectives_rejected", [this] { return collectives_rejected; });
   group.AddSummaryFn(prefix + "collective_latency_us", [this] { return &collective_latency_us; });
   group.AddSummaryFn(prefix + "straggler_us", [this] { return &straggler_us; });
+  group.AddSummaryFn(prefix + "admit_wait_us", [this] { return &admit_wait_us; });
 }
 
 CollectiveEngine::CollectiveEngine(Engine* engine, ETransEngine* etrans,
@@ -57,13 +61,17 @@ CollectiveEngine::CollectiveEngine(Engine* engine, ETransEngine* etrans,
   });
 }
 
-void CollectiveEngine::RegisterMember(PbrId node, MigrationAgent* agent) {
-  members_[node] = agent;
+void CollectiveEngine::RegisterMember(PbrId node, MigrationAgent* agent, bool shard_local) {
+  members_[node] = MemberAgent{agent, shard_local};
 }
 
 MigrationAgent* CollectiveEngine::AgentFor(PbrId node) const {
+  // Only shard-local agents may be driven directly (reservation callbacks,
+  // ExecuteTransfer). A domain-remote member's agent is reachable solely as
+  // a delegated eTrans executor, so callers see "no agent" for it and fall
+  // back — deterministically, independent of how many shards are running.
   auto it = members_.find(node);
-  return it == members_.end() ? nullptr : it->second;
+  return it == members_.end() || !it->second.shard_local ? nullptr : it->second.agent;
 }
 
 int CollectiveEngine::SpanOf(const CollectiveGroup& group) const {
@@ -114,11 +122,26 @@ CollectiveFuture CollectiveEngine::AllGather(const CollectiveGroup& group,
   return Run(group, BuildAllGather(algo, n, slice_bytes));
 }
 
+std::vector<int> CollectiveEngine::PodsOf(const CollectiveGroup& group) const {
+  // A member's pod is its PBR domain: flat clusters put everything in
+  // domain 0, pod clusters assign domain p to pod p (DESIGN.md §11).
+  std::vector<int> pods;
+  pods.reserve(group.members.size());
+  for (const auto& m : group.members) {
+    pods.push_back(static_cast<int>(DomainOf(m.node)));
+  }
+  return pods;
+}
+
 CollectiveFuture CollectiveEngine::AllReduce(const CollectiveGroup& group, std::uint64_t bytes,
                                              CollectiveAlgorithm algo) {
   const int n = group.size();
+  const std::vector<int> pod_of = PodsOf(group);
   if (algo == CollectiveAlgorithm::kAuto) {
-    algo = ChooseAlgorithm(CollectiveOp::kAllReduce, n, bytes, SpanOf(group), config_.plan);
+    algo = ChooseAllReduceAlgorithm(n, bytes, SpanOf(group), pod_of, config_.plan);
+  }
+  if (algo == CollectiveAlgorithm::kHierarchical) {
+    return Run(group, BuildHierarchicalAllReduce(n, bytes, pod_of));
   }
   return Run(group, BuildAllReduce(algo, n, bytes));
 }
@@ -134,6 +157,7 @@ CollectiveFuture CollectiveEngine::Run(const CollectiveGroup& group, CollectiveS
   switch (ac->sched.algo) {
     case CollectiveAlgorithm::kRing: ++stats_.algo_ring; break;
     case CollectiveAlgorithm::kBinomialTree: ++stats_.algo_tree; break;
+    case CollectiveAlgorithm::kHierarchical: ++stats_.algo_hier; break;
     default: ++stats_.algo_linear; break;
   }
 
@@ -154,8 +178,39 @@ CollectiveFuture CollectiveEngine::Run(const CollectiveGroup& group, CollectiveS
     Finish(ac, /*ok=*/true, TransferStatus::kOk);
     return ac->future;
   }
-  ReserveThenLaunch(ac);
+  if (config_.max_queued_collectives > 0 && AnyMemberBusy(ac->group)) {
+    // Bounded admission (ROADMAP item 4): wait for the members instead of
+    // racing transfers over buffers another collective is still using.
+    if (static_cast<int>(admit_queue_.size()) >= config_.max_queued_collectives) {
+      ++stats_.collectives_rejected;
+      Finish(ac, /*ok=*/false, TransferStatus::kAborted);
+      return ac->future;
+    }
+    ++stats_.collectives_queued;
+    ac->queued_at = engine_->Now();
+    admit_queue_.push_back(ac);
+    return ac->future;
+  }
+  Admit(ac);
   return ac->future;
+}
+
+bool CollectiveEngine::AnyMemberBusy(const CollectiveGroup& group) const {
+  for (const auto& m : group.members) {
+    auto it = busy_.find(m.node);
+    if (it != busy_.end() && it->second > 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CollectiveEngine::Admit(const std::shared_ptr<Active>& ac) {
+  ac->admitted = true;
+  for (const auto& m : ac->group.members) {
+    ++busy_[m.node];
+  }
+  ReserveThenLaunch(ac);
 }
 
 ArbiterClient* CollectiveEngine::ReservationClient(const std::shared_ptr<Active>& ac) const {
@@ -373,6 +428,26 @@ void CollectiveEngine::Finish(const std::shared_ptr<Active>& ac, bool ok, Transf
   if (ac->renew_event != kInvalidEventId) {
     engine_->Cancel(ac->renew_event);
     ac->renew_event = kInvalidEventId;
+  }
+  if (ac->admitted) {
+    ac->admitted = false;
+    for (const auto& m : ac->group.members) {
+      auto it = busy_.find(m.node);
+      if (it != busy_.end() && --it->second == 0) {
+        busy_.erase(it);
+      }
+    }
+    // Admit waiting collectives whose members all freed up, in FIFO order.
+    for (auto it = admit_queue_.begin(); it != admit_queue_.end();) {
+      if (!AnyMemberBusy((*it)->group)) {
+        std::shared_ptr<Active> next = *it;
+        it = admit_queue_.erase(it);
+        stats_.admit_wait_us.Add(ToUs(engine_->Now() - next->queued_at));
+        Admit(next);
+      } else {
+        ++it;
+      }
+    }
   }
   if (!ac->leases.empty()) {
     if (ArbiterClient* client = ReservationClient(ac)) {

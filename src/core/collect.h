@@ -21,6 +21,7 @@
 #define SRC_CORE_COLLECT_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -80,6 +81,13 @@ struct CollectiveConfig {
   // only the failed transfer is re-issued, under a fresh attempt tag.
   int max_step_retries = 6;
   Tick step_retry_backoff = FromUs(50.0);
+
+  // Bounded admission: a collective arriving while any of its members is
+  // busy in an admitted collective waits in a FIFO queue of at most this
+  // many entries (admitted when all members free up); beyond that it is
+  // rejected with kAborted instead of racing transfers on busy members.
+  // 0 disables admission control (the legacy launch-immediately behavior).
+  int max_queued_collectives = 8;
 };
 
 struct CollectiveStats {
@@ -96,8 +104,12 @@ struct CollectiveStats {
   std::uint64_t algo_ring = 0;    // schedules launched per chosen algorithm
   std::uint64_t algo_tree = 0;
   std::uint64_t algo_linear = 0;
+  std::uint64_t algo_hier = 0;
+  std::uint64_t collectives_queued = 0;    // held for busy members, then admitted
+  std::uint64_t collectives_rejected = 0;  // admission queue overflow -> kAborted
   Summary collective_latency_us;
   Summary straggler_us;  // last-minus-first transfer completion per step
+  Summary admit_wait_us;  // time queued collectives waited for admission
 
   void BindTo(MetricGroup& group, const std::string& prefix = "") const;
 };
@@ -112,7 +124,14 @@ class CollectiveEngine {
 
   // Maps a member node to the migration agent that initiates its outbound
   // transfers (the runtime wires every host/FAM/FAA agent here).
-  void RegisterMember(PbrId node, MigrationAgent* agent);
+  // `shard_local` marks agents whose control adapter shares this engine's
+  // fabric domain (hosts, FAAs). Agents homed in another domain — FAM
+  // controllers, which own their own DES shard when sharding is on — are
+  // never called into directly: their arbiter callbacks would fire on the
+  // remote shard, and a direct ExecuteTransfer would mutate remote adapter
+  // state mid-window. Such members initiate through the fallback agent and
+  // participate in data movement as delegated eTrans executors only.
+  void RegisterMember(PbrId node, MigrationAgent* agent, bool shard_local = true);
 
   // Used when a member's own agent cannot execute a step transfer (e.g. a
   // FAM controller pushing to a remote node): typically a host agent.
@@ -168,9 +187,14 @@ class CollectiveEngine {
     std::vector<std::pair<PbrId, double>> leases;
     int reservations_outstanding = 0;
     EventId renew_event = kInvalidEventId;
+    bool admitted = false;  // holds busy marks on its members until Finish
+    Tick queued_at = 0;
   };
 
   CollectiveFuture Run(const CollectiveGroup& group, CollectiveSchedule sched);
+  void Admit(const std::shared_ptr<Active>& ac);
+  bool AnyMemberBusy(const CollectiveGroup& group) const;
+  std::vector<int> PodsOf(const CollectiveGroup& group) const;
   void ReserveThenLaunch(const std::shared_ptr<Active>& ac);
   void RenewLeases(const std::shared_ptr<Active>& ac);
   void LaunchReady(const std::shared_ptr<Active>& ac);
@@ -187,9 +211,17 @@ class CollectiveEngine {
   ETransEngine* etrans_;
   FabricInterconnect* fabric_;
   CollectiveConfig config_;
-  std::unordered_map<PbrId, MigrationAgent*> members_;
+  struct MemberAgent {
+    MigrationAgent* agent = nullptr;
+    bool shard_local = true;
+  };
+  std::unordered_map<PbrId, MemberAgent> members_;
   MigrationAgent* fallback_ = nullptr;
   std::uint64_t next_id_ = 1;
+  // Admission control: how many admitted unfinished collectives each node
+  // participates in, plus the FIFO of collectives waiting for their members.
+  std::unordered_map<PbrId, int> busy_;
+  std::deque<std::shared_ptr<Active>> admit_queue_;
   // Audit counters: exactly-one terminal status per collective, and
   // bytes-in == bytes-out for every reducing step.
   std::uint64_t started_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace unifab {
 namespace {
@@ -91,6 +92,52 @@ int AppendRingReduceScatter(CollectiveSchedule& sched, int n, std::uint64_t byte
   return dep;
 }
 
+// Binomial fan-out over an explicit member-index list (members[0] is the
+// root); the list-based twin of AppendBinomialBroadcast for leader groups
+// and pod-local broadcasts.
+int AppendBinomialBroadcastOver(CollectiveSchedule& sched, const std::vector<int>& members,
+                                std::uint64_t bytes, int dep0) {
+  const int m = static_cast<int>(members.size());
+  const int rounds = CeilLog2(m);
+  int dep = dep0;
+  for (int r = 0; r < rounds; ++r) {
+    CollectiveStep step;
+    for (int v = 0; v < (1 << r); ++v) {
+      const int peer = v + (1 << r);
+      if (peer >= m) {
+        break;
+      }
+      AddTransfer(step, members[static_cast<std::size_t>(v)],
+                  members[static_cast<std::size_t>(peer)], 0, 0, bytes);
+    }
+    dep = AppendRound(sched, std::move(step), dep);
+  }
+  return dep;
+}
+
+// Groups member indices by pod in first-appearance order (deterministic for
+// any pod-id values); groups[g][0] is pod g's leader.
+std::vector<std::vector<int>> GroupByPod(int n, const std::vector<int>& pod_of) {
+  std::vector<std::vector<int>> groups;
+  std::vector<std::pair<int, std::size_t>> seen;  // pod id -> group ordinal
+  for (int i = 0; i < n; ++i) {
+    const int pod = pod_of[static_cast<std::size_t>(i)];
+    std::size_t g = groups.size();
+    for (const auto& [id, ordinal] : seen) {
+      if (id == pod) {
+        g = ordinal;
+        break;
+      }
+    }
+    if (g == groups.size()) {
+      seen.emplace_back(pod, g);
+      groups.emplace_back();
+    }
+    groups[g].push_back(i);
+  }
+  return groups;
+}
+
 }  // namespace
 
 const char* CollectiveOpName(CollectiveOp op) {
@@ -111,6 +158,7 @@ const char* CollectiveAlgorithmName(CollectiveAlgorithm algo) {
     case CollectiveAlgorithm::kRing: return "ring";
     case CollectiveAlgorithm::kBinomialTree: return "tree";
     case CollectiveAlgorithm::kLinear: return "linear";
+    case CollectiveAlgorithm::kHierarchical: return "hierarchical";
   }
   return "?";
 }
@@ -293,6 +341,96 @@ CollectiveSchedule BuildAllReduce(CollectiveAlgorithm algo, int n, std::uint64_t
   return sched;
 }
 
+CollectiveSchedule BuildHierarchicalAllReduce(int n, std::uint64_t bytes,
+                                              const std::vector<int>& pod_of) {
+  assert(static_cast<int>(pod_of.size()) == n && "pod_of must cover every member");
+  CollectiveSchedule sched;
+  sched.op = CollectiveOp::kAllReduce;
+  sched.algo = CollectiveAlgorithm::kHierarchical;
+  sched.num_members = n;
+  if (n <= 1 || bytes == 0) {
+    return sched;
+  }
+  const std::vector<std::vector<int>> groups = GroupByPod(n, pod_of);
+  const int num_pods = static_cast<int>(groups.size());
+  if (num_pods <= 1) {
+    // One pod: hierarchy adds nothing; hand back the bandwidth-optimal
+    // flat form (and report it honestly as kRing).
+    return BuildAllReduce(CollectiveAlgorithm::kRing, n, bytes);
+  }
+
+  // Phase 1, independently per pod: ring reduce-scatter over the pod's m
+  // members, then one fan-in round landing every complete slice at the pod
+  // leader, which afterwards holds the whole pod-reduced buffer.
+  std::vector<int> pod_tail(static_cast<std::size_t>(num_pods), -1);
+  for (int g = 0; g < num_pods; ++g) {
+    const std::vector<int>& mem = groups[static_cast<std::size_t>(g)];
+    const int m = static_cast<int>(mem.size());
+    if (m == 1) {
+      continue;  // the leader already holds its pod's only contribution
+    }
+    int dep = -1;
+    for (int r = 0; r < m - 1; ++r) {
+      CollectiveStep step;
+      step.reducing = true;
+      for (int i = 0; i < m; ++i) {
+        const int s = (i - r + m) % m;
+        const std::uint64_t off = SliceStart(bytes, m, s);
+        AddTransfer(step, mem[static_cast<std::size_t>(i)],
+                    mem[static_cast<std::size_t>((i + 1) % m)], off, off,
+                    SliceStart(bytes, m, s + 1) - off);
+      }
+      dep = AppendRound(sched, std::move(step), dep);
+    }
+    CollectiveStep gather;
+    for (int i = 0; i < m; ++i) {
+      const int s = (i + 1) % m;  // reduce-scatter left slice s complete here
+      const std::uint64_t off = SliceStart(bytes, m, s);
+      AddTransfer(gather, mem[static_cast<std::size_t>(i)], mem[0], off, off,
+                  SliceStart(bytes, m, s + 1) - off);
+    }
+    pod_tail[static_cast<std::size_t>(g)] = AppendRound(sched, std::move(gather), dep);
+  }
+
+  // Phase 2: binomial-tree reduce among the pod leaders (the only members
+  // that cross bridges), rooted at pod 0's leader. Round 0 waits for every
+  // pod's phase-1 tail — conservative, but a leader may not forward a
+  // partial that is still being assembled.
+  std::vector<int> leaders;
+  leaders.reserve(static_cast<std::size_t>(num_pods));
+  for (const auto& mem : groups) {
+    leaders.push_back(mem[0]);
+  }
+  const int rounds = CeilLog2(num_pods);
+  int dep = -1;
+  for (int r = 0; r < rounds; ++r) {
+    CollectiveStep step;
+    step.reducing = true;
+    for (int v = (1 << r); v < num_pods; v += (1 << (r + 1))) {
+      AddTransfer(step, leaders[static_cast<std::size_t>(v)],
+                  leaders[static_cast<std::size_t>(v - (1 << r))], 0, 0, bytes);
+    }
+    if (r == 0) {
+      for (int tail : pod_tail) {
+        if (tail >= 0) {
+          step.deps.push_back(tail);
+        }
+      }
+    }
+    dep = AppendRound(sched, std::move(step), dep);
+  }
+
+  // Phase 3: broadcast the global result — binomial among the leaders,
+  // then binomial from each leader down into its pod.
+  dep = AppendBinomialBroadcastOver(sched, leaders, bytes, dep);
+  for (const auto& mem : groups) {
+    if (mem.size() > 1) {
+      AppendBinomialBroadcastOver(sched, mem, bytes, dep);
+    }
+  }
+  return sched;
+}
+
 double EstimateCostUs(CollectiveOp op, CollectiveAlgorithm algo, int n, std::uint64_t bytes,
                       int span_hops, const CollectivePlanConfig& config) {
   if (n <= 1) {
@@ -354,6 +492,98 @@ CollectiveAlgorithm ChooseAlgorithm(CollectiveOp op, int n, std::uint64_t bytes,
   const double tree =
       EstimateCostUs(op, CollectiveAlgorithm::kBinomialTree, n, bytes, span_hops, config);
   return ring < tree ? CollectiveAlgorithm::kRing : CollectiveAlgorithm::kBinomialTree;
+}
+
+double EstimateAllReduceCostUs(CollectiveAlgorithm algo, int n, std::uint64_t bytes,
+                               int span_hops, const std::vector<int>& pod_of,
+                               const CollectivePlanConfig& config) {
+  if (n <= 1) {
+    return 0.0;
+  }
+  const std::vector<std::vector<int>> groups = GroupByPod(n, pod_of);
+  const int num_pods = static_cast<int>(groups.size());
+  const bool two_tier =
+      num_pods > 1 && (config.bridge_alpha_us > 0.0 || config.bridge_mbps > 0.0);
+  if (!two_tier) {
+    const CollectiveAlgorithm flat =
+        algo == CollectiveAlgorithm::kHierarchical ? CollectiveAlgorithm::kRing : algo;
+    return EstimateCostUs(CollectiveOp::kAllReduce, flat, n, bytes, span_hops, config);
+  }
+
+  const double alpha =
+      config.step_overhead_us + static_cast<double>(std::max(span_hops, 0)) * config.hop_us;
+  const double mbps = config.effective_mbps > 0.0 ? config.effective_mbps : 8000.0;
+  const double bridge_mbps = config.bridge_mbps > 0.0 ? std::min(mbps, config.bridge_mbps) : mbps;
+  const auto beta = [mbps](double b) { return b / mbps; };
+  const auto beta_bridge = [bridge_mbps](double b) { return b / bridge_mbps; };
+  const double alpha_bridge = alpha + config.bridge_alpha_us;
+  const double b = static_cast<double>(bytes);
+  const double nn = static_cast<double>(n);
+
+  switch (algo) {
+    case CollectiveAlgorithm::kRing:
+      // The member ring crosses pod boundaries, so every one of the
+      // 2(n-1) round barriers waits on a bridge hop.
+      return 2.0 * (nn - 1.0) * (alpha_bridge + beta_bridge(b / nn));
+    case CollectiveAlgorithm::kBinomialTree:
+    case CollectiveAlgorithm::kLinear: {
+      // Recursive halving pairs members across pods from round 0, moving
+      // the full payload over bridges each round. Every member of a pod
+      // pushes its payload over that pod's shared Ethernet hop in a cross
+      // round, so the bridge serializes ~m payloads per round — exactly
+      // the contention the hierarchical schedule confines to one leader.
+      std::size_t max_pod = 1;
+      for (const auto& mem : groups) {
+        max_pod = std::max(max_pod, mem.size());
+      }
+      const double m = static_cast<double>(max_pod);
+      return 2.0 * CeilLog2(n) * (alpha_bridge + beta_bridge(b * m));
+    }
+    case CollectiveAlgorithm::kAuto:
+    case CollectiveAlgorithm::kHierarchical: {
+      std::size_t max_pod = 1;
+      for (const auto& mem : groups) {
+        max_pod = std::max(max_pod, mem.size());
+      }
+      const double m = static_cast<double>(max_pod);
+      // Intra phases run concurrently per pod; the largest pod paces them.
+      double intra = 0.0;
+      if (max_pod > 1) {
+        intra = (m - 1.0) * (alpha + beta(b / m))        // ring reduce-scatter
+                + alpha + beta(b * (m - 1.0) / m)        // slice gather to leader
+                + CeilLog2(static_cast<int>(max_pod)) * (alpha + beta(b));  // broadcast down
+      }
+      // Only the leaders cross the bridge tier: tree reduce + broadcast.
+      const double cross = 2.0 * CeilLog2(num_pods) * (alpha_bridge + beta_bridge(b));
+      return intra + cross;
+    }
+  }
+  return 0.0;
+}
+
+CollectiveAlgorithm ChooseAllReduceAlgorithm(int n, std::uint64_t bytes, int span_hops,
+                                             const std::vector<int>& pod_of,
+                                             const CollectivePlanConfig& config) {
+  const std::vector<std::vector<int>> groups = GroupByPod(n, pod_of);
+  const bool two_tier = static_cast<int>(groups.size()) > 1 &&
+                        (config.bridge_alpha_us > 0.0 || config.bridge_mbps > 0.0);
+  if (!two_tier) {
+    return ChooseAlgorithm(CollectiveOp::kAllReduce, n, bytes, span_hops, config);
+  }
+  // Evaluation order ring, tree, hierarchical with strict improvement:
+  // ties (e.g. every pod holding one member, where hierarchical == tree)
+  // keep the flat form.
+  CollectiveAlgorithm best = CollectiveAlgorithm::kRing;
+  double best_cost = EstimateAllReduceCostUs(best, n, bytes, span_hops, pod_of, config);
+  for (CollectiveAlgorithm algo :
+       {CollectiveAlgorithm::kBinomialTree, CollectiveAlgorithm::kHierarchical}) {
+    const double cost = EstimateAllReduceCostUs(algo, n, bytes, span_hops, pod_of, config);
+    if (cost < best_cost) {
+      best = algo;
+      best_cost = cost;
+    }
+  }
+  return best;
 }
 
 }  // namespace unifab

@@ -29,7 +29,10 @@ namespace unifab {
 
 enum class CollectiveOp { kBroadcast, kScatter, kGather, kReduce, kAllGather, kAllReduce };
 
-enum class CollectiveAlgorithm { kAuto, kRing, kBinomialTree, kLinear };
+// kHierarchical (AllReduce only) is the two-tier pod form of DESIGN.md §11:
+// ring reduce-scatter + leader gather inside each pod, binomial tree among
+// the pod leaders across the bridge tier, broadcast back down.
+enum class CollectiveAlgorithm { kAuto, kRing, kBinomialTree, kLinear, kHierarchical };
 
 const char* CollectiveOpName(CollectiveOp op);
 const char* CollectiveAlgorithmName(CollectiveAlgorithm algo);
@@ -75,6 +78,13 @@ struct CollectivePlanConfig {
   double step_overhead_us = 3.0;
   double hop_us = 0.2;
   double effective_mbps = 8000.0;
+
+  // Second (alpha, beta) tier for steps that cross an inter-pod Ethernet
+  // bridge (DESIGN.md §11): such steps pay bridge_alpha_us extra latency
+  // and run at min(effective_mbps, bridge_mbps). Both 0 = no bridge tier
+  // (flat fabric); the runtime fills them from the cluster's BridgeConfig.
+  double bridge_alpha_us = 0.0;
+  double bridge_mbps = 0.0;
 };
 
 // --- Schedule builders ---------------------------------------------------
@@ -90,6 +100,16 @@ CollectiveSchedule BuildReduce(CollectiveAlgorithm algo, int n, int root, std::u
 CollectiveSchedule BuildAllGather(CollectiveAlgorithm algo, int n, std::uint64_t slice_bytes);
 CollectiveSchedule BuildAllReduce(CollectiveAlgorithm algo, int n, std::uint64_t bytes);
 
+// Hierarchical AllReduce for pod-spanning groups. `pod_of[i]` is member
+// i's pod; each pod's leader is its first member in group order. Phase 1
+// runs an independent ring reduce-scatter + slice gather inside every pod
+// (bandwidth-optimal on the CXL tier); phase 2 a binomial-tree AllReduce
+// among the pod leaders (latency-optimal across the Ethernet tier); phase
+// 3 a binomial broadcast from each leader back into its pod. Degenerates
+// to plain ring AllReduce when all members share one pod.
+CollectiveSchedule BuildHierarchicalAllReduce(int n, std::uint64_t bytes,
+                                              const std::vector<int>& pod_of);
+
 // --- Selection -----------------------------------------------------------
 
 // Predicted completion time (us) of `algo` for this operation; the model
@@ -102,6 +122,23 @@ double EstimateCostUs(CollectiveOp op, CollectiveAlgorithm algo, int n, std::uin
 // kRing, kBinomialTree, or kLinear — never kAuto.
 CollectiveAlgorithm ChooseAlgorithm(CollectiveOp op, int n, std::uint64_t bytes, int span_hops,
                                     const CollectivePlanConfig& config);
+
+// Pod-aware AllReduce cost: like EstimateCostUs but charges every round
+// that crosses a pod boundary at the bridge tier. For kHierarchical the
+// intra-pod phases use the base tier (sized by the largest pod) and only
+// the leader tree pays bridge costs. Falls back to the flat model when the
+// group sits in one pod or no bridge tier is configured.
+double EstimateAllReduceCostUs(CollectiveAlgorithm algo, int n, std::uint64_t bytes,
+                               int span_hops, const std::vector<int>& pod_of,
+                               const CollectivePlanConfig& config);
+
+// AllReduce selection over a possibly pod-spanning group: picks the
+// cheapest of flat ring, flat tree, and hierarchical under the two-tier
+// model. Never returns kAuto; returns a flat algorithm when the group
+// occupies a single pod.
+CollectiveAlgorithm ChooseAllReduceAlgorithm(int n, std::uint64_t bytes, int span_hops,
+                                             const std::vector<int>& pod_of,
+                                             const CollectivePlanConfig& config);
 
 }  // namespace unifab
 

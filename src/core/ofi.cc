@@ -1,0 +1,241 @@
+#include "src/core/ofi.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace unifab {
+
+const char* OfiOpName(OfiOp op) {
+  switch (op) {
+    case OfiOp::kSend: return "send";
+    case OfiOp::kRecv: return "recv";
+    case OfiOp::kRead: return "read";
+    case OfiOp::kWrite: return "write";
+    case OfiOp::kCollective: return "collective";
+  }
+  return "?";
+}
+
+bool CompletionQueue::Reap(OfiCompletion* out) {
+  if (entries_.empty()) {
+    return false;
+  }
+  *out = entries_.front();
+  entries_.pop_front();
+  return true;
+}
+
+bool CompletionQueue::Push(const OfiCompletion& c) {
+  if (entries_.size() >= depth_) {
+    ++overflow_drops_;
+    return false;
+  }
+  entries_.push_back(c);
+  return true;
+}
+
+void OfiStats::BindTo(MetricGroup& group, const std::string& prefix) const {
+  group.AddCounterFn(prefix + "sends_posted", [this] { return sends_posted; });
+  group.AddCounterFn(prefix + "recvs_posted", [this] { return recvs_posted; });
+  group.AddCounterFn(prefix + "reads_posted", [this] { return reads_posted; });
+  group.AddCounterFn(prefix + "writes_posted", [this] { return writes_posted; });
+  group.AddCounterFn(prefix + "collectives_posted", [this] { return collectives_posted; });
+  group.AddCounterFn(prefix + "completions", [this] { return completions; });
+  group.AddCounterFn(prefix + "errors", [this] { return errors; });
+  group.AddCounterFn(prefix + "unexpected_matched", [this] { return unexpected_matched; });
+  group.AddCounterFn(prefix + "cq_overflows", [this] { return cq_overflows; });
+}
+
+OfiDomain::OfiDomain(Engine* engine, ETransEngine* etrans, CollectiveEngine* collect,
+                     OfiConfig config)
+    : engine_(engine), etrans_(etrans), collect_(collect), config_(config) {
+  metrics_ = MetricGroup(&engine_->metrics(), "core/ofi");
+  stats_.BindTo(metrics_);
+  audit_ = AuditScope(&engine_->audit(), "core/ofi");
+  // Every posted operation is, at any event boundary, exactly one of:
+  // retired as a completion, in flight on eTrans/eCollect, or structurally
+  // parked (a posted recv or an unexpected send awaiting its match).
+  audit_.AddCheck("completions_conserved", [this]() -> std::string {
+    std::uint64_t pending = inflight_ops_;
+    for (const auto& ep : endpoints_) {
+      pending += ep->recvs_.size() + ep->unexpected_.size();
+    }
+    const std::uint64_t posted = stats_.sends_posted + stats_.recvs_posted +
+                                 stats_.reads_posted + stats_.writes_posted +
+                                 stats_.collectives_posted;
+    if (posted != stats_.completions + pending) {
+      return "posted=" + std::to_string(posted) +
+             " != completions(" + std::to_string(stats_.completions) + ") + pending(" +
+             std::to_string(pending) + ")";
+    }
+    return {};
+  });
+}
+
+MemRegion OfiDomain::RegisterMemory(PbrId node, std::uint64_t addr, std::uint64_t len) {
+  MemRegion region;
+  region.node = node;
+  region.addr = addr;
+  region.len = len;
+  region.key = next_key_++;
+  regions_[region.key] = region;
+  return region;
+}
+
+const MemRegion* OfiDomain::RegionByKey(std::uint64_t key) const {
+  auto it = regions_.find(key);
+  return it == regions_.end() ? nullptr : &it->second;
+}
+
+Endpoint* OfiDomain::CreateEndpoint(PbrId node, MigrationAgent* agent, CompletionQueue* cq,
+                                    std::string name) {
+  endpoints_.push_back(
+      std::unique_ptr<Endpoint>(new Endpoint(this, node, agent, cq, std::move(name))));
+  Endpoint* ep = endpoints_.back().get();
+  by_node_[node] = ep;
+  return ep;
+}
+
+Endpoint* OfiDomain::EndpointOf(PbrId node) const {
+  auto it = by_node_.find(node);
+  return it == by_node_.end() ? nullptr : it->second;
+}
+
+void OfiDomain::Complete(CompletionQueue* cq, OfiCompletion c) {
+  ++stats_.completions;
+  if (!c.ok) {
+    ++stats_.errors;
+  }
+  if (cq != nullptr && !cq->Push(c)) {
+    ++stats_.cq_overflows;  // retired regardless: the op reached a terminal
+  }
+}
+
+void OfiDomain::LaunchMatched(Endpoint* sender, std::uint64_t tag, const MemRegion& src,
+                              std::uint64_t send_context, Endpoint* receiver,
+                              const MemRegion& dst, std::uint64_t recv_context) {
+  const Tick now = engine_->Now();
+  if (dst.len < src.len) {
+    // Truncation: OFI fails the pair rather than silently clipping.
+    Complete(sender->cq_, OfiCompletion{send_context, OfiOp::kSend, false, 0, tag, now});
+    Complete(receiver->cq_, OfiCompletion{recv_context, OfiOp::kRecv, false, 0, tag, now});
+    return;
+  }
+  inflight_ops_ += 2;  // the send and its matched recv retire together
+
+  // Bytes move between the regions' home nodes (FAM/FAA memory the fabric
+  // can serve); the endpoints' agents only orchestrate. Hosts are traffic
+  // sources in this model, not remote-write targets.
+  ETransDescriptor desc;
+  desc.src.push_back(Segment{src.node, src.addr, src.len});
+  desc.dst.push_back(Segment{dst.node, dst.addr, src.len});
+  desc.ownership = Ownership::kInitiator;
+  desc.attributes.chunk_bytes = config_.chunk_bytes;
+  desc.attributes.pipeline_depth = config_.pipeline_depth;
+
+  etrans_->Submit(sender->agent_, desc)
+      .Then([this, sender, receiver, tag, send_context, recv_context](const TransferResult& r) {
+        inflight_ops_ -= 2;
+        Complete(sender->cq_, OfiCompletion{send_context, OfiOp::kSend, r.ok, r.bytes, tag,
+                                            r.completed_at});
+        Complete(receiver->cq_, OfiCompletion{recv_context, OfiOp::kRecv, r.ok, r.bytes, tag,
+                                              r.completed_at});
+      });
+}
+
+void OfiDomain::LaunchRma(Endpoint* ep, OfiOp op, const MemRegion& remote,
+                          std::uint64_t local_addr, std::uint64_t bytes, std::uint64_t context) {
+  if (bytes > remote.len || RegionByKey(remote.key) == nullptr) {
+    // Out-of-bounds or unregistered target: immediate error completion.
+    Complete(ep->cq_, OfiCompletion{context, op, false, 0, 0, engine_->Now()});
+    return;
+  }
+  ++inflight_ops_;
+  ETransDescriptor desc;
+  const Segment local{ep->node_, local_addr, bytes};
+  const Segment target{remote.node, remote.addr, bytes};
+  if (op == OfiOp::kRead) {
+    desc.src.push_back(target);
+    desc.dst.push_back(local);
+  } else {
+    desc.src.push_back(local);
+    desc.dst.push_back(target);
+  }
+  desc.ownership = Ownership::kInitiator;
+  desc.attributes.chunk_bytes = config_.chunk_bytes;
+  desc.attributes.pipeline_depth = config_.pipeline_depth;
+
+  etrans_->Submit(ep->agent_, desc).Then([this, ep, op, context](const TransferResult& r) {
+    --inflight_ops_;
+    Complete(ep->cq_, OfiCompletion{context, op, r.ok, r.bytes, 0, r.completed_at});
+  });
+}
+
+void Endpoint::PostRecv(std::uint64_t tag, const MemRegion& local, std::uint64_t context) {
+  ++domain_->stats_.recvs_posted;
+  for (auto it = unexpected_.begin(); it != unexpected_.end(); ++it) {
+    if (it->tag == tag) {
+      const UnexpectedSend send = *it;
+      unexpected_.erase(it);
+      ++domain_->stats_.unexpected_matched;
+      domain_->LaunchMatched(send.sender, tag, send.region, send.context, this, local, context);
+      return;
+    }
+  }
+  recvs_.push_back(PostedRecv{tag, local, context});
+}
+
+void Endpoint::PostSend(PbrId dest, std::uint64_t tag, const MemRegion& local,
+                        std::uint64_t context) {
+  ++domain_->stats_.sends_posted;
+  Endpoint* receiver = domain_->EndpointOf(dest);
+  if (receiver == nullptr) {
+    domain_->Complete(cq_, OfiCompletion{context, OfiOp::kSend, false, 0, tag,
+                                         domain_->engine_->Now()});
+    return;
+  }
+  for (auto it = receiver->recvs_.begin(); it != receiver->recvs_.end(); ++it) {
+    if (it->tag == tag) {
+      const PostedRecv recv = *it;
+      receiver->recvs_.erase(it);
+      domain_->LaunchMatched(this, tag, local, context, receiver, recv.region, recv.context);
+      return;
+    }
+  }
+  if (receiver->unexpected_.size() >= domain_->config_.max_unexpected) {
+    domain_->Complete(cq_, OfiCompletion{context, OfiOp::kSend, false, 0, tag,
+                                         domain_->engine_->Now()});
+    return;
+  }
+  receiver->unexpected_.push_back(UnexpectedSend{this, tag, local, context});
+}
+
+void Endpoint::Read(const MemRegion& remote, std::uint64_t local_addr, std::uint64_t bytes,
+                    std::uint64_t context) {
+  ++domain_->stats_.reads_posted;
+  domain_->LaunchRma(this, OfiOp::kRead, remote, local_addr, bytes, context);
+}
+
+void Endpoint::Write(const MemRegion& remote, std::uint64_t local_addr, std::uint64_t bytes,
+                     std::uint64_t context) {
+  ++domain_->stats_.writes_posted;
+  domain_->LaunchRma(this, OfiOp::kWrite, remote, local_addr, bytes, context);
+}
+
+void Endpoint::AllReduce(const CollectiveGroup& group, std::uint64_t bytes,
+                         std::uint64_t context) {
+  ++domain_->stats_.collectives_posted;
+  if (domain_->collect_ == nullptr) {
+    domain_->Complete(cq_, OfiCompletion{context, OfiOp::kCollective, false, 0, 0,
+                                         domain_->engine_->Now()});
+    return;
+  }
+  ++domain_->inflight_ops_;
+  domain_->collect_->AllReduce(group, bytes).Then([this, context](const CollectiveResult& r) {
+    --domain_->inflight_ops_;
+    domain_->Complete(cq_, OfiCompletion{context, OfiOp::kCollective, r.ok, r.bytes, 0,
+                                         r.completed_at});
+  });
+}
+
+}  // namespace unifab

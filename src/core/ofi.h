@@ -1,0 +1,218 @@
+// Libfabric-style endpoint/completion-queue facade over the UniFabric
+// runtime (DESIGN.md §11). The OFI idiom — fi_mr_reg / fi_endpoint /
+// fi_cq_read — is how real fabric providers expose themselves to
+// applications, so external-style workloads can be scripted against the
+// simulator without knowing eTrans or eCollect:
+//
+//   * MemRegion: a registered (node, addr, len) window with a key, the
+//     unit RMA reads/writes name;
+//   * Endpoint: posts tagged sends/recvs (two-sided: a send matches the
+//     destination endpoint's oldest posted recv with the same tag, or
+//     parks in its bounded unexpected queue), RMA read/write against
+//     remote regions, and AllReduce over eCollect;
+//   * CompletionQueue: a bounded reap queue; every posted operation
+//     retires as exactly one completion (audited:
+//     core/ofi/completions_conserved).
+//
+// Data movement runs on eTrans through the endpoint's migration agent, so
+// OFI traffic shares pacing, arbiter leases, retries, and fault semantics
+// with every other initiator in the system. Matched sends move bytes
+// between the two regions' *home* nodes: register regions on
+// fabric-servable memory (FAM/FAA scratch) — hosts orchestrate transfers
+// but are not remote-write targets in this model. RMA local buffers are
+// the endpoint's own node (host-local DRAM works there: the agent accesses
+// it directly).
+
+#ifndef SRC_CORE_OFI_H_
+#define SRC_CORE_OFI_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/collect.h"
+#include "src/core/etrans.h"
+#include "src/sim/audit.h"
+#include "src/sim/metrics.h"
+
+namespace unifab {
+
+// A registered memory window on one node; `key` names it in RMA calls.
+struct MemRegion {
+  PbrId node = kInvalidPbrId;
+  std::uint64_t addr = 0;
+  std::uint64_t len = 0;
+  std::uint64_t key = 0;
+};
+
+enum class OfiOp : std::uint8_t { kSend, kRecv, kRead, kWrite, kCollective };
+
+const char* OfiOpName(OfiOp op);
+
+struct OfiCompletion {
+  std::uint64_t context = 0;  // caller cookie, returned verbatim
+  OfiOp op = OfiOp::kSend;
+  bool ok = true;
+  std::uint64_t bytes = 0;
+  std::uint64_t tag = 0;  // sends/recvs: the matched tag
+  Tick completed_at = 0;
+};
+
+// Bounded reap queue. Overflow drops the *newest* completion (counted, and
+// charged against conservation as retired) rather than growing unbounded.
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(std::size_t depth = 1024) : depth_(depth) {}
+
+  // Pops the oldest completion into `out`; false when the queue is empty.
+  bool Reap(OfiCompletion* out);
+
+  std::size_t pending() const { return entries_.size(); }
+  std::uint64_t overflow_drops() const { return overflow_drops_; }
+
+ private:
+  friend class OfiDomain;
+  bool Push(const OfiCompletion& c);  // false = dropped on overflow
+
+  std::size_t depth_;
+  std::deque<OfiCompletion> entries_;
+  std::uint64_t overflow_drops_ = 0;
+};
+
+struct OfiStats {
+  std::uint64_t sends_posted = 0;
+  std::uint64_t recvs_posted = 0;
+  std::uint64_t reads_posted = 0;
+  std::uint64_t writes_posted = 0;
+  std::uint64_t collectives_posted = 0;
+  std::uint64_t completions = 0;         // retired (delivered or dropped)
+  std::uint64_t errors = 0;              // completions with ok = false
+  std::uint64_t unexpected_matched = 0;  // sends that waited for a late recv
+  std::uint64_t cq_overflows = 0;
+
+  void BindTo(MetricGroup& group, const std::string& prefix = "") const;
+};
+
+class OfiDomain;
+
+// One communication endpoint bound to a fabric node, a migration agent
+// (which initiates its transfers), and a completion queue. Created and
+// owned by OfiDomain.
+class Endpoint {
+ public:
+  // Two-sided tagged messaging. A send completes on the sender's CQ and
+  // the matched recv on the receiver's CQ once the payload lands. A recv
+  // shorter than the matched send fails both sides (truncation).
+  void PostRecv(std::uint64_t tag, const MemRegion& local, std::uint64_t context);
+  void PostSend(PbrId dest, std::uint64_t tag, const MemRegion& local, std::uint64_t context);
+
+  // One-sided RMA against a registered remote region (bounds-checked).
+  void Read(const MemRegion& remote, std::uint64_t local_addr, std::uint64_t bytes,
+            std::uint64_t context);
+  void Write(const MemRegion& remote, std::uint64_t local_addr, std::uint64_t bytes,
+             std::uint64_t context);
+
+  // Collective over eCollect; one completion when the AllReduce terminates.
+  void AllReduce(const CollectiveGroup& group, std::uint64_t bytes, std::uint64_t context);
+
+  PbrId node() const { return node_; }
+  const std::string& name() const { return name_; }
+  CompletionQueue* cq() const { return cq_; }
+
+ private:
+  friend class OfiDomain;
+  friend class AuditTestPeer;
+
+  struct PostedRecv {
+    std::uint64_t tag = 0;
+    MemRegion region;
+    std::uint64_t context = 0;
+  };
+  struct UnexpectedSend {
+    Endpoint* sender = nullptr;
+    std::uint64_t tag = 0;
+    MemRegion region;
+    std::uint64_t context = 0;
+  };
+
+  Endpoint(OfiDomain* domain, PbrId node, MigrationAgent* agent, CompletionQueue* cq,
+           std::string name)
+      : domain_(domain), node_(node), agent_(agent), cq_(cq), name_(std::move(name)) {}
+
+  OfiDomain* domain_;
+  PbrId node_;
+  MigrationAgent* agent_;
+  CompletionQueue* cq_;
+  std::string name_;
+  std::deque<PostedRecv> recvs_;         // posted, not yet matched
+  std::deque<UnexpectedSend> unexpected_;  // arrived sends awaiting a recv
+};
+
+struct OfiConfig {
+  // eTrans attributes for endpoint data movement.
+  std::uint32_t chunk_bytes = 4096;
+  int pipeline_depth = 4;
+  // Sends parked at a receiver with no matching recv beyond this bound are
+  // failed (both completions, ok = false) instead of queueing forever.
+  std::size_t max_unexpected = 64;
+};
+
+// The provider: owns endpoints, the memory-registration table, and the
+// conservation audit (core/ofi/completions_conserved: ops posted ==
+// completions retired + structurally pending work).
+class OfiDomain {
+ public:
+  OfiDomain(Engine* engine, ETransEngine* etrans, CollectiveEngine* collect,
+            OfiConfig config = {});
+
+  OfiDomain(const OfiDomain&) = delete;
+  OfiDomain& operator=(const OfiDomain&) = delete;
+
+  // Registers a memory window and assigns its key.
+  MemRegion RegisterMemory(PbrId node, std::uint64_t addr, std::uint64_t len);
+  // Key lookup; nullptr for unknown keys.
+  const MemRegion* RegionByKey(std::uint64_t key) const;
+
+  // Creates an endpoint on `node` whose transfers are initiated by `agent`
+  // and whose completions land on `cq` (caller-owned, must outlive the
+  // domain). One endpoint per node.
+  Endpoint* CreateEndpoint(PbrId node, MigrationAgent* agent, CompletionQueue* cq,
+                           std::string name);
+  Endpoint* EndpointOf(PbrId node) const;
+
+  const OfiStats& stats() const { return stats_; }
+  const OfiConfig& config() const { return config_; }
+
+ private:
+  friend class Endpoint;
+  friend class AuditTestPeer;
+
+  // Retires one op as a completion on `cq` (overflow still retires it).
+  void Complete(CompletionQueue* cq, OfiCompletion c);
+  // Launches the eTrans transfer for a matched (send, recv) pair.
+  void LaunchMatched(Endpoint* sender, std::uint64_t tag, const MemRegion& src,
+                     std::uint64_t send_context, Endpoint* receiver, const MemRegion& dst,
+                     std::uint64_t recv_context);
+  void LaunchRma(Endpoint* ep, OfiOp op, const MemRegion& remote, std::uint64_t local_addr,
+                 std::uint64_t bytes, std::uint64_t context);
+
+  Engine* engine_;
+  ETransEngine* etrans_;
+  CollectiveEngine* collect_;
+  OfiConfig config_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::unordered_map<PbrId, Endpoint*> by_node_;
+  std::unordered_map<std::uint64_t, MemRegion> regions_;
+  std::uint64_t next_key_ = 1;
+  std::uint64_t inflight_ops_ = 0;  // ops whose transfer/collective is running
+  OfiStats stats_;
+  MetricGroup metrics_;
+  AuditScope audit_;
+};
+
+}  // namespace unifab
+
+#endif  // SRC_CORE_OFI_H_

@@ -80,14 +80,32 @@ UniFabricRuntime::UniFabricRuntime(Cluster* cluster, const RuntimeOptions& optio
   }
 
   // --- Collective engine over every agent-backed node (DP#1, multi-party).
-  collect_ = std::make_unique<CollectiveEngine>(engine, etrans_.get(), &fabric, options.collect);
+  CollectiveConfig collect_cfg = options.collect;
+  if (cluster->num_pods() > 1) {
+    // Pod clusters: teach the planner's two-tier cost model what a bridge
+    // hop costs, so kAuto weighs Ethernet alpha/beta when ranking the
+    // hierarchical schedule against flat ring/tree. Explicit caller values
+    // win over the derived ones.
+    const BridgeConfig& bridge = cluster->config().bridge;
+    if (collect_cfg.plan.bridge_alpha_us == 0.0) {
+      collect_cfg.plan.bridge_alpha_us = ToUs(bridge.propagation);
+    }
+    if (collect_cfg.plan.bridge_mbps == 0.0) {
+      collect_cfg.plan.bridge_mbps = bridge.ToLinkConfig().BytesPerSec() / 1e6;
+    }
+  }
+  collect_ = std::make_unique<CollectiveEngine>(engine, etrans_.get(), &fabric, collect_cfg);
   for (int h = 0; h < cluster->num_hosts(); ++h) {
     collect_->RegisterMember(cluster->host(h)->id(),
                              host_agents_[static_cast<std::size_t>(h)].get());
   }
   for (int f = 0; f < cluster->num_fams(); ++f) {
+    // FAM chassis own their fabric domain (and DES shard): their agents'
+    // grant callbacks fire on that shard, so the collective engine must not
+    // drive them directly — they serve as delegated executors only.
     collect_->RegisterMember(cluster->fam(f)->id(),
-                             fam_agents_[static_cast<std::size_t>(f)].get());
+                             fam_agents_[static_cast<std::size_t>(f)].get(),
+                             /*shard_local=*/false);
   }
   for (int a = 0; a < cluster->num_faas(); ++a) {
     collect_->RegisterMember(cluster->faa(a)->id(),
@@ -96,6 +114,9 @@ UniFabricRuntime::UniFabricRuntime(Cluster* cluster, const RuntimeOptions& optio
   if (cluster->num_hosts() > 0) {
     collect_->SetFallbackAgent(host_agents_[0].get());
   }
+
+  // --- OFI facade over eTrans + eCollect (DESIGN.md §11). ----------------
+  ofi_ = std::make_unique<OfiDomain>(engine, etrans_.get(), collect_.get(), options.ofi);
 
   // --- Switch-resident memory control (DESIGN.md §8, opt-in). ------------
   if (options.switch_mem) {

@@ -23,6 +23,7 @@
 #include "src/core/etrans.h"
 #include "src/core/heap.h"
 #include "src/core/itask.h"
+#include "src/core/ofi.h"
 #include "src/core/sfunc.h"
 #include "src/core/tenant.h"
 #include "src/fabric/switch/mem_agent.h"
@@ -37,6 +38,7 @@ struct RuntimeOptions {
   ITaskConfig itask;
   ETransRecoveryConfig etrans_recovery;
   CollectiveConfig collect;
+  OfiConfig ofi;
   double fam_capacity_mbps = 8000.0;  // arbiter-managed ingress per FAM
   double faa_capacity_mbps = 8000.0;
   double host_capacity_mbps = 16000.0;
@@ -84,6 +86,9 @@ class UniFabricRuntime {
   // candidates, so point-to-point transfer placement is unchanged.
   MigrationAgent* faa_agent(int faa) { return faa_agents_[static_cast<std::size_t>(faa)].get(); }
   CollectiveEngine* collect() { return collect_.get(); }
+  // Libfabric-style facade over eTrans/eCollect (DESIGN.md §11). Always
+  // provisioned; callers create endpoints on demand.
+  OfiDomain* ofi() { return ofi_.get(); }
   UnifiedHeap* heap(int host) { return heaps_[static_cast<std::size_t>(host)].get(); }
   // Non-null only when RuntimeOptions::switch_mem is set.
   SwitchMemAgent* switch_mem_agent() { return switch_mem_agent_.get(); }
@@ -121,6 +126,7 @@ class UniFabricRuntime {
   std::vector<std::unique_ptr<MigrationAgent>> fam_agents_;
   std::vector<std::unique_ptr<MigrationAgent>> faa_agents_;
   std::unique_ptr<CollectiveEngine> collect_;
+  std::unique_ptr<OfiDomain> ofi_;
   std::unique_ptr<MessageDispatcher> switch_mem_dispatcher_;
   std::unique_ptr<SwitchMemAgent> switch_mem_agent_;
   std::vector<std::unique_ptr<SwitchMemClient>> switch_mem_clients_;

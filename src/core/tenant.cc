@@ -258,15 +258,21 @@ void TenantEngine::IssueCollect(Tenant& t) {
   const TenantClassSpec& cls = spec_.classes[t.cls];
   const Tick t0 = cluster->engine().Now();
   const int cls_idx = t.cls;
-  const int members = std::min(cluster->num_hosts(), 4);
+  // Members must live on fabric-servable memory: FAAs serve pushed slices
+  // and FAMs serve fabric writes, but a host adapter only initiates — a
+  // host-member group's exchanges can never land and the collective
+  // retries itself to an abort.
+  const bool use_faas = cluster->num_faas() >= 2;
+  const int members = std::min(use_faas ? cluster->num_faas() : cluster->num_fams(), 4);
   if (members < 2 || runtime_->collect() == nullptr) {
     Complete(cls_idx, t0, true);  // degenerate group: nothing to reduce
     return;
   }
   CollectiveGroup group;
   const std::uint64_t base = (static_cast<std::uint64_t>(t.id) % 4096) << 16;
-  for (int h = 0; h < members; ++h) {
-    group.members.push_back(CollectiveMember{cluster->host(h)->id(), base});
+  for (int i = 0; i < members; ++i) {
+    group.members.push_back(CollectiveMember{
+        use_faas ? cluster->faa(i)->id() : cluster->fam(i)->id(), base});
   }
   CollectiveFuture f = runtime_->collect()->AllReduce(group, cls.bytes);
   f.Then([this, cls_idx, t0](const CollectiveResult& r) { Complete(cls_idx, t0, r.ok); });

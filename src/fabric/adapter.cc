@@ -53,17 +53,26 @@ void AdapterBase::OnLinkEpochChange(int /*port*/, bool link_up) {
   }
 }
 
-bool AdapterBase::Reassemble(const Flit& flit) {
+bool AdapterBase::Reassemble(const Flit& flit, std::shared_ptr<void>* body_out) {
   if (flit.total <= 1) {
+    if (body_out != nullptr) {
+      *body_out = flit.body;
+    }
     return true;
   }
   // Transactions from different source adapters carry independent txn-id
   // spaces, so the reassembly key must include the source.
   const std::uint64_t key =
       (static_cast<std::uint64_t>(flit.src) << 48) | (flit.txn_id & 0xFFFFFFFFFFFFULL);
-  const std::uint32_t seen = ++rx_progress_[key];
-  if (seen < flit.total) {
+  RxProgress& progress = rx_progress_[key];
+  if (flit.body != nullptr) {
+    progress.body = flit.body;
+  }
+  if (++progress.seen < flit.total) {
     return false;
+  }
+  if (body_out != nullptr) {
+    *body_out = std::move(progress.body);
   }
   rx_progress_.erase(key);
   return true;
@@ -99,7 +108,7 @@ void AdapterBase::SendMessage(PbrId dst, Channel channel, Opcode opcode, std::ui
   });
 }
 
-void AdapterBase::DeliverMessage(const Flit& last_flit) {
+void AdapterBase::DeliverMessage(const Flit& last_flit, std::shared_ptr<void> body) {
   ++stats_.messages_delivered;
   if (!message_handler_) {
     return;
@@ -109,7 +118,7 @@ void AdapterBase::DeliverMessage(const Flit& last_flit) {
   msg.opcode = last_flit.opcode;
   msg.tag = last_flit.tag;
   msg.bytes = last_flit.request_bytes;
-  msg.body = last_flit.body;
+  msg.body = std::move(body);
   engine_->Schedule(config_.response_proc_latency,
                     [this, msg = std::move(msg)] { message_handler_(msg); });
 }
@@ -253,8 +262,8 @@ void HostAdapter::ReceiveFlit(const Flit& flit, int /*port*/) {
     case Opcode::kSnpInv:
     case Opcode::kSnpData:
     case Opcode::kSnpResp:
-      if (Reassemble(flit)) {
-        DeliverMessage(flit);
+      if (std::shared_ptr<void> body; Reassemble(flit, &body)) {
+        DeliverMessage(flit, std::move(body));
       }
       break;
     default:
@@ -326,8 +335,8 @@ void EndpointAdapter::ReceiveFlit(const Flit& flit, int /*port*/) {
     case Opcode::kSnpInv:
     case Opcode::kSnpData:
     case Opcode::kSnpResp:
-      if (Reassemble(flit)) {
-        DeliverMessage(flit);
+      if (std::shared_ptr<void> body; Reassemble(flit, &body)) {
+        DeliverMessage(flit, std::move(body));
       }
       break;
     default:

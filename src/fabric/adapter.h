@@ -135,10 +135,18 @@ class AdapterBase : public FlitReceiver {
   std::uint32_t PayloadCap() const { return FlitPayloadCapacity(config_.flit_mode); }
 
   // Reassembles multi-flit messages; returns true when `flit` completes its
-  // transaction.
-  bool Reassemble(const Flit& flit);
+  // transaction. Replayed flits on lossy links deliver out of order, so the
+  // body (riding the final-sequence flit) is banked per transaction and
+  // handed back through `body_out` on completion — the completing flit is
+  // not necessarily the one that carried it.
+  bool Reassemble(const Flit& flit, std::shared_ptr<void>* body_out = nullptr);
 
-  void DeliverMessage(const Flit& last_flit);
+  void DeliverMessage(const Flit& last_flit, std::shared_ptr<void> body);
+
+  struct RxProgress {
+    std::uint32_t seen = 0;
+    std::shared_ptr<void> body;
+  };
 
   Engine* engine_;
   AdapterConfig config_;
@@ -146,7 +154,7 @@ class AdapterBase : public FlitReceiver {
   std::string name_;
   LinkEndpoint* link_ = nullptr;
   std::deque<Flit> egress_;
-  std::unordered_map<std::uint64_t, std::uint32_t> rx_progress_;  // txn -> flits seen
+  std::unordered_map<std::uint64_t, RxProgress> rx_progress_;  // txn -> reassembly state
   MessageHandler message_handler_;
   std::unique_ptr<TranslationCache> xlat_cache_;
   AdapterStats stats_;

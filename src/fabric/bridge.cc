@@ -1,0 +1,48 @@
+#include "src/fabric/bridge.h"
+
+#include <utility>
+
+namespace unifab {
+
+LinkConfig BridgeConfig::ToLinkConfig() const {
+  LinkConfig cfg;
+  // BytesPerSec() = gigatransfers * 1e9 * lanes / 8; with lanes = 8 the
+  // transfer rate carries the Ethernet byte rate directly: N Gb/s wire
+  // rate == N/8 GB/s of frames.
+  cfg.gigatransfers_per_sec = ethernet_gbps / 8.0;
+  cfg.lanes = 8;
+  cfg.flit_mode = FlitMode::k256B;  // Ethernet frames, not 68B CXL flits
+  cfg.propagation = propagation;
+  cfg.credits_per_vc = window_frames;
+  cfg.credit_overcommit = 1.0;
+  cfg.credit_return_latency = ack_latency;
+  cfg.tx_queue_depth = tx_queue_depth;
+  cfg.flit_error_rate = frame_loss_rate;
+  cfg.replay_timeout = retransmit_timeout;
+  cfg.control_priority = true;
+  cfg.max_burst_flits = max_burst_frames;
+  return cfg;
+}
+
+BridgeLink::BridgeLink(Engine* engine, const BridgeConfig& config, std::uint64_t seed,
+                       std::string name)
+    : Link(engine, config.ToLinkConfig(), seed, std::move(name)), bridge_(config) {
+  bridge_audit_ = AuditScope(&engine->audit(), "fabric/bridge/" + this->name());
+  // Same conservation law as the underlying link, restated in bridge terms:
+  // every frame the bridge accepted is delivered, dropped by a bridge
+  // failure, awaiting (re)transmission on the wire, or staged to send.
+  bridge_audit_.AddCheck("flits_conserved", [this]() -> std::string {
+    for (int s = 0; s < 2; ++s) {
+      const DirAccounting a = Accounting(s);
+      if (a.accepted != a.delivered + a.dropped_on_fail + a.in_flight + a.queued) {
+        return "dir" + std::to_string(s) + ": accepted=" + std::to_string(a.accepted) +
+               " != delivered(" + std::to_string(a.delivered) + ") + dropped(" +
+               std::to_string(a.dropped_on_fail) + ") + retransmit_pending(" +
+               std::to_string(a.in_flight) + ") + queued(" + std::to_string(a.queued) + ")";
+      }
+    }
+    return {};
+  });
+}
+
+}  // namespace unifab

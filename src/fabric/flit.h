@@ -24,6 +24,9 @@ using PbrId = std::uint16_t;
 inline constexpr PbrId kInvalidPbrId = 0xFFFF;
 inline constexpr PbrId kPbrIdMask = 0x0FFF;
 inline constexpr int kDomainShift = 12;
+// The 4-bit domain field caps a topology (and thus a pod cluster) at this
+// many fabric domains.
+inline constexpr int kMaxFabricDomains = 1 << (16 - kDomainShift);
 
 constexpr PbrId MakePbrId(std::uint16_t domain, std::uint16_t port) {
   return static_cast<PbrId>((domain << kDomainShift) | (port & kPbrIdMask));

@@ -102,6 +102,25 @@ Link* FabricInterconnect::Connect(FabricSwitch* a, FabricSwitch* b, const LinkCo
   return link;
 }
 
+BridgeLink* FabricInterconnect::ConnectBridge(FabricSwitch* a, FabricSwitch* b,
+                                              const BridgeConfig& config) {
+  links_.push_back(std::make_unique<BridgeLink>(engine_, config, seed_ + ++link_counter_,
+                                                a->name() + "<~>" + b->name()));
+  auto* link = static_cast<BridgeLink*>(links_.back().get());
+  const int pa = a->AttachPort(&link->end(0));
+  const int pb = b->AttachPort(&link->end(1));
+  const int na = NodeIndexOf(a);
+  const int nb = NodeIndexOf(b);
+  AddEdge(na, pa, nb, pb, link);
+  BindLinkEngines(link, na, nb);
+  if (nodes_[na].domain != nodes_[nb].domain) {
+    ++hbr_links_;
+  }
+  ++bridge_links_;
+  routed_ = false;
+  return link;
+}
+
 Link* FabricInterconnect::Connect(FabricSwitch* sw, AdapterBase* adapter,
                                   const LinkConfig& config) {
   links_.push_back(std::make_unique<Link>(engine_, config, seed_ + ++link_counter_,

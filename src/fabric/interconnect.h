@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/fabric/adapter.h"
+#include "src/fabric/bridge.h"
 #include "src/fabric/flit.h"
 #include "src/fabric/link.h"
 #include "src/fabric/switch.h"
@@ -56,6 +57,11 @@ class FabricInterconnect {
   // Switchless point-to-point attachment (e.g. a CXL 1.1 direct-attach
   // memory expander).
   Link* ConnectDirect(AdapterBase* a, AdapterBase* b, const LinkConfig& config);
+  // Wires two pod gateway switches with an Ethernet bridge (DESIGN.md §11):
+  // its own flow-control window, frame loss with retransmit, microsecond
+  // propagation. Bridges between pods are HBR links like any cross-domain
+  // switch trunk; routing, faults, and shard binding treat them as links.
+  BridgeLink* ConnectBridge(FabricSwitch* a, FabricSwitch* b, const BridgeConfig& config);
 
   // --- Fabric-manager duties -------------------------------------------
 
@@ -79,6 +85,7 @@ class FabricInterconnect {
   std::size_t num_adapters() const { return adapters_.size(); }
   std::size_t num_links() const { return links_.size(); }
   std::size_t num_hbr_links() const { return hbr_links_; }
+  std::size_t num_bridge_links() const { return bridge_links_; }
 
   // Number of switch hops between two adapters (after ConfigureRouting);
   // -1 when unreachable.
@@ -131,6 +138,7 @@ class FabricInterconnect {
   std::unordered_map<PbrId, AdapterBase*> by_id_;
   std::unordered_map<std::uint16_t, std::uint16_t> next_port_in_domain_;
   std::size_t hbr_links_ = 0;
+  std::size_t bridge_links_ = 0;
   bool routed_ = false;
 };
 

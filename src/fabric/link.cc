@@ -401,6 +401,19 @@ void Link::NotifyDrain(int side) {
   }
 }
 
+Link::DirAccounting Link::Accounting(int sender_side) const {
+  const Direction& dir = dirs_[sender_side];
+  DirAccounting acc;
+  acc.accepted = dir.stats.flits_accepted;
+  acc.delivered = dir.stats.flits_delivered;
+  acc.dropped_on_fail = dir.stats.dropped_on_fail;
+  acc.in_flight = dir.in_flight;
+  for (const auto& q : dir.tx_queues) {
+    acc.queued += q.size();
+  }
+  return acc;
+}
+
 void Link::NotifyEpochChange(bool link_up) {
   // dirs_[s].receiver is the component on side 1-s, so this reaches both
   // attached components (when bound) with their own port index.

@@ -158,6 +158,7 @@ class LinkEndpoint {
 class Link {
  public:
   Link(Engine* engine, const LinkConfig& config, std::uint64_t seed, std::string name);
+  virtual ~Link() = default;
 
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
@@ -200,6 +201,18 @@ class Link {
   bool failed() const { return failed_; }
 
   const LinkStats& stats(int sender_side) const { return dirs_[sender_side].stats; }
+
+  // Per-direction accounting snapshot for derived links and tests. At any
+  // event boundary accepted == delivered + dropped_on_fail + in_flight +
+  // queued — the invariant the flit_conservation audit check enforces.
+  struct DirAccounting {
+    std::uint64_t accepted = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped_on_fail = 0;
+    std::uint64_t in_flight = 0;  // on the wire or awaiting replay
+    std::uint64_t queued = 0;     // staged in per-VC tx queues
+  };
+  DirAccounting Accounting(int sender_side) const;
 
  private:
   friend class LinkEndpoint;

@@ -66,6 +66,16 @@ void FabricSwitch::ReceiveFlit(const Flit& flit, int port) {
     ports_[port]->ReturnCredit(flit.channel);
     return;
   }
+  // A reroute can overtake a mid-flight flit and leave its best path
+  // pointing back out the port it arrived on. The crossbar cannot hairpin,
+  // and parking the flit in the input==out VOQ would strand its credit and
+  // eventually wedge the upstream link's whole credit window; treat it as a
+  // loss instead — the sender's retry rides the new tables end to end.
+  if (out == port) {
+    ports_[port]->ReturnCredit(flit.channel);
+    ++stats_.flits_dropped;
+    return;
+  }
   InputPort& in = inputs_[port];
   const std::size_t qi = config_.virtual_output_queues ? static_cast<std::size_t>(out) : 0;
   in.queues[qi].push_back(QueuedFlit{flit, out, engine_->Now(), arrival_counter_++});

@@ -62,7 +62,9 @@ struct SwitchConfig {
 
 struct SwitchStats {
   std::uint64_t flits_forwarded = 0;
-  std::uint64_t flits_dropped = 0;       // output link failed mid-crossbar
+  std::uint64_t flits_dropped = 0;       // output link failed mid-crossbar, or
+                                         // a post-reroute hairpin (route points
+                                         // back out the arrival port)
   std::uint64_t hol_blocked_events = 0;  // head blocked while a later flit could go
   Summary queueing_ns;                   // input-buffer residency per flit
 

@@ -1,6 +1,7 @@
 #include "src/sim/scenario.h"
 
 #include <cstring>
+#include <fstream>
 #include <sstream>
 
 namespace unifab {
@@ -171,6 +172,15 @@ ScenarioSpec ScenarioSpec::Parse(const std::string& text) {
       }
       continue;
     }
+    if (verb == "pods" && tokens.size() == 2) {
+      std::uint64_t u = 0;
+      if (!ToU64(tokens[1], &u) || u < 1 || u > 16) {
+        fail("bad pods '" + tokens[1] + "' (want 1..16)");
+      } else {
+        spec.pods = static_cast<std::uint32_t>(u);
+      }
+      continue;
+    }
     if (verb == "class") {
       TenantClassSpec cls;
       bool ok = true;
@@ -226,6 +236,18 @@ ScenarioSpec ScenarioSpec::Parse(const std::string& text) {
     spec.errors.push_back("scenario has no classes");
   }
   return spec;
+}
+
+ScenarioSpec ScenarioSpec::ParseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ScenarioSpec spec;
+    spec.errors.push_back("cannot open scenario file '" + path + "'");
+    return spec;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return Parse(text.str());
 }
 
 }  // namespace unifab

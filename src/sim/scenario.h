@@ -5,10 +5,12 @@
 // runtime's primitives. Specs parse from a small line-oriented key/value
 // DSL (FaultPlan's format family):
 //
-//   # tokens:  scenario <name> | seed <n> | horizon_us <f> | class k=v ...
+//   # tokens:  scenario <name> | seed <n> | horizon_us <f> | pods <n> |
+//   #          class k=v ...
 //   scenario mixed_1k
 //   seed 42
 //   horizon_us 4000
+//   pods 2
 //   class name=gold qos=guaranteed tenants=10 arrival=poisson rate_ops_s=2000 bytes=65536 request_mbps=4000 mix=etrans:4,heap_read:2,faa:1 slo_p99_us=900
 //   class name=bronze qos=best_effort tenants=990 arrival=bursty burst=16 rate_ops_s=500 bytes=32768 mix=etrans:1
 //
@@ -66,6 +68,9 @@ struct ScenarioSpec {
   std::string name = "scenario";
   std::uint64_t seed = 42;
   double horizon_us = 1000.0;  // arrivals stop here; drains may run longer
+  // Topology request: run the campaign on a pod cluster of this many pods
+  // (0 = caller picks the topology; harnesses map >0 to DFabricPodCluster).
+  std::uint32_t pods = 0;
   std::vector<TenantClassSpec> classes;
   // Parse diagnostics ("line N: message"); empty means the spec is valid.
   std::vector<std::string> errors;
@@ -73,6 +78,9 @@ struct ScenarioSpec {
   std::uint32_t TotalTenants() const;
 
   static ScenarioSpec Parse(const std::string& text);
+  // Reads `path` and parses it; an unreadable file yields a spec whose
+  // `errors` names the path (parsing never throws).
+  static ScenarioSpec ParseFile(const std::string& path);
 };
 
 }  // namespace unifab

@@ -14,6 +14,7 @@
 #include "src/sim/sharded_engine.h"
 #include "src/topo/chassis.h"
 #include "src/topo/host.h"
+#include "src/topo/pod.h"
 #include "src/topo/presets.h"
 
 namespace unifab {
@@ -50,7 +51,22 @@ struct ClusterConfig {
   // Worker threads executing shard windows; 0 = the UNIFAB_SHARDS
   // environment variable (default 1).
   int shard_workers = 0;
+
+  // --- Hierarchical pod scale-out (DESIGN.md §11) -----------------------
+
+  // >1 builds a cluster-of-clusters: `num_pods` identical pods (contents
+  // from `pod`; the flat counts above are ignored), each pod its own PBR
+  // domain and DES shard, gateway switches joined by Ethernet bridges (one
+  // trunk for 2 pods, a ring for 3+ so reroute has a redundant path). The
+  // PBR id's 4-bit domain field caps this at 16 pods.
+  int num_pods = 1;
+  PodConfig pod;
+  BridgeConfig bridge;
 };
+
+// Preset: a DFabric-style pod cluster — `num_pods` pods of `pod` contents
+// over a 100 Gb/s Ethernet bridge ring.
+ClusterConfig DFabricPodCluster(int num_pods, const PodConfig& pod = PodConfig{});
 
 class Cluster {
  public:
@@ -74,6 +90,11 @@ class Cluster {
   int num_fams() const { return static_cast<int>(fams_.size()); }
   int num_faas() const { return static_cast<int>(faas_.size()); }
 
+  // Pod structure; flat clusters report one implicit pod and no bridges.
+  int num_pods() const { return pods_.empty() ? 1 : static_cast<int>(pods_.size()); }
+  const Pod& pod(int p) const { return pods_[static_cast<std::size_t>(p)]; }
+  const std::vector<BridgeLink*>& bridges() const { return bridges_; }
+
   // Provisions a dedicated lightweight control adapter on fabric switch
   // `sw` and re-resolves routes: the attachment pattern shared by the
   // central arbiter and the switch-resident memory agent. The interconnect
@@ -90,6 +111,8 @@ class Cluster {
 
  private:
   static ShardedEngine::Options ShardOptions(const ClusterConfig& config);
+  void BuildFlat();
+  void BuildPods();
 
   ClusterConfig config_;
   ShardedEngine sharded_;
@@ -98,6 +121,8 @@ class Cluster {
   std::vector<std::unique_ptr<HostServer>> hosts_;
   std::vector<std::unique_ptr<FamChassis>> fams_;
   std::vector<std::unique_ptr<FaaChassis>> faas_;
+  std::vector<Pod> pods_;            // empty for flat clusters
+  std::vector<BridgeLink*> bridges_; // owned by the interconnect
 };
 
 }  // namespace unifab

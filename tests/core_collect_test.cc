@@ -199,6 +199,132 @@ TEST(CollectAlgoTest, BinomialReduceLandsEveryContributionAtRoot) {
   EXPECT_EQ(out[static_cast<std::size_t>(root)].at(0), everyone);
 }
 
+// ----------------- Hierarchical (pod-aware) AllReduce --------------------
+
+// Byte-granular replay: like Replay but tracking every byte, so schedules
+// mixing slice-offset rounds (intra-pod ring) with whole-buffer rounds
+// (leader tree) verify end to end.
+std::vector<std::vector<std::set<int>>> ReplayBytes(const CollectiveSchedule& s, int n,
+                                                    std::uint64_t bytes) {
+  std::vector<std::vector<std::set<int>>> data(
+      static_cast<std::size_t>(n), std::vector<std::set<int>>(static_cast<std::size_t>(bytes)));
+  for (int i = 0; i < n; ++i) {
+    for (std::uint64_t b = 0; b < bytes; ++b) {
+      data[static_cast<std::size_t>(i)][b] = {i};
+    }
+  }
+  std::vector<bool> done(s.steps.size(), false);
+  for (std::size_t i = 0; i < s.steps.size(); ++i) {
+    for (int dep : s.steps[i].deps) {
+      EXPECT_TRUE(done[static_cast<std::size_t>(dep)]);
+    }
+    std::vector<std::vector<std::set<int>>> reads;
+    for (const auto& t : s.steps[i].transfers) {
+      std::vector<std::set<int>> r;
+      for (std::uint64_t b = 0; b < t.bytes; ++b) {
+        r.push_back(data[static_cast<std::size_t>(t.src)][t.src_offset + b]);
+      }
+      reads.push_back(std::move(r));
+    }
+    for (std::size_t k = 0; k < s.steps[i].transfers.size(); ++k) {
+      const auto& t = s.steps[i].transfers[k];
+      for (std::uint64_t b = 0; b < t.bytes; ++b) {
+        std::set<int>& dst = data[static_cast<std::size_t>(t.dst)][t.dst_offset + b];
+        if (s.steps[i].reducing) {
+          dst.insert(reads[k][b].begin(), reads[k][b].end());
+        } else {
+          dst = reads[k][b];
+        }
+      }
+    }
+    done[i] = true;
+  }
+  return data;
+}
+
+TEST(CollectAlgoTest, HierarchicalAllReduceReducesEveryByteEverywhere) {
+  const int n = 8;
+  const std::uint64_t bytes = 24;
+  const std::vector<int> pod_of = {0, 0, 0, 1, 1, 1, 2, 2};  // uneven pods
+  const CollectiveSchedule s = BuildHierarchicalAllReduce(n, bytes, pod_of);
+  EXPECT_EQ(s.algo, CollectiveAlgorithm::kHierarchical);
+  EXPECT_EQ(s.num_members, n);
+
+  std::set<int> everyone;
+  for (int i = 0; i < n; ++i) {
+    everyone.insert(i);
+  }
+  const auto out = ReplayBytes(s, n, bytes);
+  for (int i = 0; i < n; ++i) {
+    for (std::uint64_t b = 0; b < bytes; ++b) {
+      EXPECT_EQ(out[static_cast<std::size_t>(i)][b], everyone)
+          << "member " << i << " byte " << b;
+    }
+  }
+}
+
+TEST(CollectAlgoTest, HierarchicalDegeneratesToRingInOnePod) {
+  const std::vector<int> one_pod = {0, 0, 0, 0};
+  const CollectiveSchedule s = BuildHierarchicalAllReduce(4, 4096, one_pod);
+  EXPECT_EQ(s.algo, CollectiveAlgorithm::kRing);
+  EXPECT_EQ(s.steps.size(), BuildAllReduce(CollectiveAlgorithm::kRing, 4, 4096).steps.size());
+}
+
+TEST(CollectAlgoTest, HierarchicalCrossesBridgesOnlyThroughLeaders) {
+  const int n = 8;
+  const std::vector<int> pod_of = {0, 0, 0, 0, 1, 1, 1, 1};
+  const CollectiveSchedule s = BuildHierarchicalAllReduce(n, 64 * 1024, pod_of);
+  // Only the two pod leaders (members 0 and 4) may appear in a transfer
+  // whose endpoints live in different pods.
+  for (const auto& step : s.steps) {
+    for (const auto& t : step.transfers) {
+      if (pod_of[static_cast<std::size_t>(t.src)] != pod_of[static_cast<std::size_t>(t.dst)]) {
+        EXPECT_TRUE((t.src == 0 || t.src == 4) && (t.dst == 0 || t.dst == 4))
+            << t.src << " -> " << t.dst;
+      }
+    }
+  }
+}
+
+TEST(CollectAlgoTest, TwoTierModelPicksHierarchicalInItsSweetSpot) {
+  // 16 pods of 4 over a slow bridge tier, moderate payload: flat ring pays
+  // 2(n-1) bridge alphas and flat tree moves the full payload across the
+  // bridge every round — the hierarchy wins the crossover.
+  CollectivePlanConfig cfg;
+  cfg.bridge_alpha_us = 5.0;
+  cfg.bridge_mbps = 1250.0;  // 10GbE
+  const int n = 64;
+  std::vector<int> pod_of(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pod_of[static_cast<std::size_t>(i)] = i / 4;
+  }
+  const std::uint64_t bytes = 64 * 1024;
+  const double ring = EstimateAllReduceCostUs(CollectiveAlgorithm::kRing, n, bytes, 6, pod_of, cfg);
+  const double tree =
+      EstimateAllReduceCostUs(CollectiveAlgorithm::kBinomialTree, n, bytes, 6, pod_of, cfg);
+  const double hier =
+      EstimateAllReduceCostUs(CollectiveAlgorithm::kHierarchical, n, bytes, 6, pod_of, cfg);
+  EXPECT_LT(hier, ring);
+  EXPECT_LT(hier, tree);
+  EXPECT_EQ(ChooseAllReduceAlgorithm(n, bytes, 6, pod_of, cfg),
+            CollectiveAlgorithm::kHierarchical);
+}
+
+TEST(CollectAlgoTest, ChooserFallsBackToFlatWithoutABridgeTier) {
+  const CollectivePlanConfig flat;  // bridge_alpha_us == bridge_mbps == 0
+  std::vector<int> pod_of = {0, 0, 1, 1, 2, 2, 3, 3};
+  EXPECT_EQ(ChooseAllReduceAlgorithm(8, 256 * 1024, 2, pod_of, flat),
+            ChooseAlgorithm(CollectiveOp::kAllReduce, 8, 256 * 1024, 2, flat));
+
+  // Single-pod groups never pick the hierarchy even with a bridge tier.
+  CollectivePlanConfig cfg;
+  cfg.bridge_alpha_us = 5.0;
+  cfg.bridge_mbps = 1250.0;
+  std::vector<int> one_pod(8, 0);
+  const CollectiveAlgorithm algo = ChooseAllReduceAlgorithm(8, 256 * 1024, 2, one_pod, cfg);
+  EXPECT_NE(algo, CollectiveAlgorithm::kHierarchical);
+}
+
 // ------------------------- Algorithm selection ---------------------------
 
 TEST(CollectAlgoTest, LargePayloadIntraChassisPrefersRing) {
@@ -412,6 +538,93 @@ TEST_F(CollectEngineTest, ChassisFlapMidCollectiveStillCompletesOk) {
             BuildAllReduce(f.Value().algorithm, 4, kBytes).TotalBytes());
   EXPECT_GE(faults.stats().faults_injected, 1u);
   ExpectAuditClean();
+}
+
+// --------------------- Bounded admission (ROADMAP 4) ----------------------
+
+TEST_F(CollectEngineTest, OverlappingCollectivesOnBusyMembersQueueThenRun) {
+  CollectiveEngine* coll = runtime_.collect();
+  CollectiveFuture f1 = coll->AllReduce(FaaGroup(4), 64 * 1024);
+  CollectiveFuture f2 = coll->AllReduce(FaaGroup(4), 64 * 1024);
+  // The second arrives while every member is busy: it must wait, not race.
+  EXPECT_EQ(coll->stats().collectives_queued, 1u);
+  cluster_.engine().Run();
+
+  ASSERT_TRUE(f1.Ready());
+  ASSERT_TRUE(f2.Ready());
+  EXPECT_TRUE(f1.Value().ok);
+  EXPECT_TRUE(f2.Value().ok);
+  // The queued one started strictly after the first finished.
+  EXPECT_GT(f2.Value().completed_at, f1.Value().completed_at);
+  EXPECT_EQ(coll->stats().collectives_rejected, 0u);
+  EXPECT_EQ(coll->stats().admit_wait_us.Count(), 1u);
+  EXPECT_GT(coll->stats().admit_wait_us.Max(), 0.0);
+  ExpectAuditClean();
+}
+
+TEST_F(CollectEngineTest, DisjointGroupsAdmitConcurrentlyWithoutQueueing) {
+  CollectiveEngine* coll = runtime_.collect();
+  CollectiveGroup a, b;
+  a.members.push_back(CollectiveMember{cluster_.faa(0)->id(), 1ULL << 20});
+  a.members.push_back(CollectiveMember{cluster_.faa(1)->id(), 1ULL << 20});
+  b.members.push_back(CollectiveMember{cluster_.faa(2)->id(), 1ULL << 20});
+  b.members.push_back(CollectiveMember{cluster_.faa(3)->id(), 1ULL << 20});
+  CollectiveFuture fa = coll->AllReduce(a, 64 * 1024);
+  CollectiveFuture fb = coll->AllReduce(b, 64 * 1024);
+  EXPECT_EQ(coll->stats().collectives_queued, 0u);
+  cluster_.engine().Run();
+  ASSERT_TRUE(fa.Ready());
+  ASSERT_TRUE(fb.Ready());
+  EXPECT_TRUE(fa.Value().ok);
+  EXPECT_TRUE(fb.Value().ok);
+  ExpectAuditClean();
+}
+
+TEST(CollectAdmissionTest, QueueOverflowRejectsWithAbortedNotARace) {
+  Cluster cluster(CollectCluster(4));
+  RuntimeOptions options;
+  options.collect.max_queued_collectives = 1;
+  UniFabricRuntime runtime(&cluster, options);
+  CollectiveGroup g;
+  for (int i = 0; i < 4; ++i) {
+    g.members.push_back(CollectiveMember{cluster.faa(i)->id(), 1ULL << 20});
+  }
+  CollectiveEngine* coll = runtime.collect();
+  CollectiveFuture f1 = coll->AllReduce(g, 64 * 1024);  // admitted
+  CollectiveFuture f2 = coll->AllReduce(g, 64 * 1024);  // queued
+  CollectiveFuture f3 = coll->AllReduce(g, 64 * 1024);  // over the bound
+
+  ASSERT_TRUE(f3.Ready());  // rejected synchronously
+  EXPECT_FALSE(f3.Value().ok);
+  EXPECT_EQ(f3.Value().status, TransferStatus::kAborted);
+  EXPECT_EQ(coll->stats().collectives_rejected, 1u);
+
+  cluster.engine().Run();
+  ASSERT_TRUE(f1.Ready());
+  ASSERT_TRUE(f2.Ready());
+  EXPECT_TRUE(f1.Value().ok);
+  EXPECT_TRUE(f2.Value().ok);
+  EXPECT_TRUE(cluster.engine().audit().Sweep().empty());
+}
+
+TEST(CollectAdmissionTest, ZeroBoundKeepsTheLegacyLaunchImmediatelyPath) {
+  Cluster cluster(CollectCluster(4));
+  RuntimeOptions options;
+  options.collect.max_queued_collectives = 0;
+  UniFabricRuntime runtime(&cluster, options);
+  CollectiveGroup g;
+  for (int i = 0; i < 4; ++i) {
+    g.members.push_back(CollectiveMember{cluster.faa(i)->id(), 1ULL << 20});
+  }
+  CollectiveFuture f1 = runtime.collect()->AllReduce(g, 32 * 1024);
+  CollectiveFuture f2 = runtime.collect()->AllReduce(g, 32 * 1024);
+  EXPECT_EQ(runtime.collect()->stats().collectives_queued, 0u);
+  EXPECT_EQ(runtime.collect()->stats().collectives_rejected, 0u);
+  cluster.engine().Run();
+  ASSERT_TRUE(f1.Ready());
+  ASSERT_TRUE(f2.Ready());
+  EXPECT_TRUE(f1.Value().ok);
+  EXPECT_TRUE(f2.Value().ok);
 }
 
 }  // namespace

@@ -1,0 +1,287 @@
+// OFI facade: tagged send/recv matching (including the unexpected-send
+// queue), truncation, RMA bounds, collective completions, CQ overflow, and
+// the completions-conserved audit identity.
+
+#include "src/core/ofi.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/runtime.h"
+#include "src/topo/cluster.h"
+
+namespace unifab {
+namespace {
+
+struct OfiRig {
+  explicit OfiRig(OfiConfig ofi_cfg = {}, std::size_t cq_depth = 1024)
+      : cq0(cq_depth), cq1(cq_depth) {
+    ClusterConfig cfg;
+    cfg.num_hosts = 2;
+    cfg.num_fams = 2;
+    cfg.num_faas = 2;
+    cluster = std::make_unique<Cluster>(cfg);
+    RuntimeOptions opts;
+    opts.ofi = ofi_cfg;
+    runtime = std::make_unique<UniFabricRuntime>(cluster.get(), opts);
+    ofi = runtime->ofi();
+    ep0 = ofi->CreateEndpoint(cluster->host(0)->id(), runtime->host_agent(0), &cq0, "ep0");
+    ep1 = ofi->CreateEndpoint(cluster->host(1)->id(), runtime->host_agent(1), &cq1, "ep1");
+    // Regions live on fabric-servable memory (one FAM per endpoint's side);
+    // the host endpoints orchestrate but are not remote-write targets.
+    mem0 = cluster->fam(0)->id();
+    mem1 = cluster->fam(1)->id();
+  }
+
+  std::vector<OfiCompletion> Drain(CompletionQueue& cq) {
+    std::vector<OfiCompletion> out;
+    OfiCompletion c;
+    while (cq.Reap(&c)) {
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::uint64_t Posted() const {
+    const OfiStats& s = ofi->stats();
+    return s.sends_posted + s.recvs_posted + s.reads_posted + s.writes_posted +
+           s.collectives_posted;
+  }
+
+  CompletionQueue cq0, cq1;
+  PbrId mem0 = kInvalidPbrId;
+  PbrId mem1 = kInvalidPbrId;
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<UniFabricRuntime> runtime;
+  OfiDomain* ofi = nullptr;
+  Endpoint* ep0 = nullptr;
+  Endpoint* ep1 = nullptr;
+};
+
+TEST(OfiTest, MatchedSendRecvCompletesBothSides) {
+  OfiRig rig;
+  const MemRegion src = rig.ofi->RegisterMemory(rig.mem0, 0x10000, 64 * 1024);
+  const MemRegion dst = rig.ofi->RegisterMemory(rig.mem1, 0x20000, 64 * 1024);
+  rig.ep1->PostRecv(/*tag=*/7, dst, /*context=*/11);
+  rig.ep0->PostSend(rig.ep1->node(), /*tag=*/7, src, /*context=*/22);
+  rig.cluster->engine().Run();
+
+  const auto send_side = rig.Drain(rig.cq0);
+  const auto recv_side = rig.Drain(rig.cq1);
+  ASSERT_EQ(send_side.size(), 1u);
+  ASSERT_EQ(recv_side.size(), 1u);
+  EXPECT_EQ(send_side[0].op, OfiOp::kSend);
+  EXPECT_EQ(send_side[0].context, 22u);
+  EXPECT_TRUE(send_side[0].ok);
+  EXPECT_EQ(send_side[0].bytes, 64u * 1024u);
+  EXPECT_EQ(send_side[0].tag, 7u);
+  EXPECT_EQ(recv_side[0].op, OfiOp::kRecv);
+  EXPECT_EQ(recv_side[0].context, 11u);
+  EXPECT_TRUE(recv_side[0].ok);
+  EXPECT_GT(send_side[0].completed_at, 0u);
+  EXPECT_EQ(rig.ofi->stats().completions, rig.Posted());
+  EXPECT_TRUE(rig.cluster->engine().audit().Sweep().empty());
+}
+
+TEST(OfiTest, UnexpectedSendMatchesLateRecv) {
+  OfiRig rig;
+  const MemRegion src = rig.ofi->RegisterMemory(rig.mem0, 0x10000, 4096);
+  const MemRegion dst = rig.ofi->RegisterMemory(rig.mem1, 0x20000, 4096);
+  // Send first: no matching recv, so it parks at the receiver.
+  rig.ep0->PostSend(rig.ep1->node(), /*tag=*/3, src, /*context=*/1);
+  rig.cluster->engine().Run();
+  EXPECT_TRUE(rig.Drain(rig.cq0).empty());
+
+  rig.ep1->PostRecv(/*tag=*/3, dst, /*context=*/2);
+  rig.cluster->engine().Run();
+  EXPECT_EQ(rig.ofi->stats().unexpected_matched, 1u);
+  const std::vector<OfiCompletion> c0 = rig.Drain(rig.cq0);
+  const std::vector<OfiCompletion> c1 = rig.Drain(rig.cq1);
+  ASSERT_EQ(c0.size(), 1u);
+  ASSERT_EQ(c1.size(), 1u);
+  EXPECT_TRUE(c0[0].ok);
+  EXPECT_TRUE(c1[0].ok);
+  EXPECT_EQ(rig.ofi->stats().completions, rig.Posted());
+}
+
+TEST(OfiTest, TagsMustMatchExactly) {
+  OfiRig rig;
+  const MemRegion src = rig.ofi->RegisterMemory(rig.mem0, 0x10000, 4096);
+  const MemRegion dst = rig.ofi->RegisterMemory(rig.mem1, 0x20000, 4096);
+  rig.ep1->PostRecv(/*tag=*/1, dst, /*context=*/1);
+  rig.ep0->PostSend(rig.ep1->node(), /*tag=*/2, src, /*context=*/2);
+  rig.cluster->engine().Run();
+  // Different tags: both stay pending, nothing completes, books balanced.
+  EXPECT_TRUE(rig.Drain(rig.cq0).empty());
+  EXPECT_TRUE(rig.Drain(rig.cq1).empty());
+  EXPECT_TRUE(rig.cluster->engine().audit().Sweep().empty());
+}
+
+TEST(OfiTest, TruncationFailsBothSides) {
+  OfiRig rig;
+  const MemRegion src = rig.ofi->RegisterMemory(rig.mem0, 0x10000, 8192);
+  const MemRegion dst = rig.ofi->RegisterMemory(rig.mem1, 0x20000, 4096);
+  rig.ep1->PostRecv(/*tag=*/5, dst, /*context=*/1);
+  rig.ep0->PostSend(rig.ep1->node(), /*tag=*/5, src, /*context=*/2);
+  rig.cluster->engine().Run();
+
+  const auto send_side = rig.Drain(rig.cq0);
+  const auto recv_side = rig.Drain(rig.cq1);
+  ASSERT_EQ(send_side.size(), 1u);
+  ASSERT_EQ(recv_side.size(), 1u);
+  EXPECT_FALSE(send_side[0].ok);
+  EXPECT_FALSE(recv_side[0].ok);
+  EXPECT_EQ(rig.ofi->stats().errors, 2u);
+  EXPECT_EQ(rig.ofi->stats().completions, rig.Posted());
+}
+
+TEST(OfiTest, SendToUnknownEndpointFailsImmediately) {
+  OfiRig rig;
+  const MemRegion src = rig.ofi->RegisterMemory(rig.mem0, 0x10000, 4096);
+  rig.ep0->PostSend(rig.cluster->fam(0)->id(), /*tag=*/1, src, /*context=*/9);
+  const auto cs = rig.Drain(rig.cq0);
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_FALSE(cs[0].ok);
+  EXPECT_EQ(cs[0].context, 9u);
+}
+
+TEST(OfiTest, UnexpectedQueueOverflowFailsTheSend) {
+  OfiConfig cfg;
+  cfg.max_unexpected = 1;
+  OfiRig rig(cfg);
+  const MemRegion src = rig.ofi->RegisterMemory(rig.mem0, 0x10000, 4096);
+  rig.ep0->PostSend(rig.ep1->node(), /*tag=*/1, src, /*context=*/1);  // parks
+  rig.ep0->PostSend(rig.ep1->node(), /*tag=*/2, src, /*context=*/2);  // overflows
+  const auto cs = rig.Drain(rig.cq0);
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_FALSE(cs[0].ok);
+  EXPECT_EQ(cs[0].context, 2u);
+  EXPECT_TRUE(rig.cluster->engine().audit().Sweep().empty());
+}
+
+TEST(OfiTest, RmaReadAndWriteMoveBytesThroughRegisteredRegions) {
+  OfiRig rig;
+  const MemRegion fam = rig.ofi->RegisterMemory(rig.cluster->fam(0)->id(), 0x0, 1 << 20);
+  rig.ep0->Read(fam, /*local_addr=*/0x40000, /*bytes=*/64 * 1024, /*context=*/1);
+  rig.ep0->Write(fam, /*local_addr=*/0x50000, /*bytes=*/32 * 1024, /*context=*/2);
+  rig.cluster->engine().Run();
+
+  const auto cs = rig.Drain(rig.cq0);
+  ASSERT_EQ(cs.size(), 2u);
+  for (const auto& c : cs) {
+    EXPECT_TRUE(c.ok);
+    EXPECT_EQ(c.bytes, c.context == 1u ? 64u * 1024u : 32u * 1024u);
+  }
+  EXPECT_EQ(rig.ofi->stats().reads_posted, 1u);
+  EXPECT_EQ(rig.ofi->stats().writes_posted, 1u);
+  EXPECT_EQ(rig.ofi->stats().completions, rig.Posted());
+  EXPECT_TRUE(rig.cluster->engine().audit().Sweep().empty());
+}
+
+TEST(OfiTest, RmaBeyondRegionBoundsFails) {
+  OfiRig rig;
+  const MemRegion fam = rig.ofi->RegisterMemory(rig.cluster->fam(0)->id(), 0x0, 4096);
+  rig.ep0->Read(fam, 0x40000, /*bytes=*/8192, /*context=*/3);
+  const auto cs = rig.Drain(rig.cq0);
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_FALSE(cs[0].ok);
+  EXPECT_EQ(cs[0].op, OfiOp::kRead);
+}
+
+TEST(OfiTest, RegionKeysAreDistinctAndResolvable) {
+  OfiRig rig;
+  const MemRegion a = rig.ofi->RegisterMemory(rig.ep0->node(), 0x1000, 64);
+  const MemRegion b = rig.ofi->RegisterMemory(rig.ep1->node(), 0x2000, 128);
+  EXPECT_NE(a.key, b.key);
+  ASSERT_NE(rig.ofi->RegionByKey(a.key), nullptr);
+  EXPECT_EQ(rig.ofi->RegionByKey(a.key)->len, 64u);
+  EXPECT_EQ(rig.ofi->RegionByKey(b.key)->node, rig.ep1->node());
+  EXPECT_EQ(rig.ofi->RegionByKey(999), nullptr);
+}
+
+TEST(OfiTest, AllReduceRetiresOneCollectiveCompletion) {
+  OfiRig rig;
+  CollectiveGroup group;
+  group.members.push_back(CollectiveMember{rig.cluster->faa(0)->id(), 1ULL << 20});
+  group.members.push_back(CollectiveMember{rig.cluster->faa(1)->id(), 1ULL << 20});
+  rig.ep0->AllReduce(group, 64 * 1024, /*context=*/77);
+  rig.cluster->engine().Run();
+
+  const auto cs = rig.Drain(rig.cq0);
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_EQ(cs[0].op, OfiOp::kCollective);
+  EXPECT_EQ(cs[0].context, 77u);
+  EXPECT_TRUE(cs[0].ok);
+  EXPECT_GT(cs[0].bytes, 0u);
+  EXPECT_EQ(rig.ofi->stats().collectives_posted, 1u);
+  EXPECT_EQ(rig.ofi->stats().completions, rig.Posted());
+  EXPECT_TRUE(rig.cluster->engine().audit().Sweep().empty());
+}
+
+TEST(OfiTest, CqOverflowDropsNewestButStillRetires) {
+  OfiConfig cfg;
+  OfiRig rig(cfg, /*cq_depth=*/1);
+  const MemRegion src = rig.ofi->RegisterMemory(rig.mem0, 0x10000, 1024);
+  const MemRegion d1 = rig.ofi->RegisterMemory(rig.mem1, 0x20000, 1024);
+  const MemRegion d2 = rig.ofi->RegisterMemory(rig.mem1, 0x21000, 1024);
+  rig.ep1->PostRecv(1, d1, 1);
+  rig.ep1->PostRecv(2, d2, 2);
+  rig.ep0->PostSend(rig.ep1->node(), 1, src, 3);
+  rig.ep0->PostSend(rig.ep1->node(), 2, src, 4);
+  rig.cluster->engine().Run();
+
+  // Receiver CQ holds one entry; the second completion was dropped but the
+  // op still retired — conservation holds and the drop is visible.
+  EXPECT_EQ(rig.cq1.pending(), 1u);
+  EXPECT_EQ(rig.cq1.overflow_drops(), 1u);
+  EXPECT_GE(rig.ofi->stats().cq_overflows, 1u);
+  EXPECT_EQ(rig.ofi->stats().completions, rig.Posted());
+  EXPECT_TRUE(rig.cluster->engine().audit().Sweep().empty());
+}
+
+TEST(OfiTest, OpNamesAreStable) {
+  EXPECT_STREQ(OfiOpName(OfiOp::kSend), "send");
+  EXPECT_STREQ(OfiOpName(OfiOp::kRecv), "recv");
+  EXPECT_STREQ(OfiOpName(OfiOp::kRead), "read");
+  EXPECT_STREQ(OfiOpName(OfiOp::kWrite), "write");
+  EXPECT_STREQ(OfiOpName(OfiOp::kCollective), "collective");
+}
+
+TEST(OfiTest, CrossPodSendRecvTraversesTheBridge) {
+  PodConfig pod;
+  pod.num_hosts = 1;
+  pod.num_fams = 1;
+  pod.num_faas = 1;
+  Cluster cluster(DFabricPodCluster(2, pod));
+  UniFabricRuntime runtime(&cluster, RuntimeOptions{});
+  OfiDomain* ofi = runtime.ofi();
+  CompletionQueue cq0, cq1;
+  Endpoint* a = ofi->CreateEndpoint(cluster.host(0)->id(), runtime.host_agent(0), &cq0, "a");
+  Endpoint* b = ofi->CreateEndpoint(cluster.host(1)->id(), runtime.host_agent(1), &cq1, "b");
+  ASSERT_NE(DomainOf(a->node()), DomainOf(b->node()));
+
+  const MemRegion src =
+      ofi->RegisterMemory(cluster.fam(cluster.pod(0).fams[0])->id(), 0x10000, 128 * 1024);
+  const MemRegion dst =
+      ofi->RegisterMemory(cluster.fam(cluster.pod(1).fams[0])->id(), 0x20000, 128 * 1024);
+  b->PostRecv(9, dst, 1);
+  a->PostSend(b->node(), 9, src, 2);
+  cluster.engine().Run();
+
+  OfiCompletion c;
+  ASSERT_TRUE(cq0.Reap(&c));
+  EXPECT_TRUE(c.ok);
+  EXPECT_EQ(c.bytes, 128u * 1024u);
+  ASSERT_TRUE(cq1.Reap(&c));
+  EXPECT_TRUE(c.ok);
+  // The payload crossed pods, so the bridge carried flits.
+  ASSERT_EQ(cluster.bridges().size(), 1u);
+  const BridgeLink* bridge = cluster.bridges()[0];
+  EXPECT_GT(bridge->stats(0).flits_delivered + bridge->stats(1).flits_delivered, 0u);
+  EXPECT_TRUE(cluster.engine().audit().Sweep().empty());
+}
+
+}  // namespace
+}  // namespace unifab

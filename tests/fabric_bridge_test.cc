@@ -1,0 +1,155 @@
+// BridgeLink: the Ethernet inter-pod hop. Config mapping (gbps -> lanes x
+// gigatransfers, frames -> window credits, loss -> replay), conservation
+// under loss, and the failover story: a bridge flapping in the middle of a
+// cross-pod AllReduce must not lose or double-count a byte.
+
+#include "src/fabric/bridge.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/core/runtime.h"
+#include "src/topo/cluster.h"
+#include "src/topo/faults.h"
+
+namespace unifab {
+namespace {
+
+TEST(BridgeLinkTest, ConfigMapsEthernetTermsOntoTheLinkModel) {
+  BridgeConfig cfg;
+  cfg.ethernet_gbps = 100.0;
+  cfg.frame_loss_rate = 1e-3;
+  cfg.window_frames = 32;
+  cfg.tx_queue_depth = 128;
+  cfg.max_burst_frames = 8;
+  const LinkConfig link = cfg.ToLinkConfig();
+  // 100 Gb/s = 12.5 GB/s on the wire, however it is factored into lanes.
+  EXPECT_NEAR(link.BytesPerSec(), 12.5e9, 1e6);
+  EXPECT_EQ(link.flit_mode, FlitMode::k256B);
+  EXPECT_EQ(link.credits_per_vc, 32u);
+  EXPECT_EQ(link.tx_queue_depth, 128u);
+  EXPECT_EQ(link.max_burst_flits, 8u);
+  EXPECT_DOUBLE_EQ(link.flit_error_rate, 1e-3);
+  EXPECT_EQ(link.replay_timeout, cfg.retransmit_timeout);
+  EXPECT_EQ(link.propagation, cfg.propagation);
+}
+
+TEST(BridgeLinkTest, BridgeIsSlowerThanTheCxlFabricLink) {
+  // The design premise: an Ethernet hop costs more than a CXL hop. Keep the
+  // presets honest about it.
+  const LinkConfig bridge = BridgeConfig{}.ToLinkConfig();
+  const LinkConfig cxl = OmegaLink();
+  EXPECT_GT(bridge.propagation, cxl.propagation);
+  EXPECT_GT(bridge.flit_error_rate, cxl.flit_error_rate);
+}
+
+TEST(BridgeLinkTest, LossyBridgeConservesFlitsUnderReplay) {
+  Engine engine;
+  BridgeConfig cfg;
+  cfg.frame_loss_rate = 0.05;  // hot enough to exercise replay
+  BridgeLink bridge(&engine, cfg, /*seed=*/7, "b");
+
+  struct Sink : FlitReceiver {
+    LinkEndpoint* endpoint = nullptr;
+    int received = 0;
+    void ReceiveFlit(const Flit& f, int) override {
+      ++received;
+      endpoint->ReturnCredit(f.channel);
+    }
+  } rx;
+  rx.endpoint = &bridge.end(1);
+  bridge.end(0).Bind(nullptr, 0);
+  bridge.end(1).Bind(&rx, 0);
+
+  int sent = 0;
+  for (int i = 0; i < 200; ++i) {
+    Flit f;
+    f.channel = Channel::kMem;
+    if (bridge.end(0).Send(f)) {
+      ++sent;
+    }
+  }
+  engine.Run();
+  ASSERT_GT(sent, 0);
+  // Retransmission makes the loss invisible to the receiver...
+  EXPECT_EQ(rx.received, sent);
+  EXPECT_GT(bridge.stats(0).replays, 0u);
+  // ...and the audited conservation identity holds at quiescence.
+  const Link::DirAccounting acc = bridge.Accounting(0);
+  EXPECT_EQ(acc.accepted, acc.delivered + acc.dropped_on_fail + acc.in_flight + acc.queued);
+  EXPECT_TRUE(engine.audit().Sweep().empty());
+}
+
+TEST(BridgeFailoverTest, BridgeFlapDuringCrossPodAllReduceConservesBytes) {
+  // 4-pod bridge ring: killing one bridge mid-AllReduce leaves a redundant
+  // inter-pod path; the collective must reach exactly one terminal and the
+  // fabric must account for every flit the outage stranded.
+  PodConfig pod;
+  pod.num_hosts = 1;
+  pod.num_fams = 1;
+  pod.num_faas = 1;
+  Cluster cluster(DFabricPodCluster(4, pod));
+  UniFabricRuntime runtime(&cluster, RuntimeOptions{});
+  FaultScheduler faults(&cluster.engine(), &cluster.fabric());
+  faults.RegisterLink("bridge0", cluster.bridges()[0]);
+
+  CollectiveGroup group;
+  for (int p = 0; p < 4; ++p) {
+    group.members.push_back(
+        CollectiveMember{cluster.faa(cluster.pod(p).faas[0])->id(), 1ULL << 20});
+  }
+
+  faults.Schedule(FaultPlan::Parse("flap bridge0 start=30 period=400 down=150 cycles=1"));
+  CollectiveFuture f = runtime.collect()->AllReduce(group, 512 * 1024);
+  cluster.engine().Run();
+
+  ASSERT_TRUE(f.Ready());
+  // Exactly one terminal; with the ring's redundant path and eCollect's
+  // step retries the flap should be survivable, but either terminal status
+  // must leave the books balanced.
+  EXPECT_TRUE(f.Value().ok) << "status=" << static_cast<int>(f.Value().status);
+  EXPECT_EQ(faults.stats().faults_injected, 1u);
+  EXPECT_EQ(faults.stats().recoveries, 1u);
+
+  for (const BridgeLink* bridge : cluster.bridges()) {
+    for (int side = 0; side < 2; ++side) {
+      const Link::DirAccounting acc = bridge->Accounting(side);
+      EXPECT_EQ(acc.accepted,
+                acc.delivered + acc.dropped_on_fail + acc.in_flight + acc.queued)
+          << bridge->name() << " side " << side;
+    }
+  }
+  // The sweep covers fabric/bridge/flits_conserved for every bridge plus
+  // the collective's own terminal/byte checks.
+  EXPECT_TRUE(cluster.engine().audit().Sweep().empty());
+}
+
+TEST(BridgeFailoverTest, TrunkOutageOnTwoPodsAbortsOrRecoversCleanly) {
+  // Two pods have a single trunk: no redundant path. A long outage must
+  // surface as a terminal result (ok or aborted), never a hang, and the
+  // audit must stay clean either way.
+  PodConfig pod;
+  pod.num_hosts = 1;
+  pod.num_fams = 1;
+  pod.num_faas = 1;
+  Cluster cluster(DFabricPodCluster(2, pod));
+  UniFabricRuntime runtime(&cluster, RuntimeOptions{});
+  FaultScheduler faults(&cluster.engine(), &cluster.fabric());
+  ASSERT_EQ(cluster.bridges().size(), 1u);
+  faults.RegisterLink("trunk", cluster.bridges()[0]);
+
+  CollectiveGroup group;
+  group.members.push_back(CollectiveMember{cluster.faa(0)->id(), 1ULL << 20});
+  group.members.push_back(CollectiveMember{cluster.faa(1)->id(), 1ULL << 20});
+
+  faults.Schedule(FaultPlan::Parse("flap trunk start=20 period=600 down=300 cycles=1"));
+  CollectiveFuture f = runtime.collect()->AllReduce(group, 256 * 1024);
+  cluster.engine().Run();
+
+  ASSERT_TRUE(f.Ready());
+  EXPECT_TRUE(cluster.engine().audit().Sweep().empty());
+}
+
+}  // namespace
+}  // namespace unifab

@@ -20,8 +20,10 @@
 #include "src/core/arbiter.h"
 #include "src/core/etrans.h"
 #include "src/core/heap.h"
+#include "src/core/ofi.h"
 #include "src/core/runtime.h"
 #include "src/fabric/adapter.h"
+#include "src/fabric/bridge.h"
 #include "src/fabric/dispatch.h"
 #include "src/fabric/interconnect.h"
 #include "src/fabric/link.h"
@@ -80,6 +82,8 @@ class AuditTestPeer {
   static std::uint64_t& ETransDoubleTerminals(ETransEngine& e) {
     return e.double_terminals_;
   }
+
+  static std::uint64_t& OfiCompletions(OfiDomain& d) { return d.stats_.completions; }
 };
 
 namespace {
@@ -196,6 +200,48 @@ TEST(SeededViolationTest, LinkFlitConservation) {
                               "fabric/link/l0/flit_conservation"));
   --accepted;
   EXPECT_TRUE(engine.audit().Sweep().empty());
+}
+
+TEST(SeededViolationTest, BridgeFlitConservation) {
+  Engine engine;
+  BridgeLink bridge(&engine, BridgeConfig{}, /*seed=*/3, "b0");
+
+  // BridgeLink restates the link conservation law under its own audit path,
+  // so operators can tell an Ethernet accounting leak from a CXL one.
+  std::uint64_t& accepted = AuditTestPeer::LinkAccepted(bridge, 0);
+  ++accepted;  // claims a frame that was never queued, sent, or dropped
+  EXPECT_TRUE(AnyPathEndsWith(engine.audit().Sweep(),
+                              "fabric/bridge/b0/flits_conserved"));
+  --accepted;
+  EXPECT_TRUE(engine.audit().Sweep().empty());
+}
+
+TEST(SeededViolationTest, OfiCompletionConservation) {
+  ClusterConfig cfg;
+  cfg.num_hosts = 2;
+  cfg.num_fams = 1;
+  cfg.num_faas = 1;
+  Cluster cluster(cfg);
+  UniFabricRuntime runtime(&cluster, RuntimeOptions{});
+  OfiDomain* ofi = runtime.ofi();
+  ASSERT_NE(ofi, nullptr);
+
+  CompletionQueue cq;
+  Endpoint* ep0 = ofi->CreateEndpoint(cluster.host(0)->id(), runtime.host_agent(0), &cq, "ep0");
+  Endpoint* ep1 = ofi->CreateEndpoint(cluster.host(1)->id(), runtime.host_agent(1), &cq, "ep1");
+  const MemRegion src = ofi->RegisterMemory(cluster.fam(0)->id(), 0x0000, 4096);
+  const MemRegion dst = ofi->RegisterMemory(cluster.fam(0)->id(), 0x4000, 4096);
+  ep1->PostRecv(7, dst, 1);
+  ep0->PostSend(cluster.host(1)->id(), 7, src, 2);
+  cluster.engine().Run();
+  EXPECT_TRUE(cluster.engine().audit().Sweep().empty());
+
+  std::uint64_t& completions = AuditTestPeer::OfiCompletions(*ofi);
+  ++completions;  // a completion retired for an op that was never posted
+  EXPECT_TRUE(AnyPathEndsWith(cluster.engine().audit().Sweep(),
+                              "core/ofi/completions_conserved"));
+  --completions;
+  EXPECT_TRUE(cluster.engine().audit().Sweep().empty());
 }
 
 // One switch, an arbiter adapter, and two client adapters — the same shape
